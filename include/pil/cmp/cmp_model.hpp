@@ -1,0 +1,102 @@
+#pragma once
+/// \file cmp_model.hpp
+/// Chemical-mechanical planarization (CMP) topography model.
+///
+/// Density rules exist because post-CMP dielectric thickness tracks the
+/// *effective* pattern density: the polish pad deforms over a
+/// characteristic planarization length L, so the removal rate at (x, y)
+/// depends on a weighted average of layout density in an L-sized
+/// neighborhood. This module implements the standard density-model
+/// abstraction (Stine/Ouma-style, the model behind the paper's reference
+/// [11]):
+///
+///   rho_eff(x, y) = (kernel * rho)(x, y)        (2-D convolution)
+///   z(x, y)       = z0 + step * rho_eff(x, y)   (pre-polish topography)
+///   after polishing to the target plane, the residual oxide thickness
+///   variation equals step * (rho_eff - min rho_eff).
+///
+/// It quantifies what the density metrics only proxy: how flat the wafer
+/// actually ends up, before and after fill.
+
+#include <string>
+#include <vector>
+
+#include "pil/grid/density_map.hpp"
+#include "pil/rctree/rctree.hpp"
+
+namespace pil::cmp {
+
+struct CmpModelConfig {
+  /// Pad planarization length (um): the kernel's characteristic radius.
+  /// Typical values are hundreds of um for real processes; the synthetic
+  /// testcases use dies of 128-512 um, so the default is scaled down to
+  /// keep the kernel meaningfully smaller than the die.
+  double planarization_length_um = 40.0;
+  /// Oxide step height over a fully-dense region (um): pattern density
+  /// converts to pre-polish topography as step * density.
+  double step_height_um = 0.5;
+  /// Cell size of the simulation grid (um); densities are sampled from the
+  /// tile grid, so this should be >= the tile size for meaningful results.
+  double cell_um = 4.0;
+};
+
+struct CmpResult {
+  int nx = 0;
+  int ny = 0;
+  double cell_um = 0.0;
+  /// Effective (kernel-averaged) density per cell, row-major, y-major rows.
+  std::vector<double> effective_density;
+  /// Residual thickness variation per cell (um): step * (rho_eff - min).
+  std::vector<double> thickness_um;
+  double max_thickness_range_um = 0.0;  ///< max - min residual thickness
+  double rms_thickness_um = 0.0;        ///< RMS deviation from the mean
+
+  double at(int ix, int iy) const {
+    PIL_REQUIRE(ix >= 0 && ix < nx && iy >= 0 && iy < ny,
+                "cell index out of range");
+    return thickness_um[static_cast<std::size_t>(iy) * nx + ix];
+  }
+};
+
+/// Simulate CMP over the given per-tile density map (wires + fill).
+CmpResult simulate_cmp(const grid::DensityMap& density,
+                       const CmpModelConfig& config = {});
+
+/// ASCII rendering of the residual-thickness field (same ramp as the
+/// density heatmap; highest y-row first).
+std::string render_thickness_ascii(const CmpResult& result);
+
+// ---- erosion / over-polish timing impact -----------------------------------
+
+struct ErosionModelConfig {
+  /// Effective density at which the polish is nominal; below it the pad
+  /// over-polishes and thins the metal.
+  double reference_density = 0.35;
+  /// Metal thickness lost per unit of density deficit (um per 1.0 of
+  /// density): loss = coeff * max(0, ref - rho_eff), clamped below
+  /// max_loss_fraction of the metal thickness.
+  double loss_coeff_um = 0.3;
+  double max_loss_fraction = 0.5;
+};
+
+struct ErosionReport {
+  /// Per-net Elmore worst-sink delay with eroded (thinned) wires, ps.
+  std::vector<double> eroded_worst_delay_ps;
+  /// Per-net nominal (no erosion) worst-sink delay, ps.
+  std::vector<double> nominal_worst_delay_ps;
+  /// Sum over nets of (eroded - nominal): the delay cost of over-polish.
+  double total_delay_increase_ps = 0.0;
+  double worst_net_increase_ps = 0.0;
+};
+
+/// Quantify the timing cost of CMP over-polish for a given (filled or
+/// unfilled) density field: every wire piece's resistance is scaled by the
+/// local metal thinning t/(t - loss) at its midpoint and Elmore delays are
+/// recomputed. Fill raises the effective density, reducing the loss -- the
+/// timing *benefit* of fill that coupling-only analyses never see.
+ErosionReport erosion_delay_report(const std::vector<rctree::RcTree>& trees,
+                                   const layout::Layout& layout,
+                                   const CmpResult& cmp,
+                                   const ErosionModelConfig& config = {});
+
+}  // namespace pil::cmp

@@ -1,0 +1,70 @@
+#pragma once
+/// \file fill_target.hpp
+/// Computation of the *prescribed fill amount per tile* (the "numRF_ij" of
+/// Figure 8, step 2). This is the density-control half of the flow, taken
+/// from the normal-fill work the paper builds on (Chen-Kahng-Robins-
+/// Zelikovsky, TCAD 2002): raise the minimum window density toward a target
+/// L without pushing any window above a cap U.
+///
+/// Two engines are provided:
+///   * a Monte-Carlo greedy targeter (scalable; the default for experiments),
+///   * an exact min-variation LP (uses pil::lp; for small dissections and
+///     for cross-checking the targeter in tests).
+///
+/// Both return integer feature counts per tile; every PIL-Fill method then
+/// places *exactly these counts*, which is what makes the delay comparison
+/// "at identical density control quality".
+
+#include <cstdint>
+#include <vector>
+
+#include "pil/fill/rules.hpp"
+#include "pil/grid/density_map.hpp"
+
+namespace pil::density {
+
+struct FillTargetConfig {
+  /// Lower density target L; negative = auto (the original max window
+  /// density, i.e. aim for perfect uniformity at the current maximum).
+  double lower_target = -1.0;
+  /// Upper density cap U; negative = auto (L plus two feature-areas per
+  /// window, absorbing integer rounding).
+  double upper_bound = -1.0;
+  std::uint64_t seed = 7;
+};
+
+struct FillTargetResult {
+  std::vector<int> features_per_tile;   ///< indexed by flat tile id
+  long long total_features = 0;
+  grid::DensityStats before;
+  grid::DensityStats after;             ///< with the prescribed fill added
+  double lower_target_used = 0.0;
+  double upper_bound_used = 0.0;
+};
+
+/// Monte-Carlo greedy targeter: repeatedly pick the lowest-density window
+/// and drop one feature into a random tile of it that (a) still has slack
+/// capacity and (b) keeps every covering window at or below U. Stops when
+/// the minimum window density reaches L or no window can be improved.
+FillTargetResult compute_fill_amounts_mc(
+    const grid::DensityMap& wires, const std::vector<int>& tile_capacity,
+    const fill::FillRules& rules, const FillTargetConfig& config = {});
+
+/// Exact min-variation LP: maximize the minimum window density subject to
+/// per-tile slack capacity and the cap U, then round to feature counts.
+/// Dense simplex -- intended for dissections up to a few thousand windows.
+FillTargetResult compute_fill_amounts_lp(
+    const grid::DensityMap& wires, const std::vector<int>& tile_capacity,
+    const fill::FillRules& rules, const FillTargetConfig& config = {});
+
+/// Exact Min-Fill LP (the other classic objective from the TCAD'02 normal-
+/// fill work): *minimize the total inserted fill* subject to every window
+/// reaching the lower target L (as far as capacity permits -- L is first
+/// clamped to the min-var optimum so the LP stays feasible) and the cap U.
+/// Fewer features means less capacitance for the PIL methods to manage, at
+/// the price of a layout that only just meets the density rule.
+FillTargetResult compute_fill_amounts_min_fill_lp(
+    const grid::DensityMap& wires, const std::vector<int>& tile_capacity,
+    const fill::FillRules& rules, const FillTargetConfig& config = {});
+
+}  // namespace pil::density

@@ -1,0 +1,33 @@
+#pragma once
+/// \file rules.hpp
+/// Fill pattern design rules (Figure 8 inputs): square floating features of
+/// side `feature_um`, minimum feature-to-feature gap `gap_um`, and buffer
+/// distance `buffer_um` between any fill feature and active interconnect.
+
+#include "pil/util/error.hpp"
+
+namespace pil::fill {
+
+struct FillRules {
+  double feature_um = 0.5;  ///< fill feature side (square)
+  double gap_um = 0.5;      ///< fill-to-fill spacing
+  double buffer_um = 0.5;   ///< fill-to-wire spacing ("buf" in the paper)
+
+  double feature_area() const { return feature_um * feature_um; }
+  /// Site pitch: one feature plus one gap.
+  double pitch() const { return feature_um + gap_um; }
+
+  void validate() const {
+    PIL_REQUIRE(feature_um > 0 && gap_um > 0 && buffer_um >= 0,
+                "fill rules must be positive");
+  }
+
+  /// Max features stackable in a free span of length `span_um`:
+  /// m features occupy m*feature + (m-1)*gap.
+  int capacity_in_span(double span_um) const {
+    if (span_um < feature_um) return 0;
+    return 1 + static_cast<int>((span_um - feature_um) / pitch() + 1e-12);
+  }
+};
+
+}  // namespace pil::fill

@@ -1,0 +1,128 @@
+#pragma once
+/// \file slack.hpp
+/// Slack site columns and the scan-line extraction algorithm (Section 5.1 /
+/// Figure 7 of the paper), with the three column definitions:
+///
+///   * SlackColumn-I   : per tile, gaps between active lines inside the tile
+///                       only (misses capacity; can be infeasible).
+///   * SlackColumn-II  : per tile, also gaps bounded by tile edges (full
+///                       capacity, but edge-bounded gaps have no associated
+///                       line, so their true delay cost is invisible).
+///   * SlackColumn-III : one global scan; gaps are bounded by the *actual*
+///                       neighboring lines regardless of tile boundaries --
+///                       the most accurate definition.
+///
+/// Fill sites live on a global x-grid of columns (pitch = feature + gap);
+/// within a gap, sites stack bottom-up with the same pitch. Vertical
+/// (wrong-direction) wires do not bound gaps electrically but do block them:
+/// a gap pierced by a vertical wire over a column's footprint is discarded
+/// (conservative -- the parallel-plate model cannot price a conductor inside
+/// the gap).
+
+#include <vector>
+
+#include "pil/fill/rules.hpp"
+#include "pil/grid/dissection.hpp"
+#include "pil/layout/layout.hpp"
+#include "pil/rctree/rctree.hpp"
+
+namespace pil::fill {
+
+enum class SlackMode { kI, kII, kIII };
+
+const char* to_string(SlackMode m);
+
+/// What bounds a slack column from below/above.
+enum class BoundKind : unsigned char { kLine, kDieEdge, kTileEdge };
+
+/// One maximal column of stackable fill sites between two y-boundaries at a
+/// fixed x site-column.
+struct SlackColumn {
+  int col_index = -1;    ///< global site-column index (x grid)
+  double x_lo = 0.0;     ///< feature footprint in x: [x_lo, x_lo + feature]
+  double x_center = 0.0;
+  BoundKind below = BoundKind::kDieEdge;
+  BoundKind above = BoundKind::kDieEdge;
+  int below_piece = -1;  ///< index into the global piece array when kLine
+  int above_piece = -1;
+  double gap_um = 0.0;   ///< edge-to-edge distance between the two bounds
+  double span_lo = 0.0;  ///< usable span (buffers already applied)
+  double span_hi = 0.0;
+  int capacity = 0;      ///< max stackable features
+
+  bool two_sided() const {
+    return below == BoundKind::kLine && above == BoundKind::kLine;
+  }
+  /// y of the bottom edge of site `i` (0-based, stacked bottom-up).
+  double site_y(int i, const FillRules& rules) const {
+    PIL_REQUIRE(i >= 0 && i < capacity, "site index out of range");
+    return span_lo + i * rules.pitch();
+  }
+};
+
+/// The portion of a column that lies in one tile: sites [first_site,
+/// first_site + num_sites). In modes I/II a column belongs to exactly one
+/// tile; in mode III a long gap is split across the tile rows it crosses.
+struct TileColumnPart {
+  int column = -1;      ///< index into SlackColumns::columns()
+  int first_site = 0;
+  int num_sites = 0;
+};
+
+/// Result of slack extraction: the columns plus the per-tile site inventory.
+///
+/// Vertical-preference layers are handled by transposition: the scan runs
+/// in a coordinate frame where the routing direction is horizontal, and
+/// `transposed()` reports whether column coordinates live in that swapped
+/// frame. Use site_rect() / column_cross_point() to stay in real layout
+/// coordinates; tile part indices always refer to the real dissection.
+class SlackColumns {
+ public:
+  SlackColumns(std::vector<SlackColumn> columns,
+               std::vector<std::vector<TileColumnPart>> tile_parts,
+               bool transposed = false);
+
+  const std::vector<SlackColumn>& columns() const { return columns_; }
+  const std::vector<TileColumnPart>& tile_parts(int tile_flat) const;
+  int num_tiles() const { return static_cast<int>(tile_parts_.size()); }
+
+  /// True when column coordinates are in the transposed (x/y-swapped) frame
+  /// because the layer routes vertically.
+  bool transposed() const { return transposed_; }
+
+  /// Real-space footprint of site `i` of a column.
+  geom::Rect site_rect(const SlackColumn& col, int site,
+                       const FillRules& rules) const;
+
+  /// Real-space point where the column crosses active line `piece` (for
+  /// entry-resistance evaluation): the column's cross coordinate projected
+  /// onto the line.
+  geom::Point column_cross_point(const SlackColumn& col,
+                                 const rctree::WirePiece& piece) const;
+
+  /// Total fill capacity of one tile (sites over all parts).
+  int tile_capacity(int tile_flat) const;
+  /// Total capacity over the layout.
+  long long total_capacity() const;
+
+ private:
+  std::vector<SlackColumn> columns_;
+  std::vector<std::vector<TileColumnPart>> tile_parts_;
+  bool transposed_ = false;
+};
+
+/// Extract slack columns for `layer` of the layout under the given mode.
+/// `pieces` is the flattened WirePiece array over all nets (see
+/// flatten_pieces); piece indices in the result refer into it.
+SlackColumns extract_slack_columns(const layout::Layout& layout,
+                                   const grid::Dissection& dissection,
+                                   const std::vector<rctree::WirePiece>& pieces,
+                                   layout::LayerId layer,
+                                   const FillRules& rules, SlackMode mode);
+
+/// Flatten per-net RC trees into one global piece array (the index space
+/// used by SlackColumn::below_piece/above_piece).
+std::vector<rctree::WirePiece> flatten_pieces(
+    const std::vector<rctree::RcTree>& trees);
+
+}  // namespace pil::fill

@@ -1,0 +1,81 @@
+#pragma once
+/// \file interval.hpp
+/// Closed 1-D intervals and disjoint interval sets. Interval arithmetic is
+/// the workhorse of the scan-line slack-column extraction (Fig. 7 of the
+/// paper): between two consecutive active lines, the free x-extent is the
+/// layout span minus the union of blocked intervals.
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "pil/util/error.hpp"
+
+namespace pil::geom {
+
+/// Closed interval [lo, hi]; empty iff lo > hi.
+struct Interval {
+  double lo = 0.0;
+  double hi = -1.0;  // default-constructed interval is empty
+
+  Interval() = default;
+  Interval(double l, double h) : lo(l), hi(h) {}
+
+  bool empty() const { return lo > hi; }
+  double length() const { return empty() ? 0.0 : hi - lo; }
+  bool contains(double x) const { return !empty() && lo <= x && x <= hi; }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// Intersection (possibly empty).
+inline Interval intersect(const Interval& a, const Interval& b) {
+  return Interval{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+/// True if the two intervals share at least a point.
+inline bool overlaps(const Interval& a, const Interval& b) {
+  return !intersect(a, b).empty();
+}
+
+/// Overlap length (0 if disjoint).
+inline double overlap_length(const Interval& a, const Interval& b) {
+  return intersect(a, b).length();
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.lo << ", " << iv.hi << ']';
+}
+
+/// A set of pairwise-disjoint, sorted intervals. Insertions merge touching
+/// or overlapping members. Used to accumulate the blocked footprint of
+/// active lines along a scan row and to compute free gaps.
+class IntervalSet {
+ public:
+  /// Insert [lo, hi]; merges with any overlapping/touching members.
+  void insert(double lo, double hi);
+  void insert(const Interval& iv) { insert(iv.lo, iv.hi); }
+
+  /// Remove all intervals.
+  void clear() { items_.clear(); }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  const std::vector<Interval>& intervals() const { return items_; }
+
+  /// Total covered length.
+  double total_length() const;
+
+  /// True if x lies inside some member interval.
+  bool contains(double x) const;
+
+  /// The maximal free sub-intervals of `span` not covered by this set.
+  std::vector<Interval> gaps(const Interval& span) const;
+
+ private:
+  std::vector<Interval> items_;  // sorted by lo, pairwise disjoint
+};
+
+}  // namespace pil::geom

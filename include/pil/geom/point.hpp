@@ -1,0 +1,40 @@
+#pragma once
+/// \file point.hpp
+/// 2-D point in layout coordinates. The library uses double microns
+/// throughout; all testcase geometry is generated on a site grid so exact
+/// comparisons on generated data are safe, and epsilon comparisons are
+/// provided for derived quantities.
+
+#include <cmath>
+#include <ostream>
+
+namespace pil::geom {
+
+/// Comparison tolerance for derived (computed) coordinates, in microns.
+/// Site grids are >= 0.1 um in all shipped recipes, so 1e-9 is safely below
+/// any legitimate coordinate difference.
+inline constexpr double kEps = 1e-9;
+
+inline bool nearly_equal(double a, double b, double eps = kEps) {
+  return std::fabs(a - b) <= eps;
+}
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+};
+
+inline double manhattan_distance(const Point& a, const Point& b) {
+  return std::fabs(a.x - b.x) + std::fabs(a.y - b.y);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace pil::geom

@@ -1,0 +1,87 @@
+#pragma once
+/// \file rect.hpp
+/// Axis-aligned rectangles. All layout geometry -- wire segments, fill
+/// features, tiles, windows -- reduces to rectangles; area overlap between
+/// rectangles drives both density analysis and slack-site legality.
+
+#include <algorithm>
+#include <ostream>
+
+#include "pil/geom/interval.hpp"
+#include "pil/geom/point.hpp"
+#include "pil/util/error.hpp"
+
+namespace pil::geom {
+
+/// Axis-aligned rectangle [xlo,xhi] x [ylo,yhi]; empty iff degenerate in a
+/// strictly negative way (xlo > xhi or ylo > yhi). Zero-width rectangles are
+/// legal (used for scan-line events) but carry zero area.
+struct Rect {
+  double xlo = 0.0, ylo = 0.0, xhi = -1.0, yhi = -1.0;
+
+  Rect() = default;
+  Rect(double x0, double y0, double x1, double y1)
+      : xlo(x0), ylo(y0), xhi(x1), yhi(y1) {}
+
+  static Rect from_corners(const Point& a, const Point& b) {
+    return Rect{std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+                std::max(a.y, b.y)};
+  }
+
+  bool empty() const { return xlo > xhi || ylo > yhi; }
+  double width() const { return empty() ? 0.0 : xhi - xlo; }
+  double height() const { return empty() ? 0.0 : yhi - ylo; }
+  double area() const { return width() * height(); }
+  Point center() const { return Point{(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+  Interval x_span() const { return Interval{xlo, xhi}; }
+  Interval y_span() const { return Interval{ylo, yhi}; }
+
+  bool contains(const Point& p) const {
+    return !empty() && xlo <= p.x && p.x <= xhi && ylo <= p.y && p.y <= yhi;
+  }
+  bool contains(const Rect& r) const {
+    return !empty() && !r.empty() && xlo <= r.xlo && r.xhi <= xhi &&
+           ylo <= r.ylo && r.yhi <= yhi;
+  }
+
+  /// Expand each side outward by d (d may be negative to shrink).
+  Rect inflated(double d) const {
+    return Rect{xlo - d, ylo - d, xhi + d, yhi + d};
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.xlo == b.xlo && a.ylo == b.ylo && a.xhi == b.xhi && a.yhi == b.yhi;
+  }
+};
+
+/// Intersection of two rectangles (possibly empty).
+inline Rect intersect(const Rect& a, const Rect& b) {
+  return Rect{std::max(a.xlo, b.xlo), std::max(a.ylo, b.ylo),
+              std::min(a.xhi, b.xhi), std::min(a.yhi, b.yhi)};
+}
+
+/// True if a and b share interior or boundary points.
+inline bool overlaps(const Rect& a, const Rect& b) {
+  return !intersect(a, b).empty();
+}
+
+/// True if a and b share interior points (positive-area overlap).
+inline bool overlaps_strictly(const Rect& a, const Rect& b) {
+  const Rect r = intersect(a, b);
+  return r.width() > 0 && r.height() > 0;
+}
+
+/// Area of the overlap (0 if disjoint or merely touching).
+inline double overlap_area(const Rect& a, const Rect& b) {
+  return intersect(a, b).area();
+}
+
+/// Smallest rectangle containing both (ignores empty inputs).
+Rect bounding_box(const Rect& a, const Rect& b);
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.xlo << ',' << r.ylo << " .. " << r.xhi << ',' << r.yhi
+            << ']';
+}
+
+}  // namespace pil::geom

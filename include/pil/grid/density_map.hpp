@@ -1,0 +1,73 @@
+#pragma once
+/// \file density_map.hpp
+/// Per-tile feature-area accounting and window density statistics over a
+/// fixed r-dissection. This is the quantity CMP density rules constrain and
+/// the quantity all fill methods must keep identical (the paper compares
+/// methods at *identical density control quality*).
+
+#include <string>
+#include <vector>
+
+#include "pil/grid/dissection.hpp"
+#include "pil/layout/layout.hpp"
+
+namespace pil::grid {
+
+/// Summary statistics of window densities (density = feature area / window
+/// area, in [0, 1]).
+struct DensityStats {
+  double min_density = 0.0;
+  double max_density = 0.0;
+  double mean_density = 0.0;
+  /// Max - min over all windows: the "variation" minimized by min-var fill.
+  double variation() const { return max_density - min_density; }
+};
+
+class DensityMap {
+ public:
+  explicit DensityMap(const Dissection& dissection)
+      : dis_(&dissection), tile_area_(dissection.num_tiles(), 0.0) {}
+
+  const Dissection& dissection() const { return *dis_; }
+
+  /// Accumulate the drawn area of every segment on `layer` into the tiles.
+  void add_layer_wires(const layout::Layout& layout, layout::LayerId layer);
+
+  /// Accumulate the metal blockages on `layer` (macro metalization counts
+  /// toward window density; pure keep-outs do not).
+  void add_layer_metal_blockages(const layout::Layout& layout,
+                                 layout::LayerId layer);
+
+  /// Accumulate one rectangle of feature area (wire or fill).
+  void add_rect(const geom::Rect& r);
+
+  /// Directly add `area` um^2 to one tile (used when fill features are
+  /// accounted per tile rather than per rectangle).
+  void add_area(TileIndex t, double area);
+
+  double tile_area(TileIndex t) const { return tile_area_[dis_->tile_flat(t)]; }
+  double tile_area_flat(int flat) const { return tile_area_[flat]; }
+  const std::vector<double>& tile_areas() const { return tile_area_; }
+
+  /// Feature area inside window (wx, wy): sum of its r x r tile areas.
+  double window_area(int wx, int wy) const;
+
+  /// Density (area fraction) of window (wx, wy).
+  double window_density(int wx, int wy) const;
+
+  /// Stats over all windows of the dissection.
+  DensityStats stats() const;
+
+ private:
+  const Dissection* dis_;
+  std::vector<double> tile_area_;
+};
+
+/// Render the window-density field as an ASCII heatmap (one character per
+/// window, highest y-row first so the picture matches layout coordinates).
+/// `lo`/`hi` clamp the color scale; pass negative values to auto-scale to
+/// the map's min/max. Ramp: " .:-=+*#%@" from lo to hi.
+std::string render_density_ascii(const DensityMap& density, double lo = -1,
+                                 double hi = -1);
+
+}  // namespace pil::grid

@@ -1,0 +1,86 @@
+#pragma once
+/// \file dissection.hpp
+/// Fixed r-dissection of the layout (Figure 1 of the paper).
+///
+/// The n x n layout is partitioned into square tiles of side w/r, where w is
+/// the window size and r the dissection parameter. Density rules are
+/// enforced over all w x w windows whose corners lie on the tile grid: the
+/// r^2 overlapping dissections with phase shift w/r. A window W_ij consists
+/// of the r x r block of tiles with lower-left tile (i, j).
+
+#include <vector>
+
+#include "pil/geom/rect.hpp"
+#include "pil/util/error.hpp"
+
+namespace pil::grid {
+
+/// Tile index pair.
+struct TileIndex {
+  int ix = 0;
+  int iy = 0;
+  friend bool operator==(const TileIndex& a, const TileIndex& b) {
+    return a.ix == b.ix && a.iy == b.iy;
+  }
+};
+
+class Dissection {
+ public:
+  /// Build the fixed r-dissection of `die` with windows of size
+  /// `window_um` and dissection parameter `r` (so tiles have side
+  /// window_um / r). The die need not be an exact multiple of the tile
+  /// size; boundary tiles are clipped to the die.
+  Dissection(const geom::Rect& die, double window_um, int r);
+
+  const geom::Rect& die() const { return die_; }
+  double window_um() const { return window_um_; }
+  int r() const { return r_; }
+  double tile_um() const { return tile_um_; }
+
+  int tiles_x() const { return tiles_x_; }
+  int tiles_y() const { return tiles_y_; }
+  int num_tiles() const { return tiles_x_ * tiles_y_; }
+
+  /// Flat tile index (row-major: iy * tiles_x + ix).
+  int tile_flat(TileIndex t) const {
+    PIL_REQUIRE(t.ix >= 0 && t.ix < tiles_x_ && t.iy >= 0 && t.iy < tiles_y_,
+                "tile index out of range");
+    return t.iy * tiles_x_ + t.ix;
+  }
+  TileIndex tile_unflat(int flat) const {
+    PIL_REQUIRE(flat >= 0 && flat < num_tiles(), "flat index out of range");
+    return TileIndex{flat % tiles_x_, flat / tiles_x_};
+  }
+
+  /// Geometry of tile (ix, iy) clipped to the die.
+  geom::Rect tile_rect(TileIndex t) const;
+
+  /// Tile containing point p (boundary points go to the lower-left tile
+  /// whose half-open cell contains them; the die max edge maps to the last
+  /// tile).
+  TileIndex tile_at(const geom::Point& p) const;
+
+  /// Range of tiles [lo, hi] (inclusive) overlapping rectangle `r` with
+  /// positive area. Returns false if the overlap is empty.
+  bool tiles_overlapping(const geom::Rect& rect, TileIndex& lo,
+                         TileIndex& hi) const;
+
+  /// Number of windows along x/y: a window's lower-left tile can be any
+  /// (i, j) with i + r <= tiles_x, j + r <= tiles_y.
+  int windows_x() const { return std::max(0, tiles_x_ - r_ + 1); }
+  int windows_y() const { return std::max(0, tiles_y_ - r_ + 1); }
+  int num_windows() const { return windows_x() * windows_y(); }
+
+  /// Geometry of window with lower-left tile (wx, wy).
+  geom::Rect window_rect(int wx, int wy) const;
+
+ private:
+  geom::Rect die_;
+  double window_um_;
+  int r_;
+  double tile_um_;
+  int tiles_x_;
+  int tiles_y_;
+};
+
+}  // namespace pil::grid

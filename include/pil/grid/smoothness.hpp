@@ -1,0 +1,34 @@
+#pragma once
+/// \file smoothness.hpp
+/// Smoothness analysis of (filled) layouts, after Chen-Kahng-Robins-
+/// Zelikovsky, "Smoothness and Uniformity of Filled Layout for VDSM
+/// Manufacturability" (ISPD 2002) -- reference [4] of the PIL-Fill paper.
+///
+/// Uniformity (min/max window density) is not the whole CMP story: abrupt
+/// density *steps* between nearby regions also hurt planarity. Two
+/// step metrics over the fixed r-dissection:
+///
+///   * type-I smoothness: the largest density difference between two
+///     windows offset by one tile (maximally overlapping neighbors);
+///   * type-II smoothness: the largest difference between two edge-adjacent
+///     disjoint windows (offset by r tiles).
+///
+/// Both are 0 for a perfectly flat layout and bounded by the global
+/// variation; fill that fixes min/max but creates checkerboards shows up
+/// here.
+
+#include "pil/grid/density_map.hpp"
+
+namespace pil::grid {
+
+struct SmoothnessReport {
+  double type1 = 0.0;       ///< max density step between 1-tile-shifted windows
+  double type2 = 0.0;       ///< max density step between adjacent disjoint windows
+  double variation = 0.0;   ///< global max - min (for reference)
+  double mean_abs_step = 0.0;  ///< mean |step| over 1-tile-shifted pairs
+};
+
+/// Analyze window-density smoothness of `density`.
+SmoothnessReport analyze_smoothness(const DensityMap& density);
+
+}  // namespace pil::grid

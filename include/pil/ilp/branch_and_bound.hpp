@@ -1,0 +1,50 @@
+#pragma once
+/// \file branch_and_bound.hpp
+/// Mixed-integer linear programming by LP-based branch and bound.
+///
+/// Together with pil/lp this replaces the paper's CPLEX solver. The MDFC
+/// instances have a single coupling equality plus per-column structure, so
+/// their LP relaxations are nearly integral and the search tree stays tiny;
+/// the implementation is nonetheless a fully general bounded-variable MILP
+/// solver (best-bound search, most-fractional branching).
+
+#include <vector>
+
+#include "pil/lp/problem.hpp"
+#include "pil/lp/simplex.hpp"
+
+namespace pil::ilp {
+
+struct IlpOptions {
+  lp::SimplexOptions lp;
+  double int_tol = 1e-6;     ///< |x - round(x)| below this counts as integral
+  int max_nodes = 200000;    ///< search-node budget
+  /// Stop when bound and incumbent agree to this absolute gap.
+  double abs_gap = 1e-9;
+};
+
+enum class IlpStatus {
+  kOptimal,
+  kInfeasible,
+  kNodeLimit,   ///< best incumbent returned, optimality not proven
+  kUnbounded,
+  kError,       ///< LP solver failed (iteration limit)
+};
+
+const char* to_string(IlpStatus s);
+
+struct IlpSolution {
+  IlpStatus status = IlpStatus::kError;
+  double objective = 0.0;
+  std::vector<double> x;   ///< integral on integer vars (within int_tol)
+  int nodes_explored = 0;
+};
+
+/// Solve min c^T x with `integer[j]` marking integrality. `integer` must
+/// have problem.num_vars() entries. Integer variables must have finite
+/// bounds (the MDFC formulations always do).
+IlpSolution solve_ilp(const lp::LpProblem& problem,
+                      const std::vector<bool>& integer,
+                      const IlpOptions& options = {});
+
+}  // namespace pil::ilp

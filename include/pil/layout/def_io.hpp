@@ -1,0 +1,53 @@
+#pragma once
+/// \file def_io.hpp
+/// Reader for a practical subset of DEF (the format the paper's testcases
+/// came in). Parsed: VERSION / DESIGN / UNITS DISTANCE MICRONS / DIEAREA /
+/// NETS with `+ ROUTED` wiring (multi-path with NEW, `*` coordinate
+/// repetition, via names skipped). Other sections are skipped gracefully.
+///
+/// DEF carries no electrical data, so the caller supplies layer definitions
+/// and pin defaults. Driver/sink locations are inferred from the routing:
+/// the first point of a net's first path is the source (the usual writer
+/// convention), and every other leaf of the routing tree gets a sink with
+/// the default load.
+
+#include <iosfwd>
+#include <string>
+
+#include "pil/layout/layout.hpp"
+
+namespace pil::layout {
+
+struct DefReadOptions {
+  /// Layer definitions (DEF references layers by name only). Required: every
+  /// layer named in routed wiring must appear here.
+  std::vector<Layer> layers;
+  double default_driver_res_ohm = 200.0;
+  double default_sink_cap_ff = 2.0;
+  /// Wire width used when a path gives none (DEF regular wiring uses the
+  /// layer's design-rule width); 0 = use the layer's default width.
+  double default_wire_width_um = 0.0;
+};
+
+/// Parse a DEF stream. Throws pil::Error with token context on bad input.
+Layout read_def(std::istream& in, const DefReadOptions& options);
+
+/// Parse a DEF file on disk.
+Layout read_def_file(const std::string& path, const DefReadOptions& options);
+
+/// Write a DEF 5.8 `FILLS` section file carrying the fill features as
+/// `- LAYER <name> RECT ...` statements -- the standard hand-off for fill
+/// shapes into a P&R database. Only the fill is written (the routing
+/// already lives in the source DEF); `layer` names the fill layer.
+void write_def_fills(const Layout& layout, layout::LayerId layer,
+                     const std::vector<geom::Rect>& fill_features,
+                     std::ostream& out, const std::string& design_name = "chip",
+                     double dbu_per_um = 1000.0);
+
+void write_def_fills_file(const Layout& layout, layout::LayerId layer,
+                          const std::vector<geom::Rect>& fill_features,
+                          const std::string& path,
+                          const std::string& design_name = "chip",
+                          double dbu_per_um = 1000.0);
+
+}  // namespace pil::layout

@@ -1,0 +1,65 @@
+#pragma once
+/// \file gds_io.hpp
+/// GDSII Stream writer (and a rectangle-level reader for round-trip
+/// verification). The paper's experimental testbed "integrates GDSII Stream
+/// and internally-developed geometric processing engines"; fill insertion
+/// is often a post-GDSII step at the foundry, so emitting the filled layout
+/// as GDSII is the natural hand-off format.
+///
+/// Writer scope: one library, one structure, BOUNDARY rectangles for every
+/// wire segment and fill feature. Reader scope: BOUNDARY elements with
+/// axis-aligned rectangular XY rings (exactly what the writer emits) --
+/// enough to verify streams and to import fill back.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pil/layout/layout.hpp"
+
+namespace pil::layout {
+
+struct GdsWriteOptions {
+  std::string library_name = "PILFILL";
+  std::string cell_name = "TOP";
+  double dbu_per_um = 1000.0;  ///< database units per micron (1 nm grid)
+  /// GDS layer number for each Layout layer id; empty = layer id + 1.
+  std::vector<int> layer_numbers;
+  /// GDS layer number for fill features.
+  int fill_layer = 100;
+  int wire_datatype = 0;
+  int fill_datatype = 1;
+};
+
+/// Write the layout's wires plus `fill_features` as a GDSII stream.
+void write_gds(const Layout& layout,
+               const std::vector<geom::Rect>& fill_features, std::ostream& out,
+               const GdsWriteOptions& options = {});
+
+void write_gds_file(const Layout& layout,
+                    const std::vector<geom::Rect>& fill_features,
+                    const std::string& path,
+                    const GdsWriteOptions& options = {});
+
+/// One rectangle recovered from a GDSII BOUNDARY element.
+struct GdsRect {
+  int layer = 0;
+  int datatype = 0;
+  geom::Rect rect;  ///< in microns (converted via the stream's UNITS record)
+};
+
+struct GdsContents {
+  std::string library_name;
+  std::string cell_name;       ///< first structure's name
+  double dbu_per_um = 1000.0;  ///< derived from UNITS
+  std::vector<GdsRect> rects;
+};
+
+/// Parse a GDSII stream, collecting rectangular BOUNDARY elements. Throws
+/// pil::Error on malformed streams or non-rectangular boundaries.
+GdsContents read_gds(std::istream& in);
+
+GdsContents read_gds_file(const std::string& path);
+
+}  // namespace pil::layout

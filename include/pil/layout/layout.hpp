@@ -1,0 +1,172 @@
+#pragma once
+/// \file layout.hpp
+/// Routed-layout data model.
+///
+/// The PIL-Fill algorithms consume a *routed* layout: nets with a driver
+/// (source) pin, sink pins, and rectilinear wire segments on routing layers.
+/// Horizontal segments on the fill layer are the "active lines" of the paper;
+/// vertical (wrong-direction) segments still block fill sites and carry
+/// resistance in the RC tree, but their coupling-capacitance change from fill
+/// is ignored by the cost model, exactly as in Section 5.2 of the paper.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pil/geom/point.hpp"
+#include "pil/geom/rect.hpp"
+#include "pil/util/error.hpp"
+
+namespace pil::layout {
+
+using NetId = std::int32_t;
+using SegmentId = std::int32_t;
+using LayerId = std::int32_t;
+
+inline constexpr NetId kInvalidNet = -1;
+inline constexpr SegmentId kInvalidSegment = -1;
+inline constexpr LayerId kInvalidLayer = -1;
+
+enum class Orientation : std::uint8_t { kHorizontal, kVertical };
+
+/// Routing layer description. Electrical parameters are per-layer; the
+/// coupling model additionally needs the metal thickness (the parallel-plate
+/// "overlap area per unit length" of Eq. 3 is thickness x unit length).
+struct Layer {
+  std::string name;
+  Orientation preferred_direction = Orientation::kHorizontal;
+  double default_wire_width_um = 0.5;   ///< drawn width of routed wires
+  double sheet_res_ohm_sq = 0.08;       ///< sheet resistance, ohm/square
+  double thickness_um = 0.5;            ///< metal thickness (coupling plate height)
+  double eps_r = 3.9;                   ///< relative permittivity of dielectric
+
+  /// Per-unit-length resistance (ohm/um) of a wire of width w on this layer.
+  double res_per_um(double width_um) const {
+    PIL_REQUIRE(width_um > 0, "wire width must be positive");
+    return sheet_res_ohm_sq / width_um;
+  }
+};
+
+/// One rectilinear wire segment, described by its centerline endpoints and
+/// drawn width. Endpoints are ordered canonically (a <= b along the axis).
+struct WireSegment {
+  SegmentId id = kInvalidSegment;
+  NetId net = kInvalidNet;
+  LayerId layer = kInvalidLayer;
+  geom::Point a;       ///< low endpoint of centerline
+  geom::Point b;       ///< high endpoint of centerline
+  double width_um = 0.5;
+
+  Orientation orientation() const {
+    return geom::nearly_equal(a.y, b.y) ? Orientation::kHorizontal
+                                        : Orientation::kVertical;
+  }
+  double length() const { return manhattan_distance(a, b); }
+
+  /// Drawn metal footprint.
+  geom::Rect rect() const {
+    const double h = width_um / 2;
+    if (orientation() == Orientation::kHorizontal)
+      return geom::Rect{a.x, a.y - h, b.x, b.y + h};
+    return geom::Rect{a.x - h, a.y, b.x + h, b.y};
+  }
+};
+
+/// Sink pin: a location plus the lumped load capacitance it presents.
+struct SinkPin {
+  geom::Point location;
+  double load_cap_ff = 2.0;
+};
+
+/// A routed signal net: one driver, one or more sinks, and a set of wire
+/// segments forming (by construction / by check) a connected routing tree.
+struct Net {
+  NetId id = kInvalidNet;
+  std::string name;
+  geom::Point source;            ///< driver pin location
+  double driver_res_ohm = 200.0; ///< lumped driver output resistance
+  std::vector<SinkPin> sinks;
+  std::vector<SegmentId> segments;  ///< indices into Layout::segments()
+};
+
+/// A fill keep-out region: no fill feature may intrude (after buffer
+/// inflation) into a blockage on its layer. Blockages model macro/IP
+/// regions, analog keep-outs, and foundry-reserved areas. `is_metal`
+/// controls density accounting: a metal blockage (e.g. a macro's own
+/// metalization) counts toward window density; a pure keep-out does not.
+struct Blockage {
+  LayerId layer = kInvalidLayer;
+  geom::Rect rect;
+  bool is_metal = false;
+};
+
+/// A routed layout: die area, layers, nets, blockages, and the global
+/// segment pool. Invariants: segment net/layer ids are valid; segment
+/// endpoints are inside the die; endpoints are canonically ordered.
+class Layout {
+ public:
+  Layout() = default;
+  explicit Layout(geom::Rect die) : die_(die) {
+    PIL_REQUIRE(!die.empty(), "die rect must be non-empty");
+  }
+
+  const geom::Rect& die() const { return die_; }
+  void set_die(const geom::Rect& die) {
+    PIL_REQUIRE(!die.empty(), "die rect must be non-empty");
+    die_ = die;
+  }
+
+  /// Add a layer; returns its id.
+  LayerId add_layer(Layer layer);
+  const Layer& layer(LayerId id) const;
+  std::size_t num_layers() const { return layers_.size(); }
+  /// Find a layer id by name; kInvalidLayer if absent.
+  LayerId find_layer(const std::string& name) const;
+
+  /// Add a net (source/sinks/driver filled in; segments added separately).
+  NetId add_net(Net net);
+  const Net& net(NetId id) const;
+  Net& mutable_net(NetId id);
+  std::size_t num_nets() const { return nets_.size(); }
+
+  /// Add a wire segment for an existing net. Endpoints may be given in any
+  /// order; they are canonicalized. Returns the segment id.
+  SegmentId add_segment(NetId net, LayerId layer, geom::Point p,
+                        geom::Point q, double width_um);
+  const WireSegment& segment(SegmentId id) const;
+  std::size_t num_segments() const { return segments_.size(); }
+  const std::vector<WireSegment>& segments() const { return segments_; }
+
+  /// All segments on `layer` with the given orientation.
+  std::vector<SegmentId> segments_on_layer(LayerId layer) const;
+
+  /// Sum of drawn wire area on a layer (um^2).
+  double total_wire_area(LayerId layer) const;
+
+  /// Add a fill keep-out (optionally metal for density purposes).
+  void add_blockage(LayerId layer, const geom::Rect& rect,
+                    bool is_metal = false);
+  const std::vector<Blockage>& blockages() const { return blockages_; }
+  /// Blockage rects on one layer.
+  std::vector<geom::Rect> blockages_on_layer(LayerId layer) const;
+
+  /// Validate invariants (connectivity is checked by rctree, not here);
+  /// throws pil::Error describing the first violation.
+  void validate() const;
+
+ private:
+  geom::Rect die_{0, 0, 100, 100};
+  std::vector<Layer> layers_;
+  std::vector<Net> nets_;
+  std::vector<WireSegment> segments_;
+  std::vector<Blockage> blockages_;
+};
+
+/// The layout reflected across the x = y diagonal: every coordinate pair is
+/// swapped and layer routing preferences flip. Electrical parameters are
+/// unchanged, so any direction-agnostic analysis must give identical
+/// results on `l` and `transposed(l)` -- a property the test suite uses to
+/// validate vertical-layer support.
+Layout transposed(const Layout& l);
+
+}  // namespace pil::layout

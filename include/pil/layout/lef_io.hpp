@@ -1,0 +1,32 @@
+#pragma once
+/// \file lef_io.hpp
+/// Reader for a practical subset of LEF technology data: ROUTING layer
+/// blocks with DIRECTION / WIDTH / THICKNESS / RESISTANCE RPERSQ. Together
+/// with the DEF-lite reader this covers the paper's input format pair
+/// (testcases "obtained in LEF/DEF format"). Non-routing layers and
+/// unrecognized statements are skipped.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pil/layout/layout.hpp"
+
+namespace pil::layout {
+
+struct LefReadOptions {
+  /// LEF carries no dielectric permittivity; applied to every layer.
+  double default_eps_r = 3.9;
+  /// Fallbacks for layers that omit the statements.
+  double default_thickness_um = 0.5;
+  double default_sheet_res_ohm_sq = 0.08;
+};
+
+/// Parse routing layers from a LEF stream (in file order, which matches
+/// the stack order fabs write them in).
+std::vector<Layer> read_lef(std::istream& in, const LefReadOptions& options = {});
+
+std::vector<Layer> read_lef_file(const std::string& path,
+                                 const LefReadOptions& options = {});
+
+}  // namespace pil::layout

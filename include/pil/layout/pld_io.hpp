@@ -1,0 +1,39 @@
+#pragma once
+/// \file pld_io.hpp
+/// Reader/writer for the `.pld` ("PIL layout description") text format.
+///
+/// The paper's testcases arrived as LEF/DEF; this repository substitutes a
+/// minimal self-describing text format carrying exactly the facts the
+/// algorithms consume (die, layers with electrical parameters, nets with
+/// driver/sinks/segments). Grammar (one statement per line, `#` comments):
+///
+///   PLD 1
+///   DIE <xlo> <ylo> <xhi> <yhi>
+///   LAYER <name> <H|V> WIDTH <w> SHEETRES <r> THICKNESS <t> EPSR <e>
+///   NET <name> SOURCE <x> <y> RDRV <ohm>
+///     SEG <layer> <x0> <y0> <x1> <y1> <width>
+///     SINK <x> <y> CLOAD <ff>
+///   END
+///   ...
+
+#include <iosfwd>
+#include <string>
+
+#include "pil/layout/layout.hpp"
+
+namespace pil::layout {
+
+/// Parse a .pld stream. Throws pil::Error with line context on bad input.
+Layout read_pld(std::istream& in);
+
+/// Parse a .pld file on disk.
+Layout read_pld_file(const std::string& path);
+
+/// Serialize a layout; read_pld(write_pld(L)) reproduces L exactly on
+/// generated (grid-aligned) data.
+void write_pld(const Layout& layout, std::ostream& out);
+
+/// Serialize to a file on disk.
+void write_pld_file(const Layout& layout, const std::string& path);
+
+}  // namespace pil::layout

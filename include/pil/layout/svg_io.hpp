@@ -1,0 +1,37 @@
+#pragma once
+/// \file svg_io.hpp
+/// SVG rendering of layouts and fill placements -- the quickest way to eyeball
+/// what a fill method actually did (where the features landed relative to
+/// the active lines, how the density gradient looks, which gaps were used).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pil/layout/layout.hpp"
+
+namespace pil::layout {
+
+struct SvgOptions {
+  double scale = 4.0;          ///< pixels per micron
+  bool color_by_net = true;    ///< hue wires per net (else one color)
+  std::string wire_color = "#2563eb";   ///< used when !color_by_net
+  std::string fill_color = "#d97706";   ///< fill feature color
+  std::string background = "#ffffff";
+  double grid_um = 0.0;        ///< draw grid lines at this pitch (0 = off)
+  double wire_opacity = 0.9;
+  double fill_opacity = 0.8;
+};
+
+/// Render the layout's wires plus `fill_features` (may be empty) as SVG.
+/// The y axis is flipped so the image matches layout coordinates.
+void write_svg(const Layout& layout,
+               const std::vector<geom::Rect>& fill_features, std::ostream& out,
+               const SvgOptions& options = {});
+
+/// Render to a file on disk.
+void write_svg_file(const Layout& layout,
+                    const std::vector<geom::Rect>& fill_features,
+                    const std::string& path, const SvgOptions& options = {});
+
+}  // namespace pil::layout

@@ -1,0 +1,89 @@
+#pragma once
+/// \file synthetic.hpp
+/// Deterministic synthetic routed-layout generator.
+///
+/// Substitutes for the paper's industry LEF/DEF testcases T1/T2 (which are
+/// not publicly available). The generator produces design-rule-correct
+/// trunk-and-branch routing trees on a single fill layer:
+///
+///   * horizontal *trunks* on a uniform horizontal track grid (these are the
+///     "active lines" of the paper),
+///   * vertical *branches* (wrong-direction segments: they block fill sites
+///     and carry resistance, but their coupling change is not modeled --
+///     exactly the paper's assumption), and
+///   * optional horizontal *stubs* at branch ends (more active lines).
+///
+/// A configurable dense region (left portion of the die) receives most nets,
+/// giving the layout the density gradient that makes fill synthesis
+/// non-trivial: sparse windows need lots of fill, and the per-column delay
+/// cost varies over orders of magnitude with line spacing and upstream
+/// resistance -- the structure PIL-Fill exploits and normal fill ignores.
+
+#include <cstdint>
+
+#include "pil/layout/layout.hpp"
+#include "pil/util/rng.hpp"
+
+namespace pil::layout {
+
+struct SyntheticLayoutConfig {
+  double die_um = 256.0;          ///< square die side
+  int num_nets = 400;             ///< nets to attempt
+  double track_pitch_um = 2.0;    ///< routing track pitch (both directions)
+  double wire_width_um = 0.5;     ///< drawn wire width
+  double min_spacing_um = 0.5;    ///< minimum same-layer spacing
+  int min_sinks = 1;              ///< sinks per net, inclusive range
+  int max_sinks = 4;
+  double min_trunk_um = 16.0;     ///< trunk length range
+  double max_trunk_um = 96.0;
+  int max_branch_tracks = 4;      ///< branch length, in tracks, 1..max
+  double stub_probability = 0.5;  ///< chance a branch ends in a horizontal stub
+  double max_stub_um = 12.0;
+  double dense_region_fraction = 0.5;  ///< left fraction of die that is dense
+  double dense_net_fraction = 0.7;     ///< nets seeded in the dense region
+  double driver_res_min_ohm = 100.0;
+  double driver_res_max_ohm = 500.0;
+  double sink_cap_min_ff = 1.0;
+  double sink_cap_max_ff = 5.0;
+  std::uint64_t seed = 1;
+
+  /// Number of macro blockages to place (metal keep-outs: wires route
+  /// around them, fill must stay buffer_um away, their area counts toward
+  /// density). Zero by default.
+  int num_macros = 0;
+  double macro_min_um = 10.0;
+  double macro_max_um = 24.0;
+
+  /// When true, vertical branches route on a second layer "m4" (vertical
+  /// preference) instead of m3: crossings between the layers are legal,
+  /// m3 keeps only horizontal geometry, and the m4 layer exercises the
+  /// vertical-direction fill path on a realistic testcase.
+  bool separate_branch_layer = false;
+
+  // Layer electrical parameters (shared by both layers).
+  double sheet_res_ohm_sq = 0.08;
+  double thickness_um = 0.5;
+  double eps_r = 3.9;
+};
+
+struct GeneratorStats {
+  int nets_placed = 0;
+  int nets_skipped = 0;  ///< attempts abandoned after retries (congestion)
+  int sinks = 0;
+  int segments = 0;
+};
+
+/// Generate a layout per the config. Deterministic in the seed. The result
+/// passes Layout::validate() and has no same-layer shorts between nets.
+Layout generate_synthetic_layout(const SyntheticLayoutConfig& config,
+                                 GeneratorStats* stats = nullptr);
+
+/// Canonical recipe standing in for the paper's (larger, slower) testcase T1.
+SyntheticLayoutConfig testcase_t1_config();
+/// Canonical recipe standing in for the paper's (smaller, faster) testcase T2.
+SyntheticLayoutConfig testcase_t2_config();
+
+Layout make_testcase_t1();
+Layout make_testcase_t2();
+
+}  // namespace pil::layout

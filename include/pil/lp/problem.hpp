@@ -1,0 +1,88 @@
+#pragma once
+/// \file problem.hpp
+/// Linear-program description: minimize c^T x subject to linear rows and
+/// individual variable bounds. This (with pil/ilp on top) is the repo's
+/// substitute for the CPLEX 7.0 solver the paper used; per-tile MDFC
+/// instances are small and dense, so a dense bounded-variable simplex is
+/// both sufficient and exactly reproducible.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "pil/util/error.hpp"
+
+namespace pil::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Sense { kLe, kEq, kGe };
+
+struct RowEntry {
+  int var = -1;
+  double coef = 0.0;
+};
+
+class LpProblem {
+ public:
+  struct Var {
+    double lo = 0.0;
+    double hi = kInf;
+    double obj = 0.0;
+  };
+  struct Row {
+    Sense sense = Sense::kLe;
+    double rhs = 0.0;
+    std::vector<RowEntry> entries;
+  };
+
+  /// Add a variable with bounds [lo, hi] (either may be infinite; lo <= hi)
+  /// and objective coefficient `obj`. Returns the variable index.
+  int add_var(double lo, double hi, double obj) {
+    PIL_REQUIRE(lo <= hi, "variable with empty bound interval");
+    PIL_REQUIRE(!(lo == kInf) && !(hi == -kInf), "bounds reversed at infinity");
+    vars_.push_back(Var{lo, hi, obj});
+    return static_cast<int>(vars_.size()) - 1;
+  }
+
+  /// Add a constraint row: sum(coef * x[var]) <sense> rhs. Duplicate vars in
+  /// `entries` are allowed and are summed. Returns the row index.
+  int add_row(Sense sense, double rhs, std::vector<RowEntry> entries) {
+    for (const auto& e : entries)
+      PIL_REQUIRE(e.var >= 0 && e.var < num_vars(),
+                  "row references unknown variable");
+    rows_.push_back(Row{sense, rhs, std::move(entries)});
+    return static_cast<int>(rows_.size()) - 1;
+  }
+
+  /// Replace the bounds of an existing variable (used by branch-and-bound
+  /// to tighten bounds along a branch path).
+  void set_var_bounds(int j, double lo, double hi) {
+    PIL_REQUIRE(j >= 0 && j < num_vars(), "variable index out of range");
+    PIL_REQUIRE(lo <= hi, "variable with empty bound interval");
+    vars_[j].lo = lo;
+    vars_[j].hi = hi;
+  }
+
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const Var& var(int j) const { return vars_[j]; }
+  const Row& row(int i) const { return rows_[i]; }
+
+  /// Objective value of a point (no feasibility check).
+  double objective_value(const std::vector<double>& x) const {
+    PIL_REQUIRE(static_cast<int>(x.size()) == num_vars(), "dimension mismatch");
+    double v = 0.0;
+    for (int j = 0; j < num_vars(); ++j) v += vars_[j].obj * x[j];
+    return v;
+  }
+
+  /// Max violation of rows and bounds at x (0 when feasible).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Var> vars_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pil::lp

@@ -1,0 +1,39 @@
+#pragma once
+/// \file simplex.hpp
+/// Dense bounded-variable two-phase primal simplex.
+///
+/// Phase 1 installs slack variables as the starting basis and adds artificial
+/// variables only for rows whose slack cannot absorb the initial residual;
+/// the sum of artificials is minimized. Phase 2 re-installs the true
+/// objective with artificials pinned to zero. Anti-cycling: Dantzig pricing
+/// with an automatic switch to Bland's rule after a run of degenerate pivots.
+
+#include <vector>
+
+#include "pil/lp/problem.hpp"
+
+namespace pil::lp {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+const char* to_string(SolveStatus s);
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  double tol = 1e-9;            ///< reduced-cost / pivot tolerance
+  double feas_tol = 1e-7;       ///< feasibility tolerance
+  int refactor_interval = 64;   ///< recompute x_B from scratch this often
+  int degenerate_switch = 40;   ///< consecutive degenerate pivots before Bland
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< structural variable values (empty if infeasible)
+  int iterations = 0;
+};
+
+/// Solve min c^T x s.t. rows, bounds. Deterministic.
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options = {});
+
+}  // namespace pil::lp

@@ -1,0 +1,103 @@
+#pragma once
+/// \file driver.hpp
+/// Whole-layout PIL-Fill flow (the pipeline behind Tables 1 and 2):
+///
+///   1. fixed r-dissection + wire density map,
+///   2. RC trees -> active-line pieces with weights / entry resistances,
+///   3. global SlackColumn-III extraction (capacity inventory),
+///   4. per-tile fill requirements (Monte-Carlo min-var targeter),
+///   5. per-tile MDFC solve with each requested method,
+///   6. uniform scoring with the exact evaluator + density verification.
+
+#include <cstdint>
+#include <vector>
+
+#include "pil/density/fill_target.hpp"
+#include "pil/grid/density_map.hpp"
+#include "pil/layout/layout.hpp"
+#include "pil/pilfill/evaluate.hpp"
+#include "pil/pilfill/solvers.hpp"
+
+namespace pil::pilfill {
+
+/// Which engine computes the per-tile fill requirements (Fig. 8, step 2).
+enum class TargetEngine {
+  kMonteCarlo,  ///< greedy randomized min-var (scalable; the default)
+  kMinVarLp,    ///< exact min-variation LP
+  kMinFillLp,   ///< exact minimum-total-fill LP at the same density floor
+};
+
+const char* to_string(TargetEngine e);
+
+struct FlowConfig {
+  layout::LayerId layer = 0;
+  double window_um = 32.0;
+  int r = 2;
+  fill::FillRules rules;
+  TargetEngine target_engine = TargetEngine::kMonteCarlo;
+  /// Slack-column definition the *solvers* see (the evaluator always uses
+  /// SlackColumn-III). kIII is the paper's main configuration.
+  fill::SlackMode solver_mode = fill::SlackMode::kIII;
+  density::FillTargetConfig target;
+  Objective objective = Objective::kNonWeighted;
+  std::uint64_t seed = 11;
+  ilp::IlpOptions ilp;
+  /// Fill electrical style (floating = the paper's assumption). Grounded
+  /// fill is supported by Normal/ILP-II/Greedy only.
+  cap::FillStyle style = cap::FillStyle::kFloating;
+  /// Miller switch factor applied to all coupling increments.
+  double switch_factor = 1.0;
+  /// When non-empty, skip the density targeter and use these per-tile fill
+  /// requirements verbatim (size must be the dissection's tile count,
+  /// row-major). Lets a caller replay a foundry-prescribed fill spec.
+  std::vector<int> required_per_tile;
+  /// Optional per-net criticality (indexed by NetId) scaling the weighted
+  /// objective: W_l = criticality * downstream_sinks. The hook for
+  /// slack-driven weights from an STA engine; empty = all 1.
+  std::vector<double> net_criticality;
+  /// Worker threads for the per-tile solves (tiles are independent);
+  /// results are deterministic regardless of the thread count.
+  int threads = 1;
+};
+
+/// One fill placement: feature rectangles plus per-tile counts.
+struct FillPlacement {
+  std::vector<geom::Rect> features;
+  std::vector<int> features_per_tile;
+  long long total() const { return static_cast<long long>(features.size()); }
+};
+
+struct MethodResult {
+  Method method = Method::kNormal;
+  DelayImpact impact;
+  double solve_seconds = 0.0;  ///< per-tile solve time only (paper's CPU)
+  long long placed = 0;
+  long long shortfall = 0;     ///< unmet fill requirement (capacity misses)
+  long long bb_nodes = 0;
+  grid::DensityStats density_after;
+  FillPlacement placement;
+};
+
+struct FlowResult {
+  grid::DensityStats density_before;
+  density::FillTargetResult target;
+  long long total_capacity = 0;
+  std::vector<MethodResult> methods;
+  double prep_seconds = 0.0;   ///< extraction + targeting, shared by methods
+};
+
+/// Run the flow for each method in `methods`; `config.layer` selects the
+/// fill layer (either routing direction works).
+FlowResult run_pil_fill_flow(const layout::Layout& layout,
+                             const FlowConfig& config,
+                             const std::vector<Method>& methods);
+
+/// Run the flow on every layer of the layout (config.layer is ignored);
+/// results are returned per layer in layer-id order. Each layer is filled
+/// independently -- fill on one layer does not block another (different
+/// planes), matching how fabs apply per-layer density rules.
+std::vector<FlowResult> run_multi_layer_pil_fill_flow(
+    const layout::Layout& layout, const FlowConfig& config,
+    const std::vector<Method>& methods);
+
+}  // namespace pil::pilfill

@@ -1,0 +1,52 @@
+#pragma once
+/// \file mvdc.hpp
+/// The MVDC formulation -- *Minimum Variation under Delay Constraint* --
+/// the alternative the paper poses in Sections 4 and 7 ("an upper bound on
+/// timing impact constrains the minimization of layout density variation")
+/// but does not develop.
+///
+/// Given a total delay-impact budget D, insert fill to raise the minimum
+/// window density as far as possible while the (weighted or non-weighted)
+/// Elmore delay increase stays within D. The solver interleaves the
+/// min-variation targeter with timing-aware column allocation: it always
+/// works on the currently-lowest-density window and, within it, spends the
+/// cheapest available delay marginal (exact convex/LUT model). It stops
+/// when the budget is exhausted, the density target is reached, or no
+/// insertable site remains.
+///
+/// Sweeping D traces the density-vs-delay tradeoff frontier
+/// (bench_mvdc_tradeoff).
+
+#include <vector>
+
+#include "pil/pilfill/driver.hpp"
+
+namespace pil::pilfill {
+
+struct MvdcConfig {
+  /// Total delay-impact budget in ps, measured with the same per-tile LUT
+  /// cost model the MDFC solvers optimize. Infinity = pure min-var fill.
+  double delay_budget_ps = std::numeric_limits<double>::infinity();
+  /// Density target/cap; negative = auto, as in density::FillTargetConfig.
+  double lower_target = -1.0;
+  double upper_bound = -1.0;
+};
+
+struct MvdcResult {
+  grid::DensityStats density_before;
+  grid::DensityStats density_after;
+  long long placed = 0;
+  double delay_spent_ps = 0.0;   ///< per-tile model estimate (allocator view)
+  DelayImpact impact;            ///< exact evaluator score of the placement
+  std::vector<geom::Rect> features;
+  double lower_target_used = 0.0;
+  double upper_bound_used = 0.0;
+  bool budget_exhausted = false; ///< stopped because of D, not density/slack
+};
+
+/// Run MVDC fill on `layout`. config.objective selects which delay metric
+/// the budget constrains.
+MvdcResult run_mvdc_fill(const layout::Layout& layout,
+                         const FlowConfig& flow, const MvdcConfig& mvdc);
+
+}  // namespace pil::pilfill

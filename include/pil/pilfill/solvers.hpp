@@ -1,0 +1,81 @@
+#pragma once
+/// \file solvers.hpp
+/// The per-tile MDFC solution methods of Section 5:
+///
+///   * Normal  -- the timing-oblivious baseline: features dropped on
+///                uniformly random slack sites (Monte-Carlo placement of
+///                the Chen et al. normal-fill flow).
+///   * ILP-I   -- integer program with the *linear* capacitance model
+///                (Eq. 6); Section 5.2.
+///   * ILP-II  -- integer program over the exact lookup-table capacitance
+///                model via binary expansion; Section 5.3.
+///   * Greedy  -- Figure 8: sort columns by full-capacity delay, fill the
+///                cheapest columns completely.
+///   * Convex  -- (extension, not in the paper) exact marginal-cost
+///                allocation; provably optimal for the ILP-II objective
+///                because the column cost is convex in the feature count.
+
+#include <cstdint>
+
+#include "pil/cap/coupling.hpp"
+#include "pil/fill/rules.hpp"
+#include "pil/ilp/branch_and_bound.hpp"
+#include "pil/pilfill/instance.hpp"
+#include "pil/util/rng.hpp"
+
+namespace pil::pilfill {
+
+enum class Method { kNormal, kIlp1, kIlp2, kGreedy, kConvex };
+
+const char* to_string(Method m);
+
+/// Which resistance factor the solver optimizes (Table 1 vs Table 2).
+enum class Objective { kNonWeighted, kWeighted };
+
+struct TileSolveResult {
+  std::vector<int> counts;  ///< features per instance column
+  int placed = 0;
+  int shortfall = 0;        ///< required - placed (capacity shortage)
+  long long bb_nodes = 0;   ///< branch-and-bound nodes (ILP methods)
+};
+
+struct SolverContext {
+  const cap::CouplingModel* model = nullptr;
+  cap::ColumnCapLut* lut = nullptr;  ///< shared LUT cache (ILP-II / Convex)
+  fill::FillRules rules;
+  Objective objective = Objective::kNonWeighted;
+  ilp::IlpOptions ilp;
+  /// Fill electrical style. Floating (the paper's assumption) has convex
+  /// per-column cost; grounded has a step cost (first feature pays, the
+  /// rest are shielded). ILP-II and Greedy support both; ILP-I and Convex
+  /// are floating-only (their models assume linearity / convexity).
+  cap::FillStyle style = cap::FillStyle::kFloating;
+  /// Miller switch factor applied to coupling increments (Kahng-Muddu-Sarto
+  /// style worst-case switching); scales all costs uniformly.
+  double switch_factor = 1.0;
+};
+
+/// Total delay-relevant capacitance cost of a column holding n features
+/// (n = 0..capacity), per unit resistance factor -- the table ILP-II,
+/// Greedy, and the evaluator all share. For floating fill this is the
+/// coupling increment dC(n) (charged once, to the facing-line resistance
+/// sum); for grounded fill it is the per-line load (charged per line; the
+/// caller's resistance factor already sums the lines).
+std::vector<double> column_cost_table(const SolverContext& ctx, double d_um,
+                                      int capacity);
+
+TileSolveResult solve_tile_normal(const TileInstance& inst, Rng& rng);
+TileSolveResult solve_tile_greedy(const TileInstance& inst,
+                                  const SolverContext& ctx);
+TileSolveResult solve_tile_ilp1(const TileInstance& inst,
+                                const SolverContext& ctx);
+TileSolveResult solve_tile_ilp2(const TileInstance& inst,
+                                const SolverContext& ctx);
+TileSolveResult solve_tile_convex(const TileInstance& inst,
+                                  const SolverContext& ctx);
+
+/// Dispatch by method. `rng` is only used by kNormal.
+TileSolveResult solve_tile(Method method, const TileInstance& inst,
+                           const SolverContext& ctx, Rng& rng);
+
+}  // namespace pil::pilfill

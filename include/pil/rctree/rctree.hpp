@@ -1,0 +1,138 @@
+#pragma once
+/// \file rctree.hpp
+/// RC tree extraction and Elmore delay analysis for routed nets.
+///
+/// From a net's wire segments this module discovers connectivity (segments
+/// split where other segments or pins tap them), roots the tree at the
+/// driver, and computes for every resulting *wire piece* (the paper's
+/// "active line"):
+///
+///   * the signal direction (which end is upstream),
+///   * the entry resistance R_l = driver resistance + wire resistance from
+///     the source to the piece's upstream end (Eq. 9/13),
+///   * the per-unit resistance r_l, and
+///   * the weight W_l = number of downstream sinks (Section 4).
+///
+/// It also exposes baseline Elmore delays (Eq. 8) and the constants needed
+/// for the *exact* sink-delay-increase metric: capacitance dC added at
+/// position x on piece e increases the sum of all sink delays by
+///
+///     dC * ( W_e * R(x) + K_e )
+///
+/// where R(x) = R_up(e) + r_e * dist(x) and K_e = sum over sinks NOT
+/// downstream of e of the source resistance to the common ancestor (the
+/// paper's objective keeps only the W_e * R(x) term).
+
+#include <vector>
+
+#include "pil/layout/layout.hpp"
+
+namespace pil::rctree {
+
+/// A node of the extracted RC tree (a junction, pin, or segment endpoint).
+struct RcNode {
+  geom::Point p;
+  int parent = -1;              ///< node index; -1 for the root (driver)
+  double res_to_parent = 0.0;   ///< ohm (wire piece resistance)
+  double cap_ff = 0.0;          ///< lumped cap: pin loads + half wire caps
+  double upstream_res = 0.0;    ///< driver + wire resistance source -> node
+  int subtree_sinks = 0;        ///< sink pins at or below this node
+  double elmore_ps = 0.0;       ///< Elmore delay at this node (ps)
+};
+
+/// One wire piece: a maximal run of a drawn segment between junctions. This
+/// is the granularity at which fill cost is charged ("active line").
+struct WirePiece {
+  layout::SegmentId segment = layout::kInvalidSegment;  ///< drawn parent
+  layout::NetId net = layout::kInvalidNet;
+  layout::LayerId layer = layout::kInvalidLayer;
+  layout::Orientation orientation = layout::Orientation::kHorizontal;
+  int up_node = -1;    ///< upstream (source-side) node index
+  int down_node = -1;  ///< downstream node index
+  geom::Point up;      ///< upstream endpoint coordinates
+  geom::Point down;
+  double width_um = 0.0;
+  double res_per_um = 0.0;   ///< r_l
+  double upstream_res = 0.0; ///< R_l: resistance at the upstream endpoint
+  int downstream_sinks = 0;  ///< W_l
+  double offpath_res_sum = 0.0;  ///< K_e for the exact-delay extension
+
+  double length() const { return manhattan_distance(up, down); }
+
+  /// Drawn footprint of the piece.
+  geom::Rect rect() const {
+    const double h = width_um / 2;
+    if (orientation == layout::Orientation::kHorizontal) {
+      const double x0 = std::min(up.x, down.x), x1 = std::max(up.x, down.x);
+      return geom::Rect{x0, up.y - h, x1, up.y + h};
+    }
+    const double y0 = std::min(up.y, down.y), y1 = std::max(up.y, down.y);
+    return geom::Rect{up.x - h, y0, up.x + h, y1};
+  }
+
+  /// Total source resistance at position `q` on the piece (q must lie on the
+  /// centerline): R_l + r_l * distance from the upstream endpoint.
+  double res_at(const geom::Point& q) const {
+    return upstream_res + res_per_um * manhattan_distance(up, q);
+  }
+};
+
+/// Options controlling extraction.
+struct RcTreeOptions {
+  /// Ground (area+fringe) capacitance of wires, fF per um of length. Used
+  /// for baseline Elmore delays; fill-delta evaluation does not depend on it.
+  double wire_ground_cap_ff_per_um = 0.03;
+  /// Two points closer than this are the same electrical node (um).
+  double snap_tolerance_um = 1e-6;
+  /// Resistance added in series where the tree changes layers (an implicit
+  /// via: two touching segments on different layers). Applied to the
+  /// downstream piece's resistance, so entry resistances and Elmore delays
+  /// see it.
+  double via_res_ohm = 0.0;
+};
+
+/// The extracted tree for one net.
+class RcTree {
+ public:
+  /// Extract the tree for `net`. Throws pil::Error if the net's segments do
+  /// not form a connected tree containing the source and all sinks.
+  static RcTree build(const layout::Layout& layout, layout::NetId net,
+                      const RcTreeOptions& options = {});
+
+  layout::NetId net() const { return net_; }
+  const std::vector<RcNode>& nodes() const { return nodes_; }
+  const std::vector<WirePiece>& pieces() const { return pieces_; }
+
+  int root() const { return 0; }
+  int num_sinks() const { return static_cast<int>(sink_nodes_.size()); }
+  /// Node index carrying sink `i` (order follows Net::sinks).
+  int sink_node(int i) const;
+  /// Baseline Elmore delay of sink `i` in ps.
+  double sink_delay_ps(int i) const;
+  /// Sum of baseline Elmore delays over all sinks (ps).
+  double total_sink_delay_ps() const;
+
+  /// Total capacitance of the net (wire ground cap + sink loads, fF).
+  /// Fill-induced coupling divided by this is the standard first-order
+  /// crosstalk-noise proxy (relative victim coupling).
+  double total_cap_ff() const;
+
+  /// Exact increase in the *sum of all sink Elmore delays* caused by adding
+  /// `delta_cap_ff` at point q on piece `piece_idx` (ps).
+  double exact_total_delay_increase_ps(int piece_idx, const geom::Point& q,
+                                       double delta_cap_ff) const;
+
+ private:
+  RcTree() = default;
+
+  layout::NetId net_ = layout::kInvalidNet;
+  std::vector<RcNode> nodes_;
+  std::vector<WirePiece> pieces_;
+  std::vector<int> sink_nodes_;
+};
+
+/// Convenience: extract trees for every net in the layout.
+std::vector<RcTree> build_all_trees(const layout::Layout& layout,
+                                    const RcTreeOptions& options = {});
+
+}  // namespace pil::rctree

@@ -1,0 +1,84 @@
+#pragma once
+/// \file sta.hpp
+/// Static timing analysis (net-level) over the extracted RC trees.
+///
+/// The paper's conclusion places PIL-Fill "within an integrated
+/// layout-manufacturing timing closure flow ... driven by incremental
+/// static timing engine[s]" whose budgeted slacks become capacitance
+/// budgets. This module provides that missing piece at the granularity the
+/// flow needs: per-net Elmore arrival times against per-sink required
+/// times, slack computation, and the standard translations of slack into
+/// (a) per-net criticality weights for the weighted MDFC objective and
+/// (b) per-net delay allowances for the budgeted flow.
+///
+/// The model is deliberately net-local (no gate library, no propagation
+/// through combinational stages): each net's driver switches at a given
+/// input arrival time and each sink has a required time. That is exactly
+/// the abstraction fill insertion sees -- fill only changes interconnect
+/// delay, so stage-internal slack bookkeeping is what matters.
+
+#include <vector>
+
+#include "pil/layout/layout.hpp"
+#include "pil/rctree/rctree.hpp"
+
+namespace pil::sta {
+
+/// Per-net timing inputs. Defaults give every net arrival 0 and a common
+/// required time (a "clock period" style constraint).
+struct TimingConstraints {
+  /// Required arrival time at every sink (ps) for nets not listed in
+  /// `net_required_ps`.
+  double default_required_ps = 50.0;
+  /// Input arrival time at each net's driver (ps); indexed by NetId,
+  /// missing entries = 0.
+  std::vector<double> net_arrival_ps;
+  /// Per-net required times (ps); indexed by NetId, missing = default.
+  std::vector<double> net_required_ps;
+};
+
+struct NetTiming {
+  layout::NetId net = layout::kInvalidNet;
+  double arrival_ps = 0.0;        ///< driver input arrival
+  double worst_sink_delay_ps = 0; ///< max Elmore over sinks
+  double worst_arrival_ps = 0.0;  ///< arrival + worst sink delay
+  double required_ps = 0.0;
+  double slack_ps = 0.0;          ///< required - worst arrival
+};
+
+struct TimingReport {
+  std::vector<NetTiming> nets;  ///< indexed by NetId
+  double worst_slack_ps = 0.0;
+  double total_negative_slack_ps = 0.0;  ///< sum of negative slacks (<= 0)
+  int failing_nets = 0;
+
+  const NetTiming& net(layout::NetId id) const {
+    PIL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nets.size(),
+                "net id out of range");
+    return nets[id];
+  }
+};
+
+/// Run net-level STA over pre-built trees (one per net, in NetId order).
+TimingReport analyze_timing(const std::vector<rctree::RcTree>& trees,
+                            const TimingConstraints& constraints = {});
+
+/// Convenience: extract trees and analyze in one call.
+TimingReport analyze_timing(const layout::Layout& layout,
+                            const TimingConstraints& constraints = {});
+
+/// Slack-driven criticality weights for FlowConfig::net_criticality:
+/// weight = 1 for nets at or above `slack_ceiling_ps` of slack, rising
+/// linearly to `max_weight` at slack 0, and `max_weight` for negative
+/// slack. The standard "criticality ramp".
+std::vector<double> criticality_from_slack(const TimingReport& report,
+                                           double slack_ceiling_ps,
+                                           double max_weight = 10.0);
+
+/// Slack-driven per-net delay allowances for budgets_from_delay_ps-style
+/// budgeting: each net may absorb `fraction` of its positive slack (nets
+/// with non-positive slack get zero allowance).
+std::vector<double> delay_allowance_from_slack(const TimingReport& report,
+                                               double fraction = 0.5);
+
+}  // namespace pil::sta

@@ -1,0 +1,52 @@
+#pragma once
+/// \file error.hpp
+/// Error handling for the PIL-Fill library.
+///
+/// Library code reports unrecoverable contract violations and invalid input
+/// by throwing pil::Error (derived from std::runtime_error). The PIL_REQUIRE
+/// macro is used for precondition checks on public API boundaries; PIL_ASSERT
+/// is used for internal invariants (compiled in all build types -- these
+/// algorithms are cheap relative to the geometry they process, and silent
+/// corruption of a fill placement is far worse than an abort).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pil {
+
+/// Exception type thrown by all PIL-Fill components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace pil
+
+/// Precondition check on public API boundaries. Throws pil::Error on failure.
+#define PIL_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pil::detail::throw_error("precondition", #cond, __FILE__, __LINE__, \
+                                 (msg));                                    \
+  } while (0)
+
+/// Internal invariant check. Enabled in all build types.
+#define PIL_ASSERT(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::pil::detail::throw_error("invariant", #cond, __FILE__, __LINE__, \
+                                 (msg));                                  \
+  } while (0)

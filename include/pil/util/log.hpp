@@ -1,0 +1,40 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logging. Off by default above kWarn so that library code
+/// can narrate long runs (layout generation, per-tile solves) without
+/// polluting test output. Not thread-safe by design: the PIL-Fill pipeline is
+/// single-threaded per layout (tiles are independent but we keep determinism).
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pil {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+const char* level_name(LogLevel level) noexcept;
+}  // namespace detail
+
+}  // namespace pil
+
+#define PIL_LOG(level, stream_expr)                       \
+  do {                                                    \
+    if (static_cast<int>(level) >=                        \
+        static_cast<int>(::pil::log_level())) {           \
+      std::ostringstream pil_log_os_;                     \
+      pil_log_os_ << stream_expr;                         \
+      ::pil::detail::log_line((level), pil_log_os_.str());\
+    }                                                     \
+  } while (0)
+
+#define PIL_DEBUG(s) PIL_LOG(::pil::LogLevel::kDebug, s)
+#define PIL_INFO(s) PIL_LOG(::pil::LogLevel::kInfo, s)
+#define PIL_WARN(s) PIL_LOG(::pil::LogLevel::kWarn, s)
+#define PIL_ERROR(s) PIL_LOG(::pil::LogLevel::kError, s)

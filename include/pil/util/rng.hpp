@@ -1,0 +1,92 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components of the library (synthetic layout generation,
+/// Monte-Carlo normal fill) take an explicit Rng so that testcases and
+/// experiments are reproducible bit-for-bit across platforms. The generator
+/// is xoshiro256**, seeded via SplitMix64 -- both are public-domain
+/// algorithms with well-understood statistical quality, and small enough to
+/// own rather than depend on <random> engine implementation details (which
+/// differ across standard libraries).
+
+#include <cstdint>
+#include <limits>
+
+#include "pil/util/error.hpp"
+
+namespace pil {
+
+/// xoshiro256** seeded from a single 64-bit value via SplitMix64.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 stream to fill the xoshiro state; never all-zero.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface, so Rng works with <algorithm>.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Uses Lemire-style rejection-free
+  /// multiply-shift; bias is negligible (< 2^-64 * range) for our ranges.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    PIL_REQUIRE(lo <= hi, "uniform_int: empty range");
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(next_u64()) * range;
+    return lo + static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(wide >> 64));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    PIL_REQUIRE(lo <= hi, "uniform_real: empty range");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace pil

@@ -1,0 +1,30 @@
+#pragma once
+/// \file strings.hpp
+/// Small string utilities shared by the .pld layout reader and table writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pil {
+
+/// Split `s` on any run of whitespace; no empty tokens are produced.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split `s` on the single character `sep`; empty fields are preserved.
+std::vector<std::string> split_on(std::string_view s, char sep);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a double/long; throws pil::Error with context on malformed input.
+double parse_double(std::string_view s, std::string_view context = {});
+long long parse_int(std::string_view s, std::string_view context = {});
+
+/// printf-style formatting into std::string ("%.3f" etc.).
+std::string format_double(double v, int precision);
+
+}  // namespace pil

@@ -1,0 +1,35 @@
+#pragma once
+/// \file table.hpp
+/// Fixed-width ASCII table writer used by the experiment harnesses to print
+/// rows in the same layout as the paper's Tables 1 and 2 (and by the
+/// ablation benches). Also emits CSV for downstream plotting.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pil {
+
+class Table {
+ public:
+  /// Construct with column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Render as an aligned ASCII table with a header separator.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header row first). Cells containing commas are quoted.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pil

@@ -1,0 +1,14 @@
+#pragma once
+/// \file version.hpp
+/// Library version constants (kept in sync with the CMake project version).
+
+namespace pil {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "1.0.0"
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace pil

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build everything, run the test suite, and regenerate every experiment
+# (the paper's Tables 1-2 plus all ablations) into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+mkdir -p results
+for bench in build/bench/*; do
+  name=$(basename "$bench")
+  echo "=== $name ==="
+  "$bench" | tee "results/$name.txt"
+  echo
+done
+
+echo "All experiment outputs written to results/"

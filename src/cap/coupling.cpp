@@ -1,0 +1,28 @@
+#include "pil/cap/coupling.hpp"
+
+#include <cmath>
+
+namespace pil::cap {
+
+const char* to_string(FillStyle s) {
+  switch (s) {
+    case FillStyle::kFloating: return "floating";
+    case FillStyle::kGrounded: return "grounded";
+  }
+  return "?";
+}
+
+const std::vector<double>& ColumnCapLut::table(double d_um, int capacity) {
+  PIL_REQUIRE(capacity >= 0, "negative column capacity");
+  const long long qd = static_cast<long long>(std::llround(d_um * 1e6));
+  const auto key = std::make_pair(qd, capacity);
+  auto it = tables_.find(key);
+  if (it != tables_.end()) return it->second;
+
+  std::vector<double> vals(static_cast<std::size_t>(capacity) + 1, 0.0);
+  for (int n = 1; n <= capacity; ++n)
+    vals[n] = model_.column_delta_cap_ff(n, feature_um_, d_um);
+  return tables_.emplace(key, std::move(vals)).first->second;
+}
+
+}  // namespace pil::cap

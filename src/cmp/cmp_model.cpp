@@ -1,0 +1,208 @@
+#include "pil/cmp/cmp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pil/util/log.hpp"
+
+namespace pil::cmp {
+
+namespace {
+
+/// Separable 1-D Gaussian convolution along x then y. Boundary handling is
+/// by renormalization: the caller divides by the same kernel applied to an
+/// all-ones field, so cells near the die edge average only over real cells.
+void convolve_separable(std::vector<double>& field, int nx, int ny,
+                        const std::vector<double>& kernel) {
+  const int radius = static_cast<int>(kernel.size()) / 2;
+  std::vector<double> tmp(field.size(), 0.0);
+  // x pass
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const int xx = x + k;
+        if (xx < 0 || xx >= nx) continue;
+        acc += kernel[k + radius] *
+               field[static_cast<std::size_t>(y) * nx + xx];
+      }
+      tmp[static_cast<std::size_t>(y) * nx + x] = acc;
+    }
+  }
+  // y pass
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const int yy = y + k;
+        if (yy < 0 || yy >= ny) continue;
+        acc += kernel[k + radius] *
+               tmp[static_cast<std::size_t>(yy) * nx + x];
+      }
+      field[static_cast<std::size_t>(y) * nx + x] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+CmpResult simulate_cmp(const grid::DensityMap& density,
+                       const CmpModelConfig& config) {
+  PIL_REQUIRE(config.planarization_length_um > 0 && config.cell_um > 0 &&
+                  config.step_height_um > 0,
+              "CMP model parameters must be positive");
+  const grid::Dissection& dis = density.dissection();
+  const geom::Rect die = dis.die();
+
+  CmpResult res;
+  res.cell_um = config.cell_um;
+  res.nx = std::max(1, static_cast<int>(std::ceil(die.width() / config.cell_um -
+                                                  geom::kEps)));
+  res.ny = std::max(1, static_cast<int>(std::ceil(die.height() / config.cell_um -
+                                                  geom::kEps)));
+
+  // Per-cell raw density: area-weighted average of the tile densities the
+  // cell overlaps.
+  std::vector<double> rho(static_cast<std::size_t>(res.nx) * res.ny, 0.0);
+  for (int cy = 0; cy < res.ny; ++cy) {
+    for (int cx = 0; cx < res.nx; ++cx) {
+      const geom::Rect cell{
+          die.xlo + cx * config.cell_um, die.ylo + cy * config.cell_um,
+          std::min(die.xlo + (cx + 1) * config.cell_um, die.xhi),
+          std::min(die.ylo + (cy + 1) * config.cell_um, die.yhi)};
+      if (cell.area() <= 0) continue;
+      grid::TileIndex lo, hi;
+      if (!dis.tiles_overlapping(cell, lo, hi)) continue;
+      double area_sum = 0.0;
+      for (int iy = lo.iy; iy <= hi.iy; ++iy) {
+        for (int ix = lo.ix; ix <= hi.ix; ++ix) {
+          const geom::Rect tile = dis.tile_rect({ix, iy});
+          const double ov = geom::overlap_area(cell, tile);
+          if (ov <= 0 || tile.area() <= 0) continue;
+          area_sum += ov * density.tile_area({ix, iy}) / tile.area();
+        }
+      }
+      rho[static_cast<std::size_t>(cy) * res.nx + cx] = area_sum / cell.area();
+    }
+  }
+
+  // Gaussian kernel with sigma = L/2, truncated at 3 sigma.
+  const double sigma_cells =
+      config.planarization_length_um / 2.0 / config.cell_um;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3 * sigma_cells)));
+  std::vector<double> kernel(2 * radius + 1);
+  for (int k = -radius; k <= radius; ++k)
+    kernel[k + radius] = std::exp(-0.5 * (k / sigma_cells) * (k / sigma_cells));
+
+  std::vector<double> ones(rho.size(), 1.0);
+  convolve_separable(rho, res.nx, res.ny, kernel);
+  convolve_separable(ones, res.nx, res.ny, kernel);
+  res.effective_density.resize(rho.size());
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    res.effective_density[i] = rho[i] / ones[i];
+
+  // Residual thickness: proportional to the effective-density variation.
+  const auto [mn_it, mx_it] = std::minmax_element(
+      res.effective_density.begin(), res.effective_density.end());
+  res.thickness_um.resize(rho.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    res.thickness_um[i] =
+        config.step_height_um * (res.effective_density[i] - *mn_it);
+    sum += res.thickness_um[i];
+  }
+  res.max_thickness_range_um = config.step_height_um * (*mx_it - *mn_it);
+  const double mean = sum / static_cast<double>(rho.size());
+  double sq = 0.0;
+  for (const double t : res.thickness_um) sq += (t - mean) * (t - mean);
+  res.rms_thickness_um = std::sqrt(sq / static_cast<double>(rho.size()));
+  return res;
+}
+
+std::string render_thickness_ascii(const CmpResult& result) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+  const double hi = std::max(result.max_thickness_range_um, 1e-12);
+  std::string out;
+  for (int iy = result.ny - 1; iy >= 0; --iy) {
+    for (int ix = 0; ix < result.nx; ++ix) {
+      const double t = result.at(ix, iy) / hi;
+      out.push_back(
+          kRamp[std::clamp(static_cast<int>(t * kLevels + 0.5), 0, kLevels)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+ErosionReport erosion_delay_report(const std::vector<rctree::RcTree>& trees,
+                                   const layout::Layout& layout,
+                                   const CmpResult& cmp,
+                                   const ErosionModelConfig& config) {
+  PIL_REQUIRE(config.reference_density > 0 && config.loss_coeff_um >= 0 &&
+                  config.max_loss_fraction > 0 && config.max_loss_fraction < 1,
+              "bad erosion model parameters");
+  const geom::Rect die = layout.die();
+
+  auto rho_at = [&](const geom::Point& p) {
+    int ix = static_cast<int>((p.x - die.xlo) / cmp.cell_um);
+    int iy = static_cast<int>((p.y - die.ylo) / cmp.cell_um);
+    ix = std::clamp(ix, 0, cmp.nx - 1);
+    iy = std::clamp(iy, 0, cmp.ny - 1);
+    return cmp.effective_density[static_cast<std::size_t>(iy) * cmp.nx + ix];
+  };
+
+  ErosionReport report;
+  report.nominal_worst_delay_ps.reserve(trees.size());
+  report.eroded_worst_delay_ps.reserve(trees.size());
+
+  for (const rctree::RcTree& tree : trees) {
+    const auto& nodes = tree.nodes();
+    const int n = static_cast<int>(nodes.size());
+
+    // Per-node edge resistance scale from the thinning at the owning
+    // piece's midpoint.
+    std::vector<double> scale(n, 1.0);
+    for (const rctree::WirePiece& piece : tree.pieces()) {
+      const geom::Point mid{(piece.up.x + piece.down.x) / 2,
+                            (piece.up.y + piece.down.y) / 2};
+      const double thickness = layout.layer(piece.layer).thickness_um;
+      const double deficit =
+          std::max(0.0, config.reference_density - rho_at(mid));
+      const double loss = std::min(config.loss_coeff_um * deficit,
+                                   config.max_loss_fraction * thickness);
+      scale[piece.down_node] = thickness / (thickness - loss);
+    }
+
+    // Elmore with scaled resistances: tau(child) = tau(parent) +
+    // scale * R_edge * C_subtree(child). Nodes are in BFS order (parents
+    // precede children), so two linear passes suffice.
+    std::vector<double> subtree_cap(n, 0.0);
+    for (int i = 0; i < n; ++i) subtree_cap[i] = nodes[i].cap_ff;
+    for (int i = n - 1; i >= 1; --i)
+      subtree_cap[nodes[i].parent] += subtree_cap[i];
+    std::vector<double> elmore(n, 0.0);
+    // The driver resistance does not erode.
+    const double rdrv =
+        n > 0 ? nodes[0].upstream_res : 0.0;
+    if (n > 0) elmore[0] = rdrv * subtree_cap[0] * 1e-3;
+    for (int i = 1; i < n; ++i)
+      elmore[i] = elmore[nodes[i].parent] +
+                  scale[i] * nodes[i].res_to_parent * subtree_cap[i] * 1e-3;
+
+    double nominal = 0.0, eroded = 0.0;
+    for (int s = 0; s < tree.num_sinks(); ++s) {
+      nominal = std::max(nominal, tree.sink_delay_ps(s));
+      eroded = std::max(eroded, elmore[tree.sink_node(s)]);
+    }
+    report.nominal_worst_delay_ps.push_back(nominal);
+    report.eroded_worst_delay_ps.push_back(eroded);
+    const double inc = eroded - nominal;
+    report.total_delay_increase_ps += inc;
+    report.worst_net_increase_ps =
+        std::max(report.worst_net_increase_ps, inc);
+  }
+  return report;
+}
+
+}  // namespace pil::cmp

@@ -1,0 +1,319 @@
+#include "pil/fill/slack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pil/geom/interval.hpp"
+#include "pil/util/log.hpp"
+
+namespace pil::fill {
+
+namespace {
+
+using geom::Interval;
+using geom::Rect;
+using layout::Orientation;
+using rctree::WirePiece;
+
+/// Global x site grid: column c's feature occupies
+/// [die.xlo + gap/2 + c*pitch, +feature]. Columns keep gap/2 from the die
+/// edge so features never touch the boundary.
+struct ColumnGrid {
+  double origin;  // x_lo of column 0
+  double pitch;
+  double feature;
+  int count;
+
+  ColumnGrid(const Rect& die, const FillRules& rules)
+      : origin(die.xlo + rules.gap_um / 2),
+        pitch(rules.pitch()),
+        feature(rules.feature_um) {
+    count = 0;
+    while (origin + count * pitch + feature + rules.gap_um / 2 <=
+           die.xhi + geom::kEps)
+      ++count;
+  }
+
+  double x_lo(int c) const { return origin + c * pitch; }
+  double x_center(int c) const { return x_lo(c) + feature / 2; }
+
+  /// Columns whose footprint intersects [lo, hi] (clamped to the grid).
+  void overlapping(double lo, double hi, int& c0, int& c1) const {
+    c0 = static_cast<int>(std::ceil((lo - feature - origin) / pitch +
+                                    geom::kEps));
+    c1 = static_cast<int>(std::floor((hi - origin) / pitch - geom::kEps));
+    c0 = std::max(c0, 0);
+    c1 = std::min(c1, count - 1);
+  }
+
+  /// Columns whose footprint lies fully inside [lo, hi].
+  void inside(double lo, double hi, int& c0, int& c1) const {
+    c0 = static_cast<int>(std::ceil((lo - origin) / pitch - geom::kEps));
+    c1 = static_cast<int>(
+        std::floor((hi - feature - origin) / pitch + geom::kEps));
+    c0 = std::max(c0, 0);
+    c1 = std::min(c1, count - 1);
+  }
+};
+
+struct ColumnState {
+  double start = 0.0;       ///< top edge of the previous boundary
+  BoundKind kind = BoundKind::kDieEdge;
+  int piece = -1;
+};
+
+/// Scan one rectangular region and append the slack columns found. Piece
+/// rects are clipped to the region. `edge_kind` labels the region's own
+/// y-boundaries. `blocked` holds, per global column, the y-intervals made
+/// unusable by vertical wires (already buffer-inflated).
+void scan_region(const Rect& region, const ColumnGrid& grid,
+                 const std::vector<std::pair<int, Rect>>& hpieces_sorted,
+                 const std::vector<geom::IntervalSet>& blocked,
+                 const FillRules& rules, SlackMode mode, BoundKind edge_kind,
+                 std::vector<SlackColumn>& out) {
+  int c_begin, c_end;
+  grid.inside(region.xlo, region.xhi, c_begin, c_end);
+  if (c_begin > c_end) return;
+
+  std::vector<ColumnState> state(c_end - c_begin + 1);
+  for (auto& s : state) {
+    s.start = region.ylo;
+    s.kind = edge_kind;
+    s.piece = -1;
+  }
+
+  const double b = rules.buffer_um;
+
+  auto emit = [&](int c, const ColumnState& below, BoundKind above_kind,
+                  int above_piece, double above_bottom) {
+    // Mode I keeps only gaps bounded by two active lines.
+    if (mode == SlackMode::kI &&
+        (below.kind != BoundKind::kLine || above_kind != BoundKind::kLine))
+      return;
+    SlackColumn col;
+    col.col_index = c;
+    col.x_lo = grid.x_lo(c);
+    col.x_center = grid.x_center(c);
+    col.below = below.kind;
+    col.below_piece = below.piece;
+    col.above = above_kind;
+    col.above_piece = above_piece;
+    col.gap_um = above_bottom - below.start;
+    const double usable_lo =
+        below.start + (below.kind == BoundKind::kLine ? b : rules.gap_um / 2);
+    const double usable_hi =
+        above_bottom - (above_kind == BoundKind::kLine ? b : rules.gap_um / 2);
+    if (usable_hi - usable_lo < rules.feature_um) return;
+    // Vertical wires pierce the gap into sub-runs. Each sub-run becomes its
+    // own column sharing the bounding lines and line distance (the series
+    // parallel-plate model only sees the feature count in the gap).
+    for (const Interval& free :
+         blocked[c].gaps(Interval{usable_lo, usable_hi})) {
+      col.span_lo = free.lo;
+      col.span_hi = free.hi;
+      col.capacity = rules.capacity_in_span(free.length());
+      if (col.capacity > 0) out.push_back(col);
+    }
+  };
+
+  for (const auto& [piece_idx, rect] : hpieces_sorted) {
+    const Rect clipped = geom::intersect(rect, region);
+    if (clipped.empty() || clipped.width() <= 0) continue;
+    int c0, c1;
+    grid.overlapping(clipped.xlo - b, clipped.xhi + b, c0, c1);
+    c0 = std::max(c0, c_begin);
+    c1 = std::min(c1, c_end);
+    for (int c = c0; c <= c1; ++c) {
+      ColumnState& s = state[c - c_begin];
+      if (clipped.ylo > s.start + geom::kEps)
+        emit(c, s, BoundKind::kLine, piece_idx, clipped.ylo);
+      if (clipped.yhi > s.start) {
+        s.start = clipped.yhi;
+        s.kind = BoundKind::kLine;
+        s.piece = piece_idx;
+      }
+    }
+  }
+  for (int c = c_begin; c <= c_end; ++c) {
+    const ColumnState& s = state[c - c_begin];
+    if (region.yhi > s.start + geom::kEps)
+      emit(c, s, edge_kind, -1, region.yhi);
+  }
+}
+
+}  // namespace
+
+const char* to_string(SlackMode m) {
+  switch (m) {
+    case SlackMode::kI: return "SlackColumn-I";
+    case SlackMode::kII: return "SlackColumn-II";
+    case SlackMode::kIII: return "SlackColumn-III";
+  }
+  return "?";
+}
+
+SlackColumns::SlackColumns(std::vector<SlackColumn> columns,
+                           std::vector<std::vector<TileColumnPart>> tile_parts,
+                           bool transposed)
+    : columns_(std::move(columns)),
+      tile_parts_(std::move(tile_parts)),
+      transposed_(transposed) {}
+
+geom::Rect SlackColumns::site_rect(const SlackColumn& col, int site,
+                                   const FillRules& rules) const {
+  const double y = col.site_y(site, rules);
+  const geom::Rect r{col.x_lo, y, col.x_lo + rules.feature_um,
+                     y + rules.feature_um};
+  if (!transposed_) return r;
+  return geom::Rect{r.ylo, r.xlo, r.yhi, r.xhi};
+}
+
+geom::Point SlackColumns::column_cross_point(
+    const SlackColumn& col, const rctree::WirePiece& piece) const {
+  // In the scan frame the column sits at cross coordinate x_center; project
+  // it onto the line in real coordinates.
+  return transposed_ ? geom::Point{piece.up.x, col.x_center}
+                     : geom::Point{col.x_center, piece.up.y};
+}
+
+const std::vector<TileColumnPart>& SlackColumns::tile_parts(
+    int tile_flat) const {
+  PIL_REQUIRE(tile_flat >= 0 && tile_flat < num_tiles(),
+              "tile index out of range");
+  return tile_parts_[tile_flat];
+}
+
+int SlackColumns::tile_capacity(int tile_flat) const {
+  int sum = 0;
+  for (const auto& part : tile_parts(tile_flat)) sum += part.num_sites;
+  return sum;
+}
+
+long long SlackColumns::total_capacity() const {
+  long long sum = 0;
+  for (const auto& parts : tile_parts_)
+    for (const auto& part : parts) sum += part.num_sites;
+  return sum;
+}
+
+std::vector<rctree::WirePiece> flatten_pieces(
+    const std::vector<rctree::RcTree>& trees) {
+  std::vector<WirePiece> out;
+  std::size_t total = 0;
+  for (const auto& t : trees) total += t.pieces().size();
+  out.reserve(total);
+  for (const auto& t : trees)
+    out.insert(out.end(), t.pieces().begin(), t.pieces().end());
+  return out;
+}
+
+SlackColumns extract_slack_columns(const layout::Layout& layout,
+                                   const grid::Dissection& dissection,
+                                   const std::vector<WirePiece>& pieces,
+                                   layout::LayerId layer,
+                                   const FillRules& rules, SlackMode mode) {
+  rules.validate();
+  // Vertical-preference layers are scanned in a transposed frame where the
+  // routing direction is horizontal; only geometry is swapped -- tile part
+  // indices are mapped back to the real dissection at the end.
+  const bool transposed = layout.layer(layer).preferred_direction ==
+                          layout::Orientation::kVertical;
+  auto xf = [&](const Rect& r) {
+    return transposed ? Rect{r.ylo, r.xlo, r.yhi, r.xhi} : r;
+  };
+  const Rect die = xf(layout.die());
+  const grid::Dissection scan_dis =
+      transposed ? grid::Dissection(die, dissection.window_um(),
+                                    dissection.r())
+                 : dissection;
+  // Real flat tile index for a scan-frame flat index.
+  auto real_flat = [&](int scan_flat) {
+    if (!transposed) return scan_flat;
+    const grid::TileIndex t = scan_dis.tile_unflat(scan_flat);
+    return dissection.tile_flat(grid::TileIndex{t.iy, t.ix});
+  };
+
+  const ColumnGrid grid(die, rules);
+  const double b = rules.buffer_um;
+
+  // Partition pieces on the layer: routing-direction pieces are the active
+  // lines; cross-direction pieces only block. Rects live in the scan frame.
+  const Orientation routing_dir =
+      transposed ? Orientation::kVertical : Orientation::kHorizontal;
+  std::vector<std::pair<int, Rect>> hpieces;
+  std::vector<Rect> vpieces;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (pieces[i].layer != layer) continue;
+    if (pieces[i].orientation == routing_dir)
+      hpieces.emplace_back(static_cast<int>(i), xf(pieces[i].rect()));
+    else
+      vpieces.push_back(xf(pieces[i].rect()));
+  }
+  std::sort(hpieces.begin(), hpieces.end(),
+            [](const auto& a, const auto& b2) {
+              return a.second.ylo < b2.second.ylo;
+            });
+
+  // Per-column blockage intervals (buffer-inflated in both directions):
+  // wrong-direction wires and explicit fill blockages both pierce gaps.
+  std::vector<geom::IntervalSet> blocked(grid.count);
+  auto block_rect = [&](const Rect& v) {
+    int c0, c1;
+    grid.overlapping(v.xlo - b, v.xhi + b, c0, c1);
+    for (int c = c0; c <= c1; ++c) blocked[c].insert(v.ylo - b, v.yhi + b);
+  };
+  for (const Rect& v : vpieces) block_rect(v);
+  for (const Rect& v : layout.blockages_on_layer(layer)) block_rect(xf(v));
+
+  std::vector<SlackColumn> columns;
+  std::vector<std::vector<TileColumnPart>> tile_parts(dissection.num_tiles());
+
+  if (mode == SlackMode::kIII) {
+    scan_region(die, grid, hpieces, blocked, rules, mode, BoundKind::kDieEdge,
+                columns);
+    // Split each column's site stack across the tile rows it crosses.
+    for (std::size_t ci = 0; ci < columns.size(); ++ci) {
+      const SlackColumn& col = columns[ci];
+      int run_first = 0;
+      int run_tile = -1;
+      for (int i = 0; i < col.capacity; ++i) {
+        const double cy = col.site_y(i, rules) + rules.feature_um / 2;
+        const grid::TileIndex t =
+            scan_dis.tile_at(geom::Point{col.x_center, cy});
+        const int flat = real_flat(scan_dis.tile_flat(t));
+        if (flat != run_tile) {
+          if (run_tile >= 0)
+            tile_parts[run_tile].push_back(
+                TileColumnPart{static_cast<int>(ci), run_first, i - run_first});
+          run_tile = flat;
+          run_first = i;
+        }
+      }
+      if (run_tile >= 0)
+        tile_parts[run_tile].push_back(TileColumnPart{
+            static_cast<int>(ci), run_first, col.capacity - run_first});
+    }
+  } else {
+    // Modes I/II: independent scan per tile; each column is one part.
+    for (int scan_flat = 0; scan_flat < scan_dis.num_tiles(); ++scan_flat) {
+      const Rect tile = scan_dis.tile_rect(scan_dis.tile_unflat(scan_flat));
+      const std::size_t before = columns.size();
+      // Clip the piece set to those overlapping the tile (x-inflated so a
+      // line just outside the tile in x does not bound columns -- per the
+      // paper, only lines *intersecting* the tile are scanned).
+      std::vector<std::pair<int, Rect>> local;
+      for (const auto& [idx, rect] : hpieces)
+        if (geom::overlaps_strictly(rect, tile)) local.emplace_back(idx, rect);
+      scan_region(tile, grid, local, blocked, rules, mode,
+                  BoundKind::kTileEdge, columns);
+      for (std::size_t ci = before; ci < columns.size(); ++ci)
+        tile_parts[real_flat(scan_flat)].push_back(TileColumnPart{
+            static_cast<int>(ci), 0, columns[ci].capacity});
+    }
+  }
+
+  PIL_INFO(to_string(mode) << ": " << columns.size() << " slack columns");
+  return SlackColumns(std::move(columns), std::move(tile_parts), transposed);
+}
+
+}  // namespace pil::fill

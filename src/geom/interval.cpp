@@ -1,0 +1,50 @@
+#include "pil/geom/interval.hpp"
+
+namespace pil::geom {
+
+void IntervalSet::insert(double lo, double hi) {
+  PIL_REQUIRE(lo <= hi, "IntervalSet::insert: empty interval");
+  // Find the first member that could overlap or touch [lo, hi].
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), lo,
+      [](const Interval& iv, double v) { return iv.hi < v; });
+  // Merge every member that intersects or touches the new interval.
+  auto first = it;
+  while (it != items_.end() && it->lo <= hi) {
+    lo = std::min(lo, it->lo);
+    hi = std::max(hi, it->hi);
+    ++it;
+  }
+  const auto pos = items_.erase(first, it);
+  items_.insert(pos, Interval{lo, hi});
+}
+
+double IntervalSet::total_length() const {
+  double sum = 0.0;
+  for (const auto& iv : items_) sum += iv.length();
+  return sum;
+}
+
+bool IntervalSet::contains(double x) const {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), x,
+      [](const Interval& iv, double v) { return iv.hi < v; });
+  return it != items_.end() && it->lo <= x;
+}
+
+std::vector<Interval> IntervalSet::gaps(const Interval& span) const {
+  std::vector<Interval> out;
+  if (span.empty()) return out;
+  double cursor = span.lo;
+  for (const auto& iv : items_) {
+    if (iv.hi < span.lo) continue;
+    if (iv.lo > span.hi) break;
+    if (iv.lo > cursor) out.push_back(Interval{cursor, std::min(iv.lo, span.hi)});
+    cursor = std::max(cursor, iv.hi);
+    if (cursor >= span.hi) break;
+  }
+  if (cursor < span.hi) out.push_back(Interval{cursor, span.hi});
+  return out;
+}
+
+}  // namespace pil::geom

@@ -1,0 +1,12 @@
+#include "pil/geom/rect.hpp"
+
+namespace pil::geom {
+
+Rect bounding_box(const Rect& a, const Rect& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  return Rect{std::min(a.xlo, b.xlo), std::min(a.ylo, b.ylo),
+              std::max(a.xhi, b.xhi), std::max(a.yhi, b.yhi)};
+}
+
+}  // namespace pil::geom

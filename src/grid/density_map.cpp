@@ -1,0 +1,109 @@
+#include "pil/grid/density_map.hpp"
+
+#include <algorithm>
+
+namespace pil::grid {
+
+void DensityMap::add_layer_wires(const layout::Layout& layout,
+                                 layout::LayerId layer) {
+  for (const auto& seg : layout.segments()) {
+    if (seg.layer != layer) continue;
+    add_rect(seg.rect());
+  }
+}
+
+void DensityMap::add_layer_metal_blockages(const layout::Layout& layout,
+                                           layout::LayerId layer) {
+  for (const auto& b : layout.blockages()) {
+    if (b.layer != layer || !b.is_metal) continue;
+    add_rect(b.rect);
+  }
+}
+
+void DensityMap::add_rect(const geom::Rect& r) {
+  TileIndex lo, hi;
+  if (!dis_->tiles_overlapping(r, lo, hi)) return;
+  for (int iy = lo.iy; iy <= hi.iy; ++iy) {
+    for (int ix = lo.ix; ix <= hi.ix; ++ix) {
+      const TileIndex t{ix, iy};
+      const double a = geom::overlap_area(r, dis_->tile_rect(t));
+      if (a > 0) tile_area_[dis_->tile_flat(t)] += a;
+    }
+  }
+}
+
+void DensityMap::add_area(TileIndex t, double area) {
+  PIL_REQUIRE(area >= 0, "negative feature area");
+  tile_area_[dis_->tile_flat(t)] += area;
+}
+
+double DensityMap::window_area(int wx, int wy) const {
+  PIL_REQUIRE(wx >= 0 && wx < dis_->windows_x() && wy >= 0 &&
+                  wy < dis_->windows_y(),
+              "window index out of range");
+  double sum = 0.0;
+  for (int iy = wy; iy < wy + dis_->r(); ++iy)
+    for (int ix = wx; ix < wx + dis_->r(); ++ix)
+      sum += tile_area_[dis_->tile_flat(TileIndex{ix, iy})];
+  return sum;
+}
+
+double DensityMap::window_density(int wx, int wy) const {
+  const geom::Rect w = dis_->window_rect(wx, wy);
+  PIL_ASSERT(w.area() > 0, "degenerate window");
+  return window_area(wx, wy) / w.area();
+}
+
+std::string render_density_ascii(const DensityMap& density, double lo,
+                                 double hi) {
+  const Dissection& dis = density.dissection();
+  PIL_REQUIRE(dis.num_windows() > 0, "dissection has no windows");
+  if (lo < 0 || hi < 0) {
+    const DensityStats s = density.stats();
+    if (lo < 0) lo = s.min_density;
+    if (hi < 0) hi = s.max_density;
+  }
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+  const double span = std::max(hi - lo, 1e-12);
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(dis.windows_y()) *
+              (dis.windows_x() + 1));
+  for (int wy = dis.windows_y() - 1; wy >= 0; --wy) {
+    for (int wx = 0; wx < dis.windows_x(); ++wx) {
+      const double t = (density.window_density(wx, wy) - lo) / span;
+      const int level =
+          std::clamp(static_cast<int>(t * kLevels + 0.5), 0, kLevels);
+      out.push_back(kRamp[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+DensityStats DensityMap::stats() const {
+  DensityStats s;
+  const int nx = dis_->windows_x();
+  const int ny = dis_->windows_y();
+  PIL_REQUIRE(nx > 0 && ny > 0, "dissection has no windows");
+  bool first = true;
+  double sum = 0.0;
+  for (int wy = 0; wy < ny; ++wy) {
+    for (int wx = 0; wx < nx; ++wx) {
+      const double d = window_density(wx, wy);
+      if (first) {
+        s.min_density = s.max_density = d;
+        first = false;
+      } else {
+        s.min_density = std::min(s.min_density, d);
+        s.max_density = std::max(s.max_density, d);
+      }
+      sum += d;
+    }
+  }
+  s.mean_density = sum / (static_cast<double>(nx) * ny);
+  return s;
+}
+
+}  // namespace pil::grid

@@ -1,0 +1,55 @@
+#include "pil/grid/smoothness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pil::grid {
+
+SmoothnessReport analyze_smoothness(const DensityMap& density) {
+  const Dissection& dis = density.dissection();
+  const int nx = dis.windows_x();
+  const int ny = dis.windows_y();
+  PIL_REQUIRE(nx > 0 && ny > 0, "dissection has no windows");
+
+  // Cache densities once; the pair scans below revisit each window 4x.
+  std::vector<double> d(static_cast<std::size_t>(nx) * ny);
+  for (int wy = 0; wy < ny; ++wy)
+    for (int wx = 0; wx < nx; ++wx)
+      d[static_cast<std::size_t>(wy) * nx + wx] = density.window_density(wx, wy);
+  auto at = [&](int wx, int wy) {
+    return d[static_cast<std::size_t>(wy) * nx + wx];
+  };
+
+  SmoothnessReport report;
+  const DensityStats stats = density.stats();
+  report.variation = stats.variation();
+
+  double step_sum = 0.0;
+  long long step_count = 0;
+  for (int wy = 0; wy < ny; ++wy) {
+    for (int wx = 0; wx < nx; ++wx) {
+      if (wx + 1 < nx) {
+        const double step = std::fabs(at(wx, wy) - at(wx + 1, wy));
+        report.type1 = std::max(report.type1, step);
+        step_sum += step;
+        ++step_count;
+      }
+      if (wy + 1 < ny) {
+        const double step = std::fabs(at(wx, wy) - at(wx, wy + 1));
+        report.type1 = std::max(report.type1, step);
+        step_sum += step;
+        ++step_count;
+      }
+      if (wx + dis.r() < nx)
+        report.type2 = std::max(report.type2,
+                                std::fabs(at(wx, wy) - at(wx + dis.r(), wy)));
+      if (wy + dis.r() < ny)
+        report.type2 = std::max(report.type2,
+                                std::fabs(at(wx, wy) - at(wx, wy + dis.r())));
+    }
+  }
+  report.mean_abs_step = step_count ? step_sum / step_count : 0.0;
+  return report;
+}
+
+}  // namespace pil::grid

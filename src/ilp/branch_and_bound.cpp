@@ -1,0 +1,153 @@
+#include "pil/ilp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "pil/util/log.hpp"
+
+namespace pil::ilp {
+
+namespace {
+
+struct Node {
+  double bound = -lp::kInf;  ///< parent LP objective (lower bound on subtree)
+  // Bound overrides accumulated along the branch path.
+  std::vector<std::pair<int, double>> lo_over;
+  std::vector<std::pair<int, double>> hi_over;
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    return a->bound > b->bound;  // best-bound first (min-heap on bound)
+  }
+};
+
+/// Most-fractional integer variable; -1 if all integral.
+int pick_branch_var(const std::vector<double>& x,
+                    const std::vector<bool>& integer, double int_tol) {
+  int best = -1;
+  double best_frac_dist = int_tol;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (!integer[j]) continue;
+    const double f = x[j] - std::floor(x[j]);
+    const double dist = std::min(f, 1.0 - f);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* to_string(IlpStatus s) {
+  switch (s) {
+    case IlpStatus::kOptimal: return "optimal";
+    case IlpStatus::kInfeasible: return "infeasible";
+    case IlpStatus::kNodeLimit: return "node-limit";
+    case IlpStatus::kUnbounded: return "unbounded";
+    case IlpStatus::kError: return "error";
+  }
+  return "?";
+}
+
+IlpSolution solve_ilp(const lp::LpProblem& problem,
+                      const std::vector<bool>& integer,
+                      const IlpOptions& options) {
+  PIL_REQUIRE(static_cast<int>(integer.size()) == problem.num_vars(),
+              "integrality mask size mismatch");
+  for (int j = 0; j < problem.num_vars(); ++j)
+    if (integer[j])
+      PIL_REQUIRE(std::isfinite(problem.var(j).lo) &&
+                      std::isfinite(problem.var(j).hi),
+                  "integer variables must have finite bounds");
+
+  IlpSolution best;
+  best.status = IlpStatus::kInfeasible;
+  double incumbent = lp::kInf;
+  bool node_limit_hit = false;
+
+  // The problem is copied once per LP solve with node bounds applied. The
+  // LpProblem is cheap to copy for our sizes; correctness over cleverness.
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>,
+                      NodeOrder>
+      open;
+  open.push(std::make_shared<Node>());
+
+  int explored = 0;
+  while (!open.empty()) {
+    if (explored >= options.max_nodes) {
+      node_limit_hit = true;
+      break;
+    }
+    const std::shared_ptr<Node> node = open.top();
+    open.pop();
+    if (node->bound >= incumbent - options.abs_gap) continue;  // pruned
+    ++explored;
+
+    lp::LpProblem sub = problem;
+    bool empty_interval = false;
+    for (const auto& [j, lo] : node->lo_over) {
+      const double nlo = std::max(sub.var(j).lo, lo);
+      if (nlo > sub.var(j).hi) { empty_interval = true; break; }
+      sub.set_var_bounds(j, nlo, sub.var(j).hi);
+    }
+    for (const auto& [j, hi] : node->hi_over) {
+      if (empty_interval) break;
+      const double nhi = std::min(sub.var(j).hi, hi);
+      if (nhi < sub.var(j).lo) { empty_interval = true; break; }
+      sub.set_var_bounds(j, sub.var(j).lo, nhi);
+    }
+    if (empty_interval) continue;  // branch emptied a variable's interval
+
+    const lp::LpSolution rel = lp::solve_lp(sub, options.lp);
+    if (rel.status == lp::SolveStatus::kInfeasible) continue;
+    if (rel.status == lp::SolveStatus::kUnbounded) {
+      // An unbounded relaxation at the root means the MILP is unbounded or
+      // infeasible; we report unbounded (integer vars are bounded, so this
+      // can only come from continuous vars).
+      best.status = IlpStatus::kUnbounded;
+      return best;
+    }
+    if (rel.status == lp::SolveStatus::kIterLimit) {
+      best.status = IlpStatus::kError;
+      return best;
+    }
+    if (rel.objective >= incumbent - options.abs_gap) continue;
+
+    const int bv = pick_branch_var(rel.x, integer, options.int_tol);
+    if (bv < 0) {
+      // Integral: new incumbent.
+      incumbent = rel.objective;
+      best.objective = rel.objective;
+      best.x = rel.x;
+      for (int j = 0; j < problem.num_vars(); ++j)
+        if (integer[j]) best.x[j] = std::round(best.x[j]);
+      best.status = IlpStatus::kOptimal;
+      continue;
+    }
+
+    const double xv = rel.x[bv];
+    auto down = std::make_shared<Node>(*node);
+    down->bound = rel.objective;
+    down->hi_over.emplace_back(bv, std::floor(xv));
+    auto up = std::make_shared<Node>(*node);
+    up->bound = rel.objective;
+    up->lo_over.emplace_back(bv, std::ceil(xv));
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  best.nodes_explored = explored;
+  if (best.status == IlpStatus::kOptimal && node_limit_hit)
+    best.status = IlpStatus::kNodeLimit;
+  if (best.status == IlpStatus::kInfeasible && node_limit_hit)
+    best.status = IlpStatus::kNodeLimit;
+  return best;
+}
+
+}  // namespace pil::ilp

@@ -1,0 +1,331 @@
+#include "pil/layout/def_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "pil/util/log.hpp"
+#include "pil/util/strings.hpp"
+
+namespace pil::layout {
+
+namespace {
+
+/// Whitespace tokenizer with one-token lookahead and positional errors.
+class TokenStream {
+ public:
+  explicit TokenStream(std::istream& in) {
+    std::string tok;
+    while (in >> tok) tokens_.push_back(tok);
+  }
+
+  bool eof() const { return pos_ >= tokens_.size(); }
+
+  const std::string& peek() const {
+    PIL_REQUIRE(!eof(), "unexpected end of DEF file");
+    return tokens_[pos_];
+  }
+
+  std::string next() {
+    PIL_REQUIRE(!eof(), "unexpected end of DEF file");
+    return tokens_[pos_++];
+  }
+
+  void expect(const std::string& want) {
+    const std::string got = next();
+    if (got != want)
+      fail("expected '" + want + "', got '" + got + "'");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "DEF parse error near token #" << pos_ << ": " << what;
+    throw Error(os.str());
+  }
+
+  /// Skip tokens until (and including) the next ';'.
+  void skip_statement() {
+    while (next() != ";") {
+    }
+  }
+
+  /// Skip a `SECTION ... END SECTION` block (cursor just after the name).
+  void skip_section(const std::string& name) {
+    while (true) {
+      const std::string tok = next();
+      if (tok == "END" && !eof() && peek() == name) {
+        next();
+        return;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+struct RawPoint {
+  double x = 0, y = 0;
+};
+
+}  // namespace
+
+Layout read_def(std::istream& in, const DefReadOptions& options) {
+  PIL_REQUIRE(!options.layers.empty(), "DEF reader needs layer definitions");
+  TokenStream ts(in);
+
+  double dbu = 1000.0;  // database units per micron
+  std::optional<geom::Rect> die;
+  std::string design_name;
+
+  // Net wiring gathered before Layout construction (we need DIEAREA first,
+  // and it may legally appear after NETS in weird writers -- we tolerate
+  // only the normal order and check below).
+  struct RawSegment {
+    std::string layer;
+    RawPoint a, b;
+  };
+  struct RawNet {
+    std::string name;
+    std::vector<RawSegment> segments;
+    std::optional<RawPoint> first_point;
+  };
+  std::vector<RawNet> nets;
+
+  auto to_um = [&](double v) { return v / dbu; };
+
+  while (!ts.eof()) {
+    const std::string tok = ts.next();
+    if (tok == "VERSION" || tok == "DIVIDERCHAR" || tok == "BUSBITCHARS" ||
+        tok == "TECHNOLOGY" || tok == "HISTORY") {
+      ts.skip_statement();
+    } else if (tok == "DESIGN") {
+      design_name = ts.next();
+      ts.expect(";");
+    } else if (tok == "UNITS") {
+      ts.expect("DISTANCE");
+      ts.expect("MICRONS");
+      dbu = parse_double(ts.next(), "UNITS MICRONS");
+      PIL_REQUIRE(dbu > 0, "UNITS MICRONS must be positive");
+      ts.expect(";");
+    } else if (tok == "DIEAREA") {
+      ts.expect("(");
+      const double x0 = parse_double(ts.next(), "DIEAREA");
+      const double y0 = parse_double(ts.next(), "DIEAREA");
+      ts.expect(")");
+      ts.expect("(");
+      const double x1 = parse_double(ts.next(), "DIEAREA");
+      const double y1 = parse_double(ts.next(), "DIEAREA");
+      ts.expect(")");
+      ts.expect(";");
+      die = geom::Rect{to_um(std::min(x0, x1)), to_um(std::min(y0, y1)),
+                       to_um(std::max(x0, x1)), to_um(std::max(y0, y1))};
+    } else if (tok == "NETS") {
+      ts.next();  // count (advisory)
+      ts.expect(";");
+      while (ts.peek() != "END") {
+        ts.expect("-");
+        RawNet net;
+        net.name = ts.next();
+        // Connection pairs `( comp pin )` and options until ROUTED or ';'.
+        while (true) {
+          const std::string t = ts.next();
+          if (t == ";") break;
+          if (t == "(") {
+            ts.next();  // component
+            ts.next();  // pin
+            ts.expect(")");
+            continue;
+          }
+          if (t == "+") {
+            const std::string kind = ts.next();
+            if (kind == "ROUTED" || kind == "FIXED" || kind == "COVER") {
+              // One or more paths separated by NEW.
+              while (true) {
+                const std::string layer_name = ts.next();
+                std::optional<RawPoint> prev;
+                // Points and via names until NEW / '+' / ';'.
+                while (true) {
+                  const std::string& p = ts.peek();
+                  if (p == "NEW" || p == "+" || p == ";") break;
+                  if (p == "(") {
+                    ts.next();
+                    RawPoint pt;
+                    const std::string xs = ts.next();
+                    const std::string ys = ts.next();
+                    if (xs == "*") {
+                      if (!prev) ts.fail("'*' with no previous x");
+                      pt.x = prev->x;
+                    } else {
+                      pt.x = to_um(parse_double(xs, "wire point"));
+                    }
+                    if (ys == "*") {
+                      if (!prev) ts.fail("'*' with no previous y");
+                      pt.y = prev->y;
+                    } else {
+                      pt.y = to_um(parse_double(ys, "wire point"));
+                    }
+                    // Optional extension value before ')'.
+                    if (ts.peek() != ")") ts.next();
+                    ts.expect(")");
+                    if (!net.first_point) net.first_point = pt;
+                    if (prev && (prev->x != pt.x || prev->y != pt.y)) {
+                      net.segments.push_back(RawSegment{layer_name, *prev, pt});
+                    }
+                    prev = pt;
+                  } else {
+                    ts.next();  // via name or taper keyword: skip
+                  }
+                }
+                if (ts.peek() == "NEW") {
+                  ts.next();
+                  continue;  // next path (layer name follows)
+                }
+                break;
+              }
+              continue;
+            }
+            // Other `+ KEY ...` option: skip its tokens until next '+'/';'.
+            while (ts.peek() != "+" && ts.peek() != ";") ts.next();
+            continue;
+          }
+          ts.fail("unexpected token '" + t + "' in NET " + net.name);
+        }
+        nets.push_back(std::move(net));
+      }
+      ts.expect("END");
+      ts.expect("NETS");
+    } else if (tok == "END") {
+      const std::string what = ts.next();
+      if (what == "DESIGN") break;
+      // stray END of an unknown section: ignore
+    } else if (tok == "PROPERTYDEFINITIONS" || tok == "VIAS" ||
+               tok == "NONDEFAULTRULES" || tok == "REGIONS" ||
+               tok == "COMPONENTS" || tok == "PINS" || tok == "BLOCKAGES" ||
+               tok == "SPECIALNETS" || tok == "GROUPS" || tok == "FILLS" ||
+               tok == "TRACKS" || tok == "GCELLGRID" || tok == "ROWS") {
+      // Sectioned constructs end with `END <name>`; single statements like
+      // TRACKS/GCELLGRID/ROWS end with ';'.
+      if (tok == "TRACKS" || tok == "GCELLGRID" || tok == "ROWS")
+        ts.skip_statement();
+      else
+        ts.skip_section(tok);
+    } else {
+      ts.skip_statement();  // unknown statement: best effort
+    }
+  }
+
+  PIL_REQUIRE(die.has_value(), "DEF has no DIEAREA");
+  Layout layout(*die);
+  for (const Layer& l : options.layers) layout.add_layer(l);
+
+  for (const RawNet& raw : nets) {
+    PIL_REQUIRE(raw.first_point.has_value(),
+                "net '" + raw.name + "' has no routed wiring");
+    // Leaf inference: endpoints used exactly once and interior to no other
+    // segment become sinks; the first routed point is the driver.
+    std::map<std::pair<long long, long long>, int> endpoint_count;
+    auto key = [](const RawPoint& p) {
+      return std::make_pair(static_cast<long long>(std::llround(p.x * 1e6)),
+                            static_cast<long long>(std::llround(p.y * 1e6)));
+    };
+    for (const RawSegment& s : raw.segments) {
+      endpoint_count[key(s.a)] += 1;
+      endpoint_count[key(s.b)] += 1;
+    }
+    auto interior_to_some_segment = [&](const RawPoint& p) {
+      for (const RawSegment& s : raw.segments) {
+        const double lox = std::min(s.a.x, s.b.x), hix = std::max(s.a.x, s.b.x);
+        const double loy = std::min(s.a.y, s.b.y), hiy = std::max(s.a.y, s.b.y);
+        const bool on = (std::fabs(s.a.x - s.b.x) < 1e-9)
+                            ? (std::fabs(p.x - s.a.x) < 1e-9 && p.y > loy + 1e-9 &&
+                               p.y < hiy - 1e-9)
+                            : (std::fabs(p.y - s.a.y) < 1e-9 && p.x > lox + 1e-9 &&
+                               p.x < hix - 1e-9);
+        if (on) return true;
+      }
+      return false;
+    };
+
+    Net net;
+    net.name = raw.name;
+    net.source = geom::Point{raw.first_point->x, raw.first_point->y};
+    net.driver_res_ohm = options.default_driver_res_ohm;
+    const auto source_key = key(*raw.first_point);
+    for (const auto& [k, count] : endpoint_count) {
+      if (count != 1 || k == source_key) continue;
+      const RawPoint p{static_cast<double>(k.first) / 1e6,
+                       static_cast<double>(k.second) / 1e6};
+      if (interior_to_some_segment(p)) continue;
+      net.sinks.push_back(
+          SinkPin{geom::Point{p.x, p.y}, options.default_sink_cap_ff});
+    }
+    PIL_REQUIRE(!net.sinks.empty(),
+                "net '" + raw.name + "': no sink could be inferred");
+    const NetId nid = layout.add_net(std::move(net));
+
+    for (const RawSegment& s : raw.segments) {
+      const LayerId lid = layout.find_layer(s.layer);
+      PIL_REQUIRE(lid != kInvalidLayer,
+                  "net '" + raw.name + "' routed on unknown layer '" +
+                      s.layer + "'");
+      const double width = options.default_wire_width_um > 0
+                               ? options.default_wire_width_um
+                               : layout.layer(lid).default_wire_width_um;
+      layout.add_segment(nid, lid, geom::Point{s.a.x, s.a.y},
+                         geom::Point{s.b.x, s.b.y}, width);
+    }
+  }
+
+  layout.validate();
+  PIL_INFO("DEF '" << design_name << "': " << layout.num_nets() << " nets, "
+                   << layout.num_segments() << " segments");
+  return layout;
+}
+
+Layout read_def_file(const std::string& path, const DefReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open DEF file: " + path);
+  return read_def(in, options);
+}
+
+void write_def_fills(const Layout& layout, LayerId layer,
+                     const std::vector<geom::Rect>& fill_features,
+                     std::ostream& out, const std::string& design_name,
+                     double dbu_per_um) {
+  PIL_REQUIRE(dbu_per_um > 0, "dbu_per_um must be positive");
+  const Layer& l = layout.layer(layer);  // validates the id
+  auto dbu = [&](double v) { return std::llround(v * dbu_per_um); };
+  const geom::Rect& die = layout.die();
+
+  out << "VERSION 5.8 ;\n";
+  out << "DESIGN " << design_name << " ;\n";
+  out << "UNITS DISTANCE MICRONS " << static_cast<long long>(dbu_per_um)
+      << " ;\n";
+  out << "DIEAREA ( " << dbu(die.xlo) << ' ' << dbu(die.ylo) << " ) ( "
+      << dbu(die.xhi) << ' ' << dbu(die.yhi) << " ) ;\n";
+  out << "FILLS " << fill_features.size() << " ;\n";
+  for (const geom::Rect& r : fill_features) {
+    out << "- LAYER " << l.name << " RECT ( " << dbu(r.xlo) << ' '
+        << dbu(r.ylo) << " ) ( " << dbu(r.xhi) << ' ' << dbu(r.yhi)
+        << " ) ;\n";
+  }
+  out << "END FILLS\n";
+  out << "END DESIGN\n";
+}
+
+void write_def_fills_file(const Layout& layout, LayerId layer,
+                          const std::vector<geom::Rect>& fill_features,
+                          const std::string& path,
+                          const std::string& design_name, double dbu_per_um) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open DEF file for writing: " + path);
+  write_def_fills(layout, layer, fill_features, out, design_name, dbu_per_um);
+}
+
+}  // namespace pil::layout

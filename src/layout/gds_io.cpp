@@ -1,0 +1,320 @@
+#include "pil/layout/gds_io.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "pil/util/log.hpp"
+
+namespace pil::layout {
+
+namespace {
+
+// GDSII record types (record, datatype) used by this implementation.
+enum RecordType : std::uint8_t {
+  kHeader = 0x00,
+  kBgnLib = 0x01,
+  kLibName = 0x02,
+  kUnits = 0x03,
+  kEndLib = 0x04,
+  kBgnStr = 0x05,
+  kStrName = 0x06,
+  kEndStr = 0x07,
+  kBoundary = 0x08,
+  kLayer = 0x0D,
+  kDatatype = 0x0E,
+  kXy = 0x10,
+  kEndEl = 0x11,
+};
+
+enum DataType : std::uint8_t {
+  kNoData = 0x00,
+  kInt16 = 0x02,
+  kInt32 = 0x03,
+  kReal8 = 0x05,
+  kAscii = 0x06,
+};
+
+// ---- encoding helpers ------------------------------------------------------
+
+void put_u16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v >> 8));
+  buf.push_back(static_cast<char>(v & 0xff));
+}
+
+void put_i32(std::string& buf, std::int32_t v) {
+  const std::uint32_t u = static_cast<std::uint32_t>(v);
+  buf.push_back(static_cast<char>(u >> 24));
+  buf.push_back(static_cast<char>((u >> 16) & 0xff));
+  buf.push_back(static_cast<char>((u >> 8) & 0xff));
+  buf.push_back(static_cast<char>(u & 0xff));
+}
+
+/// GDSII 8-byte real: sign bit, 7-bit excess-64 base-16 exponent, 56-bit
+/// mantissa with value = mantissa * 16^(exp-64), mantissa in [1/16, 1).
+void put_real8(std::string& buf, double v) {
+  std::uint64_t bits = 0;
+  if (v != 0.0) {
+    std::uint64_t sign = 0;
+    if (v < 0) {
+      sign = 1ull << 63;
+      v = -v;
+    }
+    int exp16 = 0;
+    while (v >= 1.0) {
+      v /= 16.0;
+      ++exp16;
+    }
+    while (v < 1.0 / 16.0) {
+      v *= 16.0;
+      --exp16;
+    }
+    const std::uint64_t mantissa =
+        static_cast<std::uint64_t>(std::ldexp(v, 56));
+    PIL_ASSERT(exp16 + 64 >= 0 && exp16 + 64 < 128, "real8 exponent overflow");
+    bits = sign | (static_cast<std::uint64_t>(exp16 + 64) << 56) |
+           (mantissa & 0x00ffffffffffffffull);
+  }
+  for (int i = 7; i >= 0; --i)
+    buf.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+}
+
+void emit(std::ostream& out, RecordType rec, DataType type,
+          const std::string& payload) {
+  PIL_REQUIRE(payload.size() + 4 <= 0xffff, "GDS record too long");
+  PIL_REQUIRE(payload.size() % 2 == 0, "GDS payload must be even");
+  std::string header;
+  put_u16(header, static_cast<std::uint16_t>(payload.size() + 4));
+  header.push_back(static_cast<char>(rec));
+  header.push_back(static_cast<char>(type));
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+void emit_i16(std::ostream& out, RecordType rec, std::int16_t v) {
+  std::string p;
+  put_u16(p, static_cast<std::uint16_t>(v));
+  emit(out, rec, kInt16, p);
+}
+
+void emit_ascii(std::ostream& out, RecordType rec, std::string s) {
+  if (s.size() % 2) s.push_back('\0');
+  emit(out, rec, kAscii, s);
+}
+
+void emit_boundary(std::ostream& out, int layer, int datatype,
+                   const geom::Rect& r, double dbu) {
+  emit(out, kBoundary, kNoData, {});
+  emit_i16(out, kLayer, static_cast<std::int16_t>(layer));
+  emit_i16(out, kDatatype, static_cast<std::int16_t>(datatype));
+  std::string xy;
+  const auto X = [&](double v) {
+    return static_cast<std::int32_t>(std::llround(v * dbu));
+  };
+  // Closed ring, 5 points, counterclockwise from the lower-left corner.
+  const std::int32_t x0 = X(r.xlo), y0 = X(r.ylo), x1 = X(r.xhi), y1 = X(r.yhi);
+  for (const auto& [x, y] : {std::pair{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1},
+                             {x0, y0}}) {
+    put_i32(xy, x);
+    put_i32(xy, y);
+  }
+  emit(out, kXy, kInt32, xy);
+  emit(out, kEndEl, kNoData, {});
+}
+
+// ---- decoding helpers ------------------------------------------------------
+
+struct Record {
+  std::uint8_t rec = 0;
+  std::uint8_t type = 0;
+  std::string payload;
+};
+
+bool read_record(std::istream& in, Record& r) {
+  char head[4];
+  if (!in.read(head, 4)) return false;
+  const std::uint16_t len =
+      (static_cast<std::uint8_t>(head[0]) << 8) |
+      static_cast<std::uint8_t>(head[1]);
+  PIL_REQUIRE(len >= 4, "GDS record length below header size");
+  r.rec = static_cast<std::uint8_t>(head[2]);
+  r.type = static_cast<std::uint8_t>(head[3]);
+  r.payload.resize(len - 4);
+  if (len > 4)
+    PIL_REQUIRE(static_cast<bool>(in.read(r.payload.data(), len - 4)),
+                "truncated GDS record");
+  return true;
+}
+
+std::int16_t get_i16(const std::string& p, std::size_t at) {
+  PIL_REQUIRE(at + 2 <= p.size(), "GDS record underrun");
+  return static_cast<std::int16_t>(
+      (static_cast<std::uint8_t>(p[at]) << 8) |
+      static_cast<std::uint8_t>(p[at + 1]));
+}
+
+std::int32_t get_i32(const std::string& p, std::size_t at) {
+  PIL_REQUIRE(at + 4 <= p.size(), "GDS record underrun");
+  return static_cast<std::int32_t>(
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[at])) << 24) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[at + 1])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[at + 2])) << 8) |
+      static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[at + 3])));
+}
+
+double get_real8(const std::string& p, std::size_t at) {
+  PIL_REQUIRE(at + 8 <= p.size(), "GDS record underrun");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits = (bits << 8) | static_cast<std::uint8_t>(p[at + i]);
+  if (bits == 0) return 0.0;
+  const double sign = (bits >> 63) ? -1.0 : 1.0;
+  const int exp16 = static_cast<int>((bits >> 56) & 0x7f) - 64;
+  const double mantissa =
+      std::ldexp(static_cast<double>(bits & 0x00ffffffffffffffull), -56);
+  return sign * mantissa * std::pow(16.0, exp16);
+}
+
+std::string get_ascii(const std::string& p) {
+  std::string s = p;
+  while (!s.empty() && s.back() == '\0') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+void write_gds(const Layout& layout,
+               const std::vector<geom::Rect>& fill_features, std::ostream& out,
+               const GdsWriteOptions& options) {
+  PIL_REQUIRE(options.dbu_per_um > 0, "dbu_per_um must be positive");
+  if (!options.layer_numbers.empty())
+    PIL_REQUIRE(options.layer_numbers.size() == layout.num_layers(),
+                "layer_numbers must cover every layout layer");
+  auto gds_layer = [&](LayerId id) {
+    return options.layer_numbers.empty() ? id + 1 : options.layer_numbers[id];
+  };
+
+  emit_i16(out, kHeader, 600);  // GDSII release 6
+  {
+    // Creation/modification timestamps: fixed (determinism beats realism).
+    std::string p;
+    for (int i = 0; i < 12; ++i) put_u16(p, 0);
+    emit(out, kBgnLib, kInt16, p);
+  }
+  emit_ascii(out, kLibName, options.library_name);
+  {
+    // UNITS: user units per dbu, meters per dbu.
+    std::string p;
+    put_real8(p, 1.0 / options.dbu_per_um);
+    put_real8(p, 1e-6 / options.dbu_per_um);
+    emit(out, kUnits, kReal8, p);
+  }
+  {
+    std::string p;
+    for (int i = 0; i < 12; ++i) put_u16(p, 0);
+    emit(out, kBgnStr, kInt16, p);
+  }
+  emit_ascii(out, kStrName, options.cell_name);
+
+  for (const WireSegment& seg : layout.segments())
+    emit_boundary(out, gds_layer(seg.layer), options.wire_datatype, seg.rect(),
+                  options.dbu_per_um);
+  for (const geom::Rect& r : fill_features)
+    emit_boundary(out, options.fill_layer, options.fill_datatype, r,
+                  options.dbu_per_um);
+
+  emit(out, kEndStr, kNoData, {});
+  emit(out, kEndLib, kNoData, {});
+}
+
+void write_gds_file(const Layout& layout,
+                    const std::vector<geom::Rect>& fill_features,
+                    const std::string& path, const GdsWriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open GDS file for writing: " + path);
+  write_gds(layout, fill_features, out, options);
+}
+
+GdsContents read_gds(std::istream& in) {
+  GdsContents contents;
+  Record r;
+  bool saw_header = false;
+  double um_per_dbu = 1e-3;
+  int cur_layer = 0, cur_datatype = 0;
+  bool in_boundary = false;
+
+  while (read_record(in, r)) {
+    switch (r.rec) {
+      case kHeader:
+        saw_header = true;
+        break;
+      case kLibName:
+        contents.library_name = get_ascii(r.payload);
+        break;
+      case kUnits: {
+        PIL_REQUIRE(r.payload.size() == 16, "UNITS needs two real8 values");
+        const double meters_per_dbu = get_real8(r.payload, 8);
+        PIL_REQUIRE(meters_per_dbu > 0, "bad UNITS record");
+        um_per_dbu = meters_per_dbu * 1e6;
+        contents.dbu_per_um = 1.0 / um_per_dbu;
+        break;
+      }
+      case kStrName:
+        if (contents.cell_name.empty())
+          contents.cell_name = get_ascii(r.payload);
+        break;
+      case kBoundary:
+        in_boundary = true;
+        break;
+      case kLayer:
+        cur_layer = get_i16(r.payload, 0);
+        break;
+      case kDatatype:
+        cur_datatype = get_i16(r.payload, 0);
+        break;
+      case kXy: {
+        if (!in_boundary) break;
+        PIL_REQUIRE(r.payload.size() == 5 * 8,
+                    "only rectangular 5-point boundaries are supported");
+        double xs[5], ys[5];
+        for (int i = 0; i < 5; ++i) {
+          xs[i] = get_i32(r.payload, i * 8) * um_per_dbu;
+          ys[i] = get_i32(r.payload, i * 8 + 4) * um_per_dbu;
+        }
+        PIL_REQUIRE(xs[0] == xs[4] && ys[0] == ys[4],
+                    "boundary ring is not closed");
+        GdsRect rect;
+        rect.layer = cur_layer;
+        rect.datatype = cur_datatype;
+        rect.rect = geom::Rect{std::min(xs[0], xs[2]), std::min(ys[0], ys[2]),
+                               std::max(xs[0], xs[2]), std::max(ys[0], ys[2])};
+        // Verify rectangularity: the ring's corners must match the bbox.
+        for (int i = 0; i < 4; ++i)
+          PIL_REQUIRE((xs[i] == rect.rect.xlo || xs[i] == rect.rect.xhi) &&
+                          (ys[i] == rect.rect.ylo || ys[i] == rect.rect.yhi),
+                      "boundary is not an axis-aligned rectangle");
+        contents.rects.push_back(rect);
+        break;
+      }
+      case kEndEl:
+        in_boundary = false;
+        break;
+      case kEndLib:
+        PIL_REQUIRE(saw_header, "GDS stream missing HEADER");
+        return contents;
+      default:
+        break;  // skip everything else
+    }
+  }
+  throw Error("GDS stream ended without ENDLIB");
+}
+
+GdsContents read_gds_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open GDS file: " + path);
+  return read_gds(in);
+}
+
+}  // namespace pil::layout

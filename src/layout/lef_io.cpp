@@ -1,0 +1,133 @@
+#include "pil/layout/lef_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "pil/util/log.hpp"
+#include "pil/util/strings.hpp"
+
+namespace pil::layout {
+
+namespace {
+
+std::vector<std::string> tokenize(std::istream& in) {
+  std::vector<std::string> tokens;
+  std::string line;
+  while (std::getline(in, line)) {
+    // LEF comments: '#' to end of line.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    for (auto& t : split_ws(line)) tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<Layer> read_lef(std::istream& in, const LefReadOptions& options) {
+  const std::vector<std::string> tokens = tokenize(in);
+  std::vector<Layer> layers;
+
+  std::size_t i = 0;
+  auto next = [&]() -> const std::string& {
+    PIL_REQUIRE(i < tokens.size(), "unexpected end of LEF file");
+    return tokens[i++];
+  };
+  auto skip_statement = [&] {
+    while (next() != ";") {
+    }
+  };
+
+  while (i < tokens.size()) {
+    const std::string tok = next();
+    if (tok == "LAYER") {
+      Layer layer;
+      layer.name = next();
+      layer.default_wire_width_um = 0.0;  // must come from a WIDTH statement
+      layer.eps_r = options.default_eps_r;
+      layer.thickness_um = options.default_thickness_um;
+      layer.sheet_res_ohm_sq = options.default_sheet_res_ohm_sq;
+      bool routing = false;
+      while (true) {
+        const std::string stmt = next();
+        if (stmt == "END") {
+          const std::string name = next();
+          PIL_REQUIRE(name == layer.name,
+                      "LAYER/END name mismatch: " + layer.name + " vs " + name);
+          break;
+        }
+        if (stmt == "TYPE") {
+          routing = next() == "ROUTING";
+          next();  // ';'
+        } else if (stmt == "DIRECTION") {
+          const std::string dir = next();
+          layer.preferred_direction = (dir == "VERTICAL")
+                                          ? Orientation::kVertical
+                                          : Orientation::kHorizontal;
+          next();  // ';'
+        } else if (stmt == "WIDTH") {
+          layer.default_wire_width_um = parse_double(next(), "LAYER WIDTH");
+          next();
+        } else if (stmt == "THICKNESS") {
+          layer.thickness_um = parse_double(next(), "LAYER THICKNESS");
+          next();
+        } else if (stmt == "RESISTANCE") {
+          const std::string kind = next();
+          if (kind == "RPERSQ") {
+            layer.sheet_res_ohm_sq = parse_double(next(), "RPERSQ");
+            next();
+          } else {
+            // e.g. via RESISTANCE <value> ; -- skip the remainder.
+            while (next() != ";") {
+            }
+          }
+        } else {
+          // PITCH / SPACING / EDGECAPACITANCE / AREA / properties: skip.
+          while (next() != ";") {
+          }
+        }
+      }
+      if (routing) {
+        PIL_REQUIRE(layer.default_wire_width_um > 0,
+                    "routing layer '" + layer.name + "' has no WIDTH");
+        layers.push_back(std::move(layer));
+      }
+    } else if (tok == "END") {
+      if (i < tokens.size() && tokens[i] == "LIBRARY") break;
+      // END of a skipped construct (VIA, SITE, ...): consume the name.
+      if (i < tokens.size()) ++i;
+    } else if (tok == "VIA" || tok == "VIARULE" || tok == "SITE" ||
+               tok == "MACRO" || tok == "SPACING" ||
+               tok == "PROPERTYDEFINITIONS" || tok == "UNITS") {
+      // Block constructs: skip to END <name> (UNITS/SPACING/PROPDEFS use
+      // END <keyword>).
+      const std::string name =
+          (tok == "UNITS" || tok == "SPACING" || tok == "PROPERTYDEFINITIONS")
+              ? tok
+              : next();
+      while (true) {
+        const std::string t = next();
+        if (t == "END" && i < tokens.size() && tokens[i] == name) {
+          ++i;
+          break;
+        }
+      }
+    } else {
+      // VERSION / NAMESCASESENSITIVE / MANUFACTURINGGRID / ...: one stmt.
+      skip_statement();
+    }
+  }
+
+  PIL_INFO("LEF: " << layers.size() << " routing layers");
+  return layers;
+}
+
+std::vector<Layer> read_lef_file(const std::string& path,
+                                 const LefReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open LEF file: " + path);
+  return read_lef(in, options);
+}
+
+}  // namespace pil::layout

@@ -1,0 +1,85 @@
+#include "pil/layout/svg_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "pil/util/strings.hpp"
+
+namespace pil::layout {
+
+namespace {
+
+/// Stable per-net hue: golden-angle spacing gives adjacent ids distinct
+/// colors without a palette table.
+std::string net_color(NetId id) {
+  const int hue = static_cast<int>((static_cast<unsigned>(id) * 137u) % 360u);
+  return "hsl(" + std::to_string(hue) + ", 70%, 45%)";
+}
+
+}  // namespace
+
+void write_svg(const Layout& layout,
+               const std::vector<geom::Rect>& fill_features, std::ostream& out,
+               const SvgOptions& options) {
+  PIL_REQUIRE(options.scale > 0, "SVG scale must be positive");
+  const geom::Rect& die = layout.die();
+  const double w = die.width() * options.scale;
+  const double h = die.height() * options.scale;
+  // Flip y so the SVG matches layout coordinates (origin bottom-left).
+  auto px = [&](double x) { return (x - die.xlo) * options.scale; };
+  auto py = [&](double y) { return h - (y - die.ylo) * options.scale; };
+
+  out << std::setprecision(8);
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w
+      << "\" height=\"" << h << "\" viewBox=\"0 0 " << w << ' ' << h
+      << "\">\n";
+  out << "  <rect x=\"0\" y=\"0\" width=\"" << w << "\" height=\"" << h
+      << "\" fill=\"" << options.background << "\"/>\n";
+
+  if (options.grid_um > 0) {
+    out << "  <g stroke=\"#e5e7eb\" stroke-width=\"1\">\n";
+    for (double x = die.xlo + options.grid_um; x < die.xhi;
+         x += options.grid_um)
+      out << "    <line x1=\"" << px(x) << "\" y1=\"0\" x2=\"" << px(x)
+          << "\" y2=\"" << h << "\"/>\n";
+    for (double y = die.ylo + options.grid_um; y < die.yhi;
+         y += options.grid_um)
+      out << "    <line x1=\"0\" y1=\"" << py(y) << "\" x2=\"" << w
+          << "\" y2=\"" << py(y) << "\"/>\n";
+    out << "  </g>\n";
+  }
+
+  out << "  <g opacity=\"" << options.wire_opacity << "\">\n";
+  for (const WireSegment& seg : layout.segments()) {
+    const geom::Rect r = seg.rect();
+    out << "    <rect x=\"" << px(r.xlo) << "\" y=\"" << py(r.yhi)
+        << "\" width=\"" << r.width() * options.scale << "\" height=\""
+        << r.height() * options.scale << "\" fill=\""
+        << (options.color_by_net ? net_color(seg.net) : options.wire_color)
+        << "\"/>\n";
+  }
+  out << "  </g>\n";
+
+  if (!fill_features.empty()) {
+    out << "  <g opacity=\"" << options.fill_opacity << "\" fill=\""
+        << options.fill_color << "\">\n";
+    for (const geom::Rect& r : fill_features) {
+      out << "    <rect x=\"" << px(r.xlo) << "\" y=\"" << py(r.yhi)
+          << "\" width=\"" << r.width() * options.scale << "\" height=\""
+          << r.height() * options.scale << "\"/>\n";
+    }
+    out << "  </g>\n";
+  }
+  out << "</svg>\n";
+}
+
+void write_svg_file(const Layout& layout,
+                    const std::vector<geom::Rect>& fill_features,
+                    const std::string& path, const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open SVG file for writing: " + path);
+  write_svg(layout, fill_features, out, options);
+}
+
+}  // namespace pil::layout

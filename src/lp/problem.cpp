@@ -1,0 +1,27 @@
+#include "pil/lp/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pil::lp {
+
+double LpProblem::max_violation(const std::vector<double>& x) const {
+  PIL_REQUIRE(static_cast<int>(x.size()) == num_vars(), "dimension mismatch");
+  double worst = 0.0;
+  for (int j = 0; j < num_vars(); ++j) {
+    worst = std::max(worst, vars_[j].lo - x[j]);
+    worst = std::max(worst, x[j] - vars_[j].hi);
+  }
+  for (const auto& row : rows_) {
+    double lhs = 0.0;
+    for (const auto& e : row.entries) lhs += e.coef * x[e.var];
+    switch (row.sense) {
+      case Sense::kLe: worst = std::max(worst, lhs - row.rhs); break;
+      case Sense::kGe: worst = std::max(worst, row.rhs - lhs); break;
+      case Sense::kEq: worst = std::max(worst, std::fabs(lhs - row.rhs)); break;
+    }
+  }
+  return std::max(worst, 0.0);
+}
+
+}  // namespace pil::lp

@@ -1,0 +1,288 @@
+#include "pil/pilfill/driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <thread>
+
+#include "pil/pilfill/budgeted.hpp"
+#include "pil/util/log.hpp"
+#include "pil/util/stopwatch.hpp"
+
+namespace pil::pilfill {
+
+namespace {
+
+using fill::SlackColumn;
+using fill::SlackColumns;
+using fill::SlackMode;
+
+/// Everything the flow computes before any method-specific solving:
+/// dissection, wire density, RC pieces, slack columns, fill requirements,
+/// and the per-tile instances. Shared by the per-tile and budgeted flows.
+struct FlowPrep {
+  grid::Dissection dissection;
+  grid::DensityMap wires;
+  std::vector<rctree::RcTree> trees;
+  std::vector<rctree::WirePiece> pieces;
+  SlackColumns global;               // SlackColumn-III, always present
+  std::optional<SlackColumns> alt;   // solver-facing columns if mode != III
+  density::FillTargetResult target;
+  std::vector<TileInstance> instances;
+  double prep_seconds = 0.0;
+
+  const SlackColumns& solver_slack() const { return alt ? *alt : global; }
+
+  FlowPrep(const layout::Layout& layout, const FlowConfig& config)
+      : dissection(layout.die(), config.window_um, config.r),
+        wires(dissection),
+        trees(rctree::build_all_trees(layout)),
+        pieces(fill::flatten_pieces(trees)),
+        global(fill::extract_slack_columns(layout, dissection, pieces,
+                                           config.layer, config.rules,
+                                           SlackMode::kIII)) {
+    Stopwatch watch;
+    wires.add_layer_wires(layout, config.layer);
+    wires.add_layer_metal_blockages(layout, config.layer);
+    if (config.solver_mode != SlackMode::kIII)
+      alt = fill::extract_slack_columns(layout, dissection, pieces,
+                                        config.layer, config.rules,
+                                        config.solver_mode);
+
+    // Per-tile fill requirements from the global capacity inventory (or a
+    // caller-provided spec).
+    std::vector<int> capacity(dissection.num_tiles());
+    for (int t = 0; t < dissection.num_tiles(); ++t)
+      capacity[t] = global.tile_capacity(t);
+    if (config.required_per_tile.empty()) {
+      switch (config.target_engine) {
+        case TargetEngine::kMonteCarlo:
+          target = density::compute_fill_amounts_mc(wires, capacity,
+                                                    config.rules,
+                                                    config.target);
+          break;
+        case TargetEngine::kMinVarLp:
+          target = density::compute_fill_amounts_lp(wires, capacity,
+                                                    config.rules,
+                                                    config.target);
+          break;
+        case TargetEngine::kMinFillLp:
+          target = density::compute_fill_amounts_min_fill_lp(
+              wires, capacity, config.rules, config.target);
+          break;
+      }
+    } else {
+      PIL_REQUIRE(static_cast<int>(config.required_per_tile.size()) ==
+                      dissection.num_tiles(),
+                  "required_per_tile size must match the dissection");
+      target.features_per_tile = config.required_per_tile;
+      target.before = wires.stats();
+      grid::DensityMap after = wires;
+      for (int t = 0; t < dissection.num_tiles(); ++t) {
+        PIL_REQUIRE(config.required_per_tile[t] >= 0,
+                    "negative fill requirement");
+        target.total_features += config.required_per_tile[t];
+        after.add_area(dissection.tile_unflat(t),
+                       config.required_per_tile[t] *
+                           config.rules.feature_area());
+      }
+      target.after = after.stats();
+    }
+
+    instances.reserve(dissection.num_tiles());
+    for (int t = 0; t < dissection.num_tiles(); ++t) {
+      const int required = target.features_per_tile[t];
+      if (required == 0) continue;
+      instances.push_back(build_tile_instance(t, required, solver_slack(),
+                                              pieces, config.net_criticality));
+    }
+    prep_seconds = watch.seconds();
+  }
+};
+
+SolverContext make_context(const FlowConfig& config,
+                           const cap::CouplingModel& model,
+                           cap::ColumnCapLut& lut) {
+  SolverContext ctx;
+  ctx.model = &model;
+  ctx.lut = &lut;
+  ctx.rules = config.rules;
+  ctx.objective = config.objective;
+  ctx.ilp = config.ilp;
+  ctx.style = config.style;
+  ctx.switch_factor = config.switch_factor;
+  return ctx;
+}
+
+EvaluatorOptions make_eval_options(const FlowConfig& config) {
+  EvaluatorOptions options;
+  options.style = config.style;
+  options.switch_factor = config.switch_factor;
+  return options;
+}
+
+/// Turn per-instance-column counts into feature rectangles. All methods
+/// stack deterministically from the bottom of each part; Normal's random
+/// *site choice within a column* is electrically irrelevant (the
+/// series-plate model sees only the count), so bottom-stacking keeps the
+/// geometry simple without biasing any metric.
+void append_rects(const TileInstance& inst, const std::vector<int>& counts,
+                  const SlackColumns& slack, const fill::FillRules& rules,
+                  std::vector<geom::Rect>& out) {
+  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
+    const int m = counts[k];
+    if (m == 0) continue;
+    const InstanceColumn& ic = inst.cols[k];
+    const SlackColumn& col = slack.columns()[ic.column];
+    for (int i = 0; i < m; ++i)
+      out.push_back(slack.site_rect(col, ic.first_site + i, rules));
+  }
+}
+
+}  // namespace
+
+const char* to_string(TargetEngine e) {
+  switch (e) {
+    case TargetEngine::kMonteCarlo: return "monte-carlo";
+    case TargetEngine::kMinVarLp: return "min-var-lp";
+    case TargetEngine::kMinFillLp: return "min-fill-lp";
+  }
+  return "?";
+}
+
+FlowResult run_pil_fill_flow(const layout::Layout& layout,
+                             const FlowConfig& config,
+                             const std::vector<Method>& methods) {
+  config.rules.validate();
+  const layout::Layer& layer = layout.layer(config.layer);
+
+  const FlowPrep prep(layout, config);
+  FlowResult result;
+  result.density_before = prep.wires.stats();
+  result.total_capacity = prep.global.total_capacity();
+  result.target = prep.target;
+  result.prep_seconds = prep.prep_seconds;
+
+  const cap::CouplingModel model(layer.eps_r, layer.thickness_um);
+  cap::ColumnCapLut lut(model, config.rules.feature_um);
+  const DelayImpactEvaluator evaluator(prep.global, prep.pieces, model,
+                                       config.rules,
+                                       make_eval_options(config));
+  const SolverContext ctx = make_context(config, model, lut);
+
+  for (const Method method : methods) {
+    MethodResult mr;
+    mr.method = method;
+    mr.placement.features_per_tile.assign(prep.dissection.num_tiles(), 0);
+    // Per-tile RNG streams keep Normal's placement identical no matter how
+    // tiles are distributed over threads.
+    const std::uint64_t method_salt =
+        config.seed ^ (0x9e37u + static_cast<unsigned>(method) * 0x85ebu);
+
+    Stopwatch solve_watch;
+    std::vector<TileSolveResult> solved(prep.instances.size());
+    const int threads =
+        std::clamp(config.threads, 1,
+                   static_cast<int>(prep.instances.size()) + 1);
+    auto solve_range = [&](SolverContext local_ctx, std::atomic<size_t>& next) {
+      for (std::size_t i = next.fetch_add(1); i < prep.instances.size();
+           i = next.fetch_add(1)) {
+        Rng rng(method_salt ^
+                (static_cast<std::uint64_t>(prep.instances[i].tile_flat) *
+                 0x9E3779B97F4A7C15ull));
+        solved[i] = solve_tile(method, prep.instances[i], local_ctx, rng);
+      }
+    };
+    if (threads <= 1) {
+      std::atomic<size_t> next{0};
+      solve_range(ctx, next);
+    } else {
+      // The LUT cache is not thread-safe; each worker owns one.
+      std::atomic<size_t> next{0};
+      std::vector<cap::ColumnCapLut> luts(
+          threads, cap::ColumnCapLut(model, config.rules.feature_um));
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (int w = 0; w < threads; ++w) {
+        SolverContext local_ctx = ctx;
+        local_ctx.lut = &luts[w];
+        pool.emplace_back(solve_range, local_ctx, std::ref(next));
+      }
+      for (auto& t : pool) t.join();
+    }
+    mr.solve_seconds = solve_watch.seconds();
+
+    for (std::size_t i = 0; i < prep.instances.size(); ++i) {
+      const TileInstance& inst = prep.instances[i];
+      mr.placed += solved[i].placed;
+      mr.shortfall += solved[i].shortfall;
+      mr.bb_nodes += solved[i].bb_nodes;
+      mr.placement.features_per_tile[inst.tile_flat] = solved[i].placed;
+      append_rects(inst, solved[i].counts, prep.solver_slack(), config.rules,
+                   mr.placement.features);
+    }
+
+    mr.impact = evaluator.evaluate_rects(mr.placement.features);
+
+    grid::DensityMap after = prep.wires;
+    for (const auto& rect : mr.placement.features) after.add_rect(rect);
+    mr.density_after = after.stats();
+
+    PIL_INFO(to_string(method)
+             << ": placed " << mr.placed << " (shortfall " << mr.shortfall
+             << "), delay +" << mr.impact.delay_ps << " ps, weighted +"
+             << mr.impact.weighted_delay_ps << " ps, "
+             << mr.solve_seconds << " s");
+    result.methods.push_back(std::move(mr));
+  }
+  return result;
+}
+
+std::vector<FlowResult> run_multi_layer_pil_fill_flow(
+    const layout::Layout& layout, const FlowConfig& config,
+    const std::vector<Method>& methods) {
+  std::vector<FlowResult> results;
+  results.reserve(layout.num_layers());
+  for (std::size_t i = 0; i < layout.num_layers(); ++i) {
+    FlowConfig per_layer = config;
+    per_layer.layer = static_cast<layout::LayerId>(i);
+    // required_per_tile/criticality are layer-agnostic inputs; the per-tile
+    // spec cannot be shared across layers.
+    per_layer.required_per_tile.clear();
+    results.push_back(run_pil_fill_flow(layout, per_layer, methods));
+  }
+  return results;
+}
+
+BudgetedFlowResult run_budgeted_pil_fill_flow(const layout::Layout& layout,
+                                              const FlowConfig& config,
+                                              const BudgetedConfig& budgets) {
+  config.rules.validate();
+  const layout::Layer& layer = layout.layer(config.layer);
+
+  const FlowPrep prep(layout, config);
+  BudgetedFlowResult result;
+  result.density_before = prep.wires.stats();
+  result.target = prep.target;
+
+  const cap::CouplingModel model(layer.eps_r, layer.thickness_um);
+  cap::ColumnCapLut lut(model, config.rules.feature_um);
+  const SolverContext ctx = make_context(config, model, lut);
+
+  Stopwatch watch;
+  result.allocation = solve_budgeted(prep.instances, ctx, budgets,
+                                     static_cast<int>(layout.num_nets()));
+  result.solve_seconds = watch.seconds();
+
+  for (std::size_t i = 0; i < prep.instances.size(); ++i)
+    append_rects(prep.instances[i], result.allocation.counts[i],
+                 prep.solver_slack(), config.rules, result.features);
+
+  const DelayImpactEvaluator evaluator(prep.global, prep.pieces, model,
+                                       config.rules,
+                                       make_eval_options(config));
+  result.impact = evaluator.evaluate_rects(result.features);
+  return result;
+}
+
+}  // namespace pil::pilfill

@@ -1,0 +1,301 @@
+#include "pil/pilfill/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "pil/util/log.hpp"
+
+namespace pil::pilfill {
+
+namespace {
+
+double res_factor(const InstanceColumn& c, Objective obj) {
+  return obj == Objective::kWeighted ? c.res_weighted : c.res_nonweighted;
+}
+
+TileSolveResult make_result(const TileInstance& inst) {
+  TileSolveResult r;
+  r.counts.assign(inst.cols.size(), 0);
+  return r;
+}
+
+void finish(const TileInstance& inst, TileSolveResult& r) {
+  r.placed = std::accumulate(r.counts.begin(), r.counts.end(), 0);
+  r.shortfall = inst.required - r.placed;
+  PIL_ASSERT(r.shortfall >= 0, "placed more features than required");
+  for (std::size_t k = 0; k < r.counts.size(); ++k)
+    PIL_ASSERT(r.counts[k] >= 0 && r.counts[k] <= inst.cols[k].num_sites,
+               "column capacity violated");
+}
+
+/// Feasible feature budget for this tile.
+int budget(const TileInstance& inst) {
+  return std::min(inst.required, inst.capacity());
+}
+
+}  // namespace
+
+std::vector<double> column_cost_table(const SolverContext& ctx, double d_um,
+                                      int capacity) {
+  PIL_REQUIRE(ctx.model != nullptr, "cost table needs a coupling model");
+  std::vector<double> t(static_cast<std::size_t>(capacity) + 1, 0.0);
+  if (ctx.style == cap::FillStyle::kFloating) {
+    PIL_REQUIRE(ctx.lut != nullptr, "floating cost table needs the LUT");
+    const auto& lut = ctx.lut->table(d_um, capacity);
+    for (int n = 1; n <= capacity; ++n) t[n] = lut[n] * ctx.switch_factor;
+  } else {
+    for (int n = 1; n <= capacity; ++n)
+      t[n] = ctx.model->grounded_column_delta_line_cap_ff(
+                 n, ctx.rules.feature_um, ctx.rules.buffer_um, d_um) *
+             ctx.switch_factor;
+  }
+  return t;
+}
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::kNormal: return "Normal";
+    case Method::kIlp1: return "ILP-I";
+    case Method::kIlp2: return "ILP-II";
+    case Method::kGreedy: return "Greedy";
+    case Method::kConvex: return "Convex";
+  }
+  return "?";
+}
+
+TileSolveResult solve_tile_normal(const TileInstance& inst, Rng& rng) {
+  TileSolveResult r = make_result(inst);
+  int remaining_total = inst.capacity();
+  std::vector<int> remaining(inst.cols.size());
+  for (std::size_t k = 0; k < inst.cols.size(); ++k)
+    remaining[k] = inst.cols[k].num_sites;
+
+  // Uniform sampling of slack sites without replacement: each placement
+  // picks a site uniformly among the still-free ones.
+  for (int placed = budget(inst); placed > 0; --placed) {
+    std::int64_t pick = rng.uniform_int(0, remaining_total - 1);
+    std::size_t k = 0;
+    while (pick >= remaining[k]) {
+      pick -= remaining[k];
+      ++k;
+    }
+    r.counts[k] += 1;
+    remaining[k] -= 1;
+    remaining_total -= 1;
+  }
+  finish(inst, r);
+  return r;
+}
+
+TileSolveResult solve_tile_greedy(const TileInstance& inst,
+                                  const SolverContext& ctx) {
+  PIL_REQUIRE(ctx.model != nullptr, "greedy needs a coupling model");
+  TileSolveResult r = make_result(inst);
+
+  // Figure 8, steps 11-13: key each column by the delay it would add if
+  // filled to capacity, then fill the cheapest columns completely.
+  std::vector<std::pair<double, int>> order;
+  order.reserve(inst.cols.size());
+  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
+    const InstanceColumn& c = inst.cols[k];
+    double key = 0.0;
+    if (c.two_sided && c.num_sites > 0) {
+      const double dcap = column_cost_table(ctx, c.d, c.num_sites).back();
+      key = dcap * res_factor(c, ctx.objective);
+    }
+    order.emplace_back(key, static_cast<int>(k));
+  }
+  std::sort(order.begin(), order.end());
+
+  int todo = budget(inst);
+  for (const auto& [key, k] : order) {
+    if (todo == 0) break;
+    const int take = std::min(todo, inst.cols[k].num_sites);
+    r.counts[k] = take;
+    todo -= take;
+  }
+  finish(inst, r);
+  return r;
+}
+
+TileSolveResult solve_tile_ilp1(const TileInstance& inst,
+                                const SolverContext& ctx) {
+  PIL_REQUIRE(ctx.model != nullptr, "ILP-I needs a coupling model");
+  PIL_REQUIRE(ctx.style == cap::FillStyle::kFloating,
+              "ILP-I's linear model only applies to floating fill");
+  TileSolveResult r = make_result(inst);
+  const int f = budget(inst);
+  if (f == 0) {
+    finish(inst, r);
+    return r;
+  }
+  if (f == inst.capacity()) {  // trivially full
+    for (std::size_t k = 0; k < inst.cols.size(); ++k)
+      r.counts[k] = inst.cols[k].num_sites;
+    finish(inst, r);
+    return r;
+  }
+
+  // min sum slope_k * m_k  s.t.  sum m_k = F, 0 <= m_k <= C_k integer,
+  // where slope_k is the per-feature *linear-model* delay (Eq. 6 x Eq. 13).
+  std::vector<double> slope(inst.cols.size(), 0.0);
+  double max_slope = 0.0;
+  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
+    const InstanceColumn& c = inst.cols[k];
+    if (c.two_sided) {
+      slope[k] = ctx.model->column_delta_cap_linear_ff(1, ctx.rules.feature_um,
+                                                       c.d) *
+                 res_factor(c, ctx.objective);
+      max_slope = std::max(max_slope, slope[k]);
+    }
+  }
+  const double scale = max_slope > 0 ? 1.0 / max_slope : 1.0;
+
+  lp::LpProblem prob;
+  std::vector<lp::RowEntry> sum_row;
+  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
+    const int var = prob.add_var(0.0, inst.cols[k].num_sites,
+                                 slope[k] * scale);
+    sum_row.push_back({var, 1.0});
+  }
+  prob.add_row(lp::Sense::kEq, f, std::move(sum_row));
+
+  const std::vector<bool> integer(inst.cols.size(), true);
+  const ilp::IlpSolution sol = ilp::solve_ilp(prob, integer, ctx.ilp);
+  PIL_REQUIRE(sol.status == ilp::IlpStatus::kOptimal,
+              std::string("ILP-I solve failed: ") + to_string(sol.status));
+  for (std::size_t k = 0; k < inst.cols.size(); ++k)
+    r.counts[k] = static_cast<int>(std::lround(sol.x[k]));
+  r.bb_nodes = sol.nodes_explored;
+  finish(inst, r);
+  return r;
+}
+
+TileSolveResult solve_tile_ilp2(const TileInstance& inst,
+                                const SolverContext& ctx) {
+  PIL_REQUIRE(ctx.lut != nullptr, "ILP-II needs a capacitance LUT");
+  // Grounded fill has a step cost (all counts >= 1 cost the same), which
+  // turns MDFC into a set-cover-like problem whose binary-expansion LP
+  // relaxation is weak -- branch-and-bound degenerates. Use Greedy for
+  // grounded fill; ILP-II is defined on the convex floating model.
+  PIL_REQUIRE(ctx.style == cap::FillStyle::kFloating,
+              "ILP-II requires the floating-fill model");
+  TileSolveResult r = make_result(inst);
+  const int f = budget(inst);
+  if (f == 0) {
+    finish(inst, r);
+    return r;
+  }
+  if (f == inst.capacity()) {
+    for (std::size_t k = 0; k < inst.cols.size(); ++k)
+      r.counts[k] = inst.cols[k].num_sites;
+    finish(inst, r);
+    return r;
+  }
+
+  // Binary expansion (Eqs. 16-23): y_{k,n} = 1 iff column k holds exactly n
+  // features. Costs come from the pre-built lookup table f(n, d_k).
+  // First pass: collect costs and the normalization scale.
+  struct ColVars {
+    int first_var = -1;  // vars first_var .. first_var + num_sites - 1
+  };
+  std::vector<ColVars> cv(inst.cols.size());
+  double max_cost = 0.0;
+  std::vector<std::vector<double>> costs(inst.cols.size());
+  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
+    const InstanceColumn& c = inst.cols[k];
+    costs[k].assign(c.num_sites + 1, 0.0);
+    if (c.two_sided && c.num_sites > 0) {
+      const std::vector<double> table =
+          column_cost_table(ctx, c.d, c.num_sites);
+      const double rf = res_factor(c, ctx.objective);
+      for (int n = 1; n <= c.num_sites; ++n) {
+        costs[k][n] = table[n] * rf;
+        max_cost = std::max(max_cost, costs[k][n]);
+      }
+    }
+  }
+  const double scale = max_cost > 0 ? 1.0 / max_cost : 1.0;
+
+  lp::LpProblem prob;
+  std::vector<lp::RowEntry> sum_row;
+  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
+    const InstanceColumn& c = inst.cols[k];
+    if (c.num_sites == 0) continue;
+    std::vector<lp::RowEntry> sos_row;
+    for (int n = 1; n <= c.num_sites; ++n) {
+      const int var = prob.add_var(0.0, 1.0, costs[k][n] * scale);
+      if (cv[k].first_var < 0) cv[k].first_var = var;
+      sum_row.push_back({var, static_cast<double>(n)});
+      sos_row.push_back({var, 1.0});
+    }
+    // At most one count level selected per column (none = zero features).
+    prob.add_row(lp::Sense::kLe, 1.0, std::move(sos_row));
+  }
+  prob.add_row(lp::Sense::kEq, f, std::move(sum_row));
+
+  const std::vector<bool> integer(prob.num_vars(), true);
+  const ilp::IlpSolution sol = ilp::solve_ilp(prob, integer, ctx.ilp);
+  PIL_REQUIRE(sol.status == ilp::IlpStatus::kOptimal,
+              std::string("ILP-II solve failed: ") + to_string(sol.status));
+  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
+    if (cv[k].first_var < 0) continue;
+    for (int n = 1; n <= inst.cols[k].num_sites; ++n)
+      if (sol.x[cv[k].first_var + n - 1] > 0.5) r.counts[k] = n;
+  }
+  r.bb_nodes = sol.nodes_explored;
+  finish(inst, r);
+  return r;
+}
+
+TileSolveResult solve_tile_convex(const TileInstance& inst,
+                                  const SolverContext& ctx) {
+  PIL_REQUIRE(ctx.lut != nullptr, "convex allocation needs a capacitance LUT");
+  PIL_REQUIRE(ctx.style == cap::FillStyle::kFloating,
+              "marginal-cost allocation requires the convex floating model");
+  TileSolveResult r = make_result(inst);
+
+  // Marginal cost of the (n+1)-th feature in column k is
+  // cost_k(n+1) - cost_k(n), nondecreasing in n (the plate model is convex
+  // in the feature count), so repeatedly taking the globally cheapest
+  // marginal is exact.
+  using Entry = std::pair<double, int>;  // (marginal cost, column)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  auto marginal = [&](std::size_t k, int n_next) {
+    const InstanceColumn& c = inst.cols[k];
+    if (!c.two_sided) return 0.0;
+    const auto& lut = ctx.lut->table(c.d, c.num_sites);
+    return (lut[n_next] - lut[n_next - 1]) * ctx.switch_factor *
+           res_factor(c, ctx.objective);
+  };
+  for (std::size_t k = 0; k < inst.cols.size(); ++k)
+    if (inst.cols[k].num_sites > 0)
+      heap.emplace(marginal(k, 1), static_cast<int>(k));
+
+  for (int todo = budget(inst); todo > 0; --todo) {
+    PIL_ASSERT(!heap.empty(), "capacity accounting mismatch");
+    const auto [cost, k] = heap.top();
+    heap.pop();
+    r.counts[k] += 1;
+    if (r.counts[k] < inst.cols[k].num_sites)
+      heap.emplace(marginal(k, r.counts[k] + 1), k);
+  }
+  finish(inst, r);
+  return r;
+}
+
+TileSolveResult solve_tile(Method method, const TileInstance& inst,
+                           const SolverContext& ctx, Rng& rng) {
+  switch (method) {
+    case Method::kNormal: return solve_tile_normal(inst, rng);
+    case Method::kIlp1: return solve_tile_ilp1(inst, ctx);
+    case Method::kIlp2: return solve_tile_ilp2(inst, ctx);
+    case Method::kGreedy: return solve_tile_greedy(inst, ctx);
+    case Method::kConvex: return solve_tile_convex(inst, ctx);
+  }
+  throw Error("unknown method");
+}
+
+}  // namespace pil::pilfill

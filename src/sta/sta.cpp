@@ -1,0 +1,79 @@
+#include "pil/sta/sta.hpp"
+
+#include <algorithm>
+
+#include "pil/util/log.hpp"
+
+namespace pil::sta {
+
+TimingReport analyze_timing(const std::vector<rctree::RcTree>& trees,
+                            const TimingConstraints& constraints) {
+  TimingReport report;
+  report.nets.reserve(trees.size());
+  bool first = true;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    const rctree::RcTree& tree = trees[i];
+    PIL_REQUIRE(tree.net() == static_cast<layout::NetId>(i),
+                "trees must be in NetId order");
+    NetTiming nt;
+    nt.net = static_cast<layout::NetId>(i);
+    nt.arrival_ps = i < constraints.net_arrival_ps.size()
+                        ? constraints.net_arrival_ps[i]
+                        : 0.0;
+    for (int s = 0; s < tree.num_sinks(); ++s)
+      nt.worst_sink_delay_ps =
+          std::max(nt.worst_sink_delay_ps, tree.sink_delay_ps(s));
+    nt.worst_arrival_ps = nt.arrival_ps + nt.worst_sink_delay_ps;
+    nt.required_ps = i < constraints.net_required_ps.size()
+                         ? constraints.net_required_ps[i]
+                         : constraints.default_required_ps;
+    nt.slack_ps = nt.required_ps - nt.worst_arrival_ps;
+    if (nt.slack_ps < 0) {
+      report.total_negative_slack_ps += nt.slack_ps;
+      ++report.failing_nets;
+    }
+    if (first || nt.slack_ps < report.worst_slack_ps) {
+      report.worst_slack_ps = nt.slack_ps;
+      first = false;
+    }
+    report.nets.push_back(nt);
+  }
+  PIL_INFO("STA: " << report.nets.size() << " nets, WNS "
+                   << report.worst_slack_ps << " ps, TNS "
+                   << report.total_negative_slack_ps << " ps ("
+                   << report.failing_nets << " failing)");
+  return report;
+}
+
+TimingReport analyze_timing(const layout::Layout& layout,
+                            const TimingConstraints& constraints) {
+  return analyze_timing(rctree::build_all_trees(layout), constraints);
+}
+
+std::vector<double> criticality_from_slack(const TimingReport& report,
+                                           double slack_ceiling_ps,
+                                           double max_weight) {
+  PIL_REQUIRE(slack_ceiling_ps > 0, "slack ceiling must be positive");
+  PIL_REQUIRE(max_weight >= 1, "max weight must be at least 1");
+  std::vector<double> weights(report.nets.size(), 1.0);
+  for (std::size_t i = 0; i < report.nets.size(); ++i) {
+    const double slack = report.nets[i].slack_ps;
+    if (slack <= 0) {
+      weights[i] = max_weight;
+    } else if (slack < slack_ceiling_ps) {
+      weights[i] = 1.0 + (max_weight - 1.0) * (1.0 - slack / slack_ceiling_ps);
+    }
+  }
+  return weights;
+}
+
+std::vector<double> delay_allowance_from_slack(const TimingReport& report,
+                                               double fraction) {
+  PIL_REQUIRE(fraction >= 0 && fraction <= 1, "fraction must be in [0,1]");
+  std::vector<double> allowance(report.nets.size(), 0.0);
+  for (std::size_t i = 0; i < report.nets.size(); ++i)
+    allowance[i] = std::max(0.0, report.nets[i].slack_ps) * fraction;
+  return allowance;
+}
+
+}  // namespace pil::sta

@@ -1,0 +1,38 @@
+#include "pil/util/log.hpp"
+
+#include <atomic>
+
+namespace pil {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level));
+}
+
+namespace detail {
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::ostream& os = (static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn))
+                         ? std::cerr
+                         : std::clog;
+  os << "[pil:" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace detail
+}  // namespace pil

@@ -1,0 +1,58 @@
+#include "pil/util/table.hpp"
+
+#include <algorithm>
+
+#include "pil/util/error.hpp"
+
+namespace pil {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PIL_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PIL_REQUIRE(cells.size() == headers_.size(),
+              "Table row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      const bool quote = row[c].find(',') != std::string::npos;
+      if (quote) os << '"';
+      os << row[c];
+      if (quote) os << '"';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace pil

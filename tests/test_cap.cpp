@@ -1,0 +1,212 @@
+// Tests for pil/cap: parallel-plate coupling model, linear approximation,
+// and the lookup-table builder.
+
+#include <gtest/gtest.h>
+
+#include "pil/cap/coupling.hpp"
+#include "pil/util/error.hpp"
+
+namespace pil::cap {
+namespace {
+
+constexpr double kW = 0.5;  // feature size used throughout
+
+TEST(CouplingModel, PlateConstant) {
+  const CouplingModel m(3.9, 0.5);
+  EXPECT_NEAR(m.plate_constant(), kEps0FfPerUm * 3.9 * 0.5, 1e-15);
+  EXPECT_THROW(CouplingModel(0.0, 0.5), Error);
+  EXPECT_THROW(CouplingModel(3.9, -1.0), Error);
+}
+
+TEST(CouplingModel, LineCouplingInverseInD) {
+  const CouplingModel m(3.9, 0.5);
+  EXPECT_NEAR(m.line_coupling_per_um(1.0), m.plate_constant(), 1e-15);
+  EXPECT_NEAR(m.line_coupling_per_um(2.0), m.plate_constant() / 2, 1e-15);
+  EXPECT_THROW(m.line_coupling_per_um(0.0), Error);
+}
+
+TEST(CouplingModel, FilledCouplingShrinksGap) {
+  const CouplingModel m(3.9, 0.5);
+  // 2 features of 0.5 in a 3 um gap leave 2 um of dielectric.
+  EXPECT_NEAR(m.filled_coupling_per_um(2, kW, 3.0),
+              m.line_coupling_per_um(2.0), 1e-15);
+  EXPECT_THROW(m.filled_coupling_per_um(6, kW, 3.0), Error);  // 3 um of metal
+}
+
+TEST(CouplingModel, DeltaCapZeroForEmptyColumn) {
+  const CouplingModel m(3.9, 0.5);
+  EXPECT_DOUBLE_EQ(m.column_delta_cap_ff(0, kW, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.column_delta_cap_linear_ff(0, kW, 3.0), 0.0);
+}
+
+TEST(CouplingModel, DeltaCapMonotoneInCount) {
+  const CouplingModel m(3.9, 0.5);
+  double prev = 0.0;
+  for (int n = 1; n <= 4; ++n) {
+    const double c = m.column_delta_cap_ff(n, kW, 3.0);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CouplingModel, DeltaCapConvexInCount) {
+  // Marginal cost of each additional feature must be nondecreasing --
+  // the property the Convex solver and the ILP-II integrality argument use.
+  const CouplingModel m(3.9, 0.5);
+  for (const double d : {1.6, 2.5, 3.5, 8.0, 20.0}) {
+    double prev_marginal = 0.0;
+    const int cap = static_cast<int>((d - 1.0) / kW);  // keep gap positive
+    for (int n = 1; n <= cap; ++n) {
+      const double marginal = m.column_delta_cap_ff(n, kW, d) -
+                              m.column_delta_cap_ff(n - 1, kW, d);
+      EXPECT_GE(marginal, prev_marginal - 1e-18) << "d=" << d << " n=" << n;
+      prev_marginal = marginal;
+    }
+  }
+}
+
+TEST(CouplingModel, LinearMatchesExactForSmallFill) {
+  const CouplingModel m(3.9, 0.5);
+  // One tiny feature in a huge gap: models must agree closely.
+  const double exact = m.column_delta_cap_ff(1, 0.1, 50.0);
+  const double lin = m.column_delta_cap_linear_ff(1, 0.1, 50.0);
+  EXPECT_NEAR(lin / exact, 1.0, 0.01);
+}
+
+TEST(CouplingModel, LinearUnderestimatesLargeFill) {
+  const CouplingModel m(3.9, 0.5);
+  // Fill most of the gap: the exact cap blows up, the linear model does not.
+  const double exact = m.column_delta_cap_ff(5, kW, 3.0);  // 0.5 um left
+  const double lin = m.column_delta_cap_linear_ff(5, kW, 3.0);
+  EXPECT_GT(exact, 3.0 * lin);
+  EXPECT_GT(m.linear_model_relative_error(5, kW, 3.0), 0.5);
+}
+
+TEST(CouplingModel, RelativeErrorGrowsWithFillFraction) {
+  const CouplingModel m(3.9, 0.5);
+  double prev = -1.0;
+  for (int n = 1; n <= 5; ++n) {
+    const double err = m.linear_model_relative_error(n, kW, 3.0);
+    EXPECT_GT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(CouplingModel, ExactErrorFormula) {
+  // exact/linear = d / (d - m*w); check the identity numerically.
+  const CouplingModel m(3.9, 0.5);
+  for (const double d : {2.0, 3.0, 5.0}) {
+    for (int n = 1; n * kW < d - 0.5; ++n) {
+      const double ratio = m.column_delta_cap_ff(n, kW, d) /
+                           m.column_delta_cap_linear_ff(n, kW, d);
+      EXPECT_NEAR(ratio, d / (d - n * kW), 1e-9);
+    }
+  }
+}
+
+// ------------------------------------------------------------- grounded ----
+
+TEST(GroundedModel, ZeroForEmptyColumn) {
+  const CouplingModel m(3.9, 0.5);
+  EXPECT_DOUBLE_EQ(m.grounded_column_delta_line_cap_ff(0, kW, 0.5, 3.0), 0.0);
+}
+
+TEST(GroundedModel, CountInsensitiveBeyondFirstFeature) {
+  const CouplingModel m(3.9, 0.5);
+  const double one = m.grounded_column_delta_line_cap_ff(1, kW, 0.5, 3.0);
+  for (int n = 2; n <= 4; ++n)
+    EXPECT_DOUBLE_EQ(m.grounded_column_delta_line_cap_ff(n, kW, 0.5, 3.0),
+                     one);
+}
+
+TEST(GroundedModel, PlateMinusShieldedCoupling) {
+  // dC = k*w*(1/buffer - 1/d).
+  const CouplingModel m(3.9, 0.5);
+  const double k = m.plate_constant();
+  EXPECT_NEAR(m.grounded_column_delta_line_cap_ff(1, kW, 0.5, 2.5),
+              k * kW * (1 / 0.5 - 1 / 2.5), 1e-15);
+}
+
+TEST(GroundedModel, DwarfsFloatingForTypicalGeometry) {
+  // One floating feature in a 2.5 um gap vs one grounded feature at 0.5 um
+  // buffer: the grounded load is an order of magnitude larger. (Note the
+  // floating coupling is *shared* by the two lines while the grounded load
+  // repeats per line, widening the gap further.)
+  const CouplingModel m(3.9, 0.5);
+  EXPECT_GT(m.grounded_column_delta_line_cap_ff(1, kW, 0.5, 2.5),
+            5 * m.column_delta_cap_ff(1, kW, 2.5));
+}
+
+TEST(GroundedModel, RejectsBadGeometry) {
+  const CouplingModel m(3.9, 0.5);
+  EXPECT_THROW(m.grounded_column_delta_line_cap_ff(1, kW, 0.0, 3.0), Error);
+  EXPECT_THROW(m.grounded_column_delta_line_cap_ff(1, kW, 3.0, 2.0), Error);
+}
+
+TEST(FillStyle, Names) {
+  EXPECT_STREQ(to_string(FillStyle::kFloating), "floating");
+  EXPECT_STREQ(to_string(FillStyle::kGrounded), "grounded");
+}
+
+// ------------------------------------------------------------------ LUT ----
+
+TEST(ColumnCapLut, TableValuesMatchModel) {
+  const CouplingModel m(3.9, 0.5);
+  ColumnCapLut lut(m, kW);
+  const auto& t = lut.table(3.0, 4);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  for (int n = 1; n <= 4; ++n)
+    EXPECT_DOUBLE_EQ(t[n], m.column_delta_cap_ff(n, kW, 3.0));
+}
+
+TEST(ColumnCapLut, TablesAreMemoized) {
+  const CouplingModel m(3.9, 0.5);
+  ColumnCapLut lut(m, kW);
+  const auto* a = &lut.table(3.0, 4);
+  const auto* b = &lut.table(3.0, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(lut.num_tables(), 1u);
+  lut.table(3.0, 5);  // different capacity -> new table
+  lut.table(4.0, 4);  // different distance -> new table
+  EXPECT_EQ(lut.num_tables(), 3u);
+}
+
+TEST(ColumnCapLut, ReferencesStayValidAcrossInserts) {
+  const CouplingModel m(3.9, 0.5);
+  ColumnCapLut lut(m, kW);
+  const auto& first = lut.table(3.0, 3);
+  const double v = first[3];
+  for (int i = 0; i < 50; ++i) lut.table(10.0 + i, 3);
+  EXPECT_DOUBLE_EQ(first[3], v);
+}
+
+TEST(ColumnCapLut, ZeroCapacity) {
+  const CouplingModel m(3.9, 0.5);
+  ColumnCapLut lut(m, kW);
+  const auto& t = lut.table(3.0, 0);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_THROW(lut.table(3.0, -1), Error);
+}
+
+// Parameterized sweep: the physically-meaningful band of separations.
+class CapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapSweep, ExactAlwaysAtLeastLinear) {
+  const double d = GetParam();
+  const CouplingModel m(3.9, 0.5);
+  const int cap = static_cast<int>((d - 1.0) / kW);
+  for (int n = 0; n <= cap; ++n) {
+    EXPECT_GE(m.column_delta_cap_ff(n, kW, d) -
+                  m.column_delta_cap_linear_ff(n, kW, d),
+              -1e-18);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, CapSweep,
+                         ::testing::Values(1.6, 2.0, 2.5, 3.5, 5.5, 7.5, 11.5,
+                                           19.5, 40.0));
+
+}  // namespace
+}  // namespace pil::cap

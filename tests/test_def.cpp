@@ -1,0 +1,211 @@
+// Tests for the DEF-lite reader.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pil/layout/def_io.hpp"
+#include "pil/pilfill/driver.hpp"
+
+namespace pil::layout {
+namespace {
+
+DefReadOptions m3_options() {
+  DefReadOptions o;
+  Layer m;
+  m.name = "m3";
+  o.layers.push_back(m);
+  return o;
+}
+
+Layout parse(const std::string& text, const DefReadOptions& o = m3_options()) {
+  std::istringstream is(text);
+  return read_def(is, o);
+}
+
+const char* kSimpleDef = R"(
+VERSION 5.8 ;
+DESIGN demo ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 64000 64000 ) ;
+NETS 2 ;
+- n0 ( u1 A ) ( u2 Z )
+  + ROUTED m3 ( 2000 10000 ) ( 30000 10000 )
+    NEW m3 ( 20000 10000 ) ( 20000 16000 )
+  ;
+- n1
+  + ROUTED m3 ( 4000 40000 ) ( 40000 * )
+  ;
+END NETS
+END DESIGN
+)";
+
+TEST(DefReader, ParsesBasicStructure) {
+  const Layout l = parse(kSimpleDef);
+  EXPECT_EQ(l.die(), (geom::Rect{0, 0, 64, 64}));
+  ASSERT_EQ(l.num_nets(), 2u);
+  EXPECT_EQ(l.net(0).name, "n0");
+  EXPECT_EQ(l.num_segments(), 3u);
+}
+
+TEST(DefReader, ConvertsDatabaseUnits) {
+  const Layout l = parse(kSimpleDef);
+  const WireSegment& s = l.segment(0);
+  EXPECT_DOUBLE_EQ(s.a.x, 2.0);
+  EXPECT_DOUBLE_EQ(s.b.x, 30.0);
+  EXPECT_DOUBLE_EQ(s.a.y, 10.0);
+}
+
+TEST(DefReader, StarRepeatsCoordinate) {
+  const Layout l = parse(kSimpleDef);
+  const Net& n1 = l.net(1);
+  ASSERT_EQ(n1.segments.size(), 1u);
+  const WireSegment& s = l.segment(n1.segments[0]);
+  EXPECT_DOUBLE_EQ(s.a.y, 40.0);
+  EXPECT_DOUBLE_EQ(s.b.y, 40.0);
+  EXPECT_DOUBLE_EQ(s.b.x, 40.0);
+}
+
+TEST(DefReader, InfersSourceAndSinks) {
+  const Layout l = parse(kSimpleDef);
+  const Net& n0 = l.net(0);
+  EXPECT_EQ(n0.source, (geom::Point{2, 10}));
+  // Leaves of n0: trunk end (30,10) and branch tip (20,16).
+  ASSERT_EQ(n0.sinks.size(), 2u);
+  const Net& n1 = l.net(1);
+  EXPECT_EQ(n1.source, (geom::Point{4, 40}));
+  ASSERT_EQ(n1.sinks.size(), 1u);
+  EXPECT_EQ(n1.sinks[0].location, (geom::Point{40, 40}));
+}
+
+TEST(DefReader, AppliesElectricalDefaults) {
+  DefReadOptions o = m3_options();
+  o.default_driver_res_ohm = 123;
+  o.default_sink_cap_ff = 4.5;
+  const Layout l = parse(kSimpleDef, o);
+  EXPECT_DOUBLE_EQ(l.net(0).driver_res_ohm, 123);
+  EXPECT_DOUBLE_EQ(l.net(0).sinks[0].load_cap_ff, 4.5);
+}
+
+TEST(DefReader, SkipsUnknownSections) {
+  const Layout l = parse(R"(
+VERSION 5.8 ;
+DESIGN demo ;
+UNITS DISTANCE MICRONS 2000 ;
+DIEAREA ( 0 0 ) ( 128000 128000 ) ;
+COMPONENTS 1 ;
+- u1 INVX1 + PLACED ( 5000 5000 ) N ;
+END COMPONENTS
+PINS 1 ;
+- clk + NET clk + DIRECTION INPUT ;
+END PINS
+NETS 1 ;
+- n0 + ROUTED m3 ( 2000 10000 ) ( 30000 10000 ) ;
+END NETS
+END DESIGN
+)");
+  EXPECT_EQ(l.die().width(), 64.0);  // 128000 dbu at 2000/um
+  EXPECT_EQ(l.num_nets(), 1u);
+}
+
+TEST(DefReader, SkipsViaNamesInPaths) {
+  const Layout l = parse(R"(
+VERSION 5.8 ;
+DESIGN demo ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 64000 64000 ) ;
+NETS 1 ;
+- n0 + ROUTED m3 ( 2000 10000 ) ( 20000 10000 ) via3_4
+    NEW m3 ( 20000 10000 ) ( 20000 20000 )
+  ;
+END NETS
+END DESIGN
+)");
+  EXPECT_EQ(l.num_segments(), 2u);
+}
+
+TEST(DefReader, ErrorPaths) {
+  // Missing DIEAREA.
+  EXPECT_THROW(parse("VERSION 5.8 ;\nDESIGN d ;\nEND DESIGN\n"), Error);
+  // Unknown layer.
+  EXPECT_THROW(parse(R"(
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 9000 9000 ) ;
+NETS 1 ;
+- n0 + ROUTED metal9 ( 0 0 ) ( 1000 0 ) ;
+END NETS
+END DESIGN
+)"),
+               Error);
+  // No layers supplied at all.
+  std::istringstream is(kSimpleDef);
+  EXPECT_THROW(read_def(is, DefReadOptions{}), Error);
+  // '*' with no previous point.
+  EXPECT_THROW(parse(R"(
+DESIGN d ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 9000 9000 ) ;
+NETS 1 ;
+- n0 + ROUTED m3 ( * 0 ) ( 1000 0 ) ;
+END NETS
+END DESIGN
+)"),
+               Error);
+}
+
+TEST(DefFillsWriter, EmitsValidSection) {
+  const Layout l = parse(kSimpleDef);
+  const std::vector<geom::Rect> fill = {{1, 1, 1.5, 1.5}, {3.25, 4, 3.75, 4.5}};
+  std::ostringstream os;
+  write_def_fills(l, 0, fill, os, "demo_filled");
+  const std::string def = os.str();
+  EXPECT_NE(def.find("DESIGN demo_filled ;"), std::string::npos);
+  EXPECT_NE(def.find("FILLS 2 ;"), std::string::npos);
+  EXPECT_NE(def.find("- LAYER m3 RECT ( 1000 1000 ) ( 1500 1500 ) ;"),
+            std::string::npos);
+  EXPECT_NE(def.find("- LAYER m3 RECT ( 3250 4000 ) ( 3750 4500 ) ;"),
+            std::string::npos);
+  EXPECT_NE(def.find("END FILLS"), std::string::npos);
+  EXPECT_NE(def.find("END DESIGN"), std::string::npos);
+}
+
+TEST(DefFillsWriter, HonorsDbuScale) {
+  const Layout l = parse(kSimpleDef);
+  std::ostringstream os;
+  write_def_fills(l, 0, {{2, 2, 2.5, 2.5}}, os, "d", 2000.0);
+  EXPECT_NE(os.str().find("( 4000 4000 ) ( 5000 5000 )"), std::string::npos);
+  EXPECT_NE(os.str().find("UNITS DISTANCE MICRONS 2000 ;"),
+            std::string::npos);
+}
+
+TEST(DefFillsWriter, RejectsBadLayer) {
+  const Layout l = parse(kSimpleDef);
+  std::ostringstream os;
+  EXPECT_THROW(write_def_fills(l, 7, {}, os), Error);
+}
+
+TEST(DefReader, ParsedLayoutRunsThroughTheFlow) {
+  // End-to-end: a DEF netlist goes straight into PIL-Fill.
+  std::ostringstream def;
+  def << "VERSION 5.8 ;\nDESIGN gen ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+      << "DIEAREA ( 0 0 ) ( 64000 64000 ) ;\nNETS 8 ;\n";
+  for (int i = 0; i < 8; ++i) {
+    const int y = 4000 + i * 7000;
+    def << "- n" << i << " + ROUTED m3 ( 2000 " << y << " ) ( 50000 " << y
+        << " ) ;\n";
+  }
+  def << "END NETS\nEND DESIGN\n";
+  const Layout l = parse(def.str());
+
+  pilfill::FlowConfig config;
+  config.window_um = 32;
+  config.r = 2;
+  const pilfill::FlowResult res = pilfill::run_pil_fill_flow(
+      l, config, {pilfill::Method::kNormal, pilfill::Method::kIlp2});
+  EXPECT_GT(res.target.total_features, 0);
+  EXPECT_LT(res.methods[1].impact.delay_ps, res.methods[0].impact.delay_ps);
+}
+
+}  // namespace
+}  // namespace pil::layout

@@ -1,0 +1,125 @@
+// Tests for the GDSII stream writer/reader: encoding round trips, real8
+// conversion, structural validity, and a full layout+fill round trip.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pil/layout/gds_io.hpp"
+#include "pil/layout/synthetic.hpp"
+
+namespace pil::layout {
+namespace {
+
+Layout tiny_layout() {
+  Layout l(geom::Rect{0, 0, 50, 50});
+  Layer m;
+  m.name = "m3";
+  l.add_layer(m);
+  Net n;
+  n.name = "n0";
+  n.source = geom::Point{5, 25};
+  n.sinks.push_back({geom::Point{45, 25}, 1.0});
+  const NetId nid = l.add_net(n);
+  l.add_segment(nid, 0, {5, 25}, {45, 25}, 0.5);
+  return l;
+}
+
+GdsContents round_trip(const Layout& l, const std::vector<geom::Rect>& fill,
+                       const GdsWriteOptions& options = {}) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_gds(l, fill, ss, options);
+  ss.seekg(0);
+  return read_gds(ss);
+}
+
+TEST(GdsIo, HeaderAndNamesSurvive) {
+  GdsWriteOptions opt;
+  opt.library_name = "MYLIB";
+  opt.cell_name = "CHIP";
+  const GdsContents c = round_trip(tiny_layout(), {}, opt);
+  EXPECT_EQ(c.library_name, "MYLIB");
+  EXPECT_EQ(c.cell_name, "CHIP");
+  EXPECT_NEAR(c.dbu_per_um, 1000.0, 1e-6);
+}
+
+TEST(GdsIo, WireGeometryRoundTrips) {
+  const GdsContents c = round_trip(tiny_layout(), {});
+  ASSERT_EQ(c.rects.size(), 1u);
+  EXPECT_EQ(c.rects[0].layer, 1);  // layer id 0 -> GDS layer 1
+  EXPECT_EQ(c.rects[0].datatype, 0);
+  EXPECT_NEAR(c.rects[0].rect.xlo, 5.0, 1e-9);
+  EXPECT_NEAR(c.rects[0].rect.yhi, 25.25, 1e-9);
+}
+
+TEST(GdsIo, FillFeaturesOnTheirOwnLayer) {
+  GdsWriteOptions opt;
+  opt.fill_layer = 42;
+  opt.fill_datatype = 7;
+  const std::vector<geom::Rect> fill = {{1, 1, 1.5, 1.5}, {3, 3, 3.5, 3.5}};
+  const GdsContents c = round_trip(tiny_layout(), fill, opt);
+  ASSERT_EQ(c.rects.size(), 3u);
+  int fill_count = 0;
+  for (const auto& r : c.rects) {
+    if (r.layer == 42) {
+      EXPECT_EQ(r.datatype, 7);
+      EXPECT_NEAR(r.rect.area(), 0.25, 1e-9);
+      ++fill_count;
+    }
+  }
+  EXPECT_EQ(fill_count, 2);
+}
+
+TEST(GdsIo, CustomLayerNumbers) {
+  Layout l = tiny_layout();
+  Layer m4;
+  m4.name = "m4";
+  m4.preferred_direction = Orientation::kVertical;
+  l.add_layer(m4);
+  GdsWriteOptions opt;
+  opt.layer_numbers = {31, 33};
+  const GdsContents c = round_trip(l, {}, opt);
+  EXPECT_EQ(c.rects[0].layer, 31);
+  GdsWriteOptions bad;
+  bad.layer_numbers = {31};  // wrong size
+  std::ostringstream os;
+  EXPECT_THROW(write_gds(l, {}, os, bad), Error);
+}
+
+TEST(GdsIo, SnapToDatabaseGrid) {
+  // Coordinates snap to the dbu grid (1 nm by default).
+  GdsWriteOptions opt;
+  opt.dbu_per_um = 10.0;  // coarse 0.1 um grid
+  const std::vector<geom::Rect> fill = {{1.03, 1.03, 1.57, 1.57}};
+  const GdsContents c = round_trip(tiny_layout(), fill, opt);
+  const auto& r = c.rects.back().rect;
+  EXPECT_NEAR(r.xlo, 1.0, 1e-9);
+  EXPECT_NEAR(r.xhi, 1.6, 1e-9);
+}
+
+TEST(GdsIo, FullTestcaseRoundTrip) {
+  const Layout l = make_testcase_t2();
+  const GdsContents c = round_trip(l, {});
+  EXPECT_EQ(c.rects.size(), l.num_segments());
+  double area_gds = 0;
+  for (const auto& r : c.rects) area_gds += r.rect.area();
+  EXPECT_NEAR(area_gds, l.total_wire_area(0), 1e-3);
+}
+
+TEST(GdsIo, RejectsTruncatedStream) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_gds(tiny_layout(), {}, ss);
+  std::string data = ss.str();
+  data.resize(data.size() - 6);  // chop ENDLIB
+  std::istringstream in(data, std::ios::binary);
+  EXPECT_THROW(read_gds(in), Error);
+}
+
+TEST(GdsIo, RejectsGarbage) {
+  std::istringstream in(std::string("\x00\x06\xff\xff\x12\x34", 6),
+                        std::ios::binary);
+  EXPECT_THROW(read_gds(in), Error);
+}
+
+}  // namespace
+}  // namespace pil::layout

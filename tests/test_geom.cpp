@@ -1,0 +1,280 @@
+// Unit + property tests for pil/geom: intervals, interval sets, rectangles.
+
+#include <gtest/gtest.h>
+
+#include "pil/geom/interval.hpp"
+#include "pil/geom/point.hpp"
+#include "pil/geom/rect.hpp"
+#include "pil/util/rng.hpp"
+
+namespace pil::geom {
+namespace {
+
+// --------------------------------------------------------------- point ----
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan_distance({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan_distance({-1, 2}, {-1, 2}), 0.0);
+}
+
+TEST(Point, NearlyEqual) {
+  EXPECT_TRUE(nearly_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(nearly_equal(1.0, 1.0001));
+}
+
+// ------------------------------------------------------------ interval ----
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_DOUBLE_EQ(iv.length(), 0.0);
+}
+
+TEST(Interval, BasicProperties) {
+  Interval iv{2, 5};
+  EXPECT_FALSE(iv.empty());
+  EXPECT_DOUBLE_EQ(iv.length(), 3.0);
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains(5.001));
+}
+
+TEST(Interval, Intersect) {
+  EXPECT_EQ(intersect({0, 4}, {2, 6}), (Interval{2, 4}));
+  EXPECT_TRUE(intersect({0, 1}, {2, 3}).empty());
+  EXPECT_EQ(intersect({0, 2}, {2, 3}), (Interval{2, 2}));  // touching
+}
+
+TEST(Interval, OverlapLength) {
+  EXPECT_DOUBLE_EQ(overlap_length({0, 4}, {2, 6}), 2.0);
+  EXPECT_DOUBLE_EQ(overlap_length({0, 1}, {5, 6}), 0.0);
+}
+
+// --------------------------------------------------------- IntervalSet ----
+
+TEST(IntervalSet, InsertDisjointKeepsSorted) {
+  IntervalSet s;
+  s.insert(5, 6);
+  s.insert(1, 2);
+  s.insert(3, 4);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.intervals()[0], (Interval{1, 2}));
+  EXPECT_EQ(s.intervals()[1], (Interval{3, 4}));
+  EXPECT_EQ(s.intervals()[2], (Interval{5, 6}));
+}
+
+TEST(IntervalSet, InsertMergesOverlapping) {
+  IntervalSet s;
+  s.insert(1, 3);
+  s.insert(2, 5);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{1, 5}));
+}
+
+TEST(IntervalSet, InsertMergesTouching) {
+  IntervalSet s;
+  s.insert(1, 2);
+  s.insert(2, 3);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{1, 3}));
+}
+
+TEST(IntervalSet, InsertBridgesMany) {
+  IntervalSet s;
+  s.insert(0, 1);
+  s.insert(2, 3);
+  s.insert(4, 5);
+  s.insert(0.5, 4.5);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0, 5}));
+}
+
+TEST(IntervalSet, Contains) {
+  IntervalSet s;
+  s.insert(1, 2);
+  s.insert(4, 5);
+  EXPECT_TRUE(s.contains(1.5));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(IntervalSet, TotalLength) {
+  IntervalSet s;
+  s.insert(0, 1);
+  s.insert(10, 12);
+  EXPECT_DOUBLE_EQ(s.total_length(), 3.0);
+}
+
+TEST(IntervalSet, GapsBasic) {
+  IntervalSet s;
+  s.insert(2, 3);
+  s.insert(5, 6);
+  const auto g = s.gaps(Interval{0, 10});
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g[0], (Interval{0, 2}));
+  EXPECT_EQ(g[1], (Interval{3, 5}));
+  EXPECT_EQ(g[2], (Interval{6, 10}));
+}
+
+TEST(IntervalSet, GapsWhenFullyCovered) {
+  IntervalSet s;
+  s.insert(0, 10);
+  EXPECT_TRUE(s.gaps(Interval{2, 5}).empty());
+}
+
+TEST(IntervalSet, GapsOfEmptySetIsWholeSpan) {
+  IntervalSet s;
+  const auto g = s.gaps(Interval{1, 4});
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0], (Interval{1, 4}));
+}
+
+TEST(IntervalSet, GapsClippedToSpan) {
+  IntervalSet s;
+  s.insert(-5, 1);
+  s.insert(9, 20);
+  const auto g = s.gaps(Interval{0, 10});
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0], (Interval{1, 9}));
+}
+
+TEST(IntervalSet, RejectsInvertedInsert) {
+  IntervalSet s;
+  EXPECT_THROW(s.insert(2, 1), Error);
+}
+
+// Property: gaps + covered parts partition the span exactly.
+TEST(IntervalSetProperty, GapsPartitionSpan) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    IntervalSet s;
+    for (int i = 0; i < 12; ++i) {
+      const double lo = rng.uniform_real(0, 90);
+      s.insert(lo, lo + rng.uniform_real(0, 10));
+    }
+    const Interval span{rng.uniform_real(0, 40), rng.uniform_real(50, 100)};
+    double covered_in_span = 0;
+    for (const auto& iv : s.intervals())
+      covered_in_span += overlap_length(iv, span);
+    double gap_total = 0;
+    for (const auto& g : s.gaps(span)) {
+      gap_total += g.length();
+      for (const auto& iv : s.intervals())
+        EXPECT_LT(overlap_length(iv, g), 1e-12);  // gaps are free
+    }
+    EXPECT_NEAR(covered_in_span + gap_total, span.length(), 1e-9);
+  }
+}
+
+// Property: total_length equals a brute-force 1-D measure.
+TEST(IntervalSetProperty, MergeInvariants) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    IntervalSet s;
+    for (int i = 0; i < 20; ++i) {
+      const double lo = rng.uniform_real(0, 99);
+      s.insert(lo, lo + rng.uniform_real(0, 5));
+    }
+    // Disjoint + sorted.
+    const auto& items = s.intervals();
+    for (std::size_t i = 1; i < items.size(); ++i)
+      EXPECT_GT(items[i].lo, items[i - 1].hi);
+    // Measure by sampling a fine grid.
+    const int grid = 4000;
+    int inside = 0;
+    for (int g = 0; g < grid; ++g) {
+      const double x = 105.0 * g / grid;
+      inside += s.contains(x);
+    }
+    EXPECT_NEAR(inside * 105.0 / grid, s.total_length(), 0.5);
+  }
+}
+
+// ----------------------------------------------------------------- rect ----
+
+TEST(Rect, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+}
+
+TEST(Rect, BasicGeometry) {
+  Rect r{1, 2, 4, 6};
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_EQ(r.center(), (Point{2.5, 4.0}));
+}
+
+TEST(Rect, FromCornersNormalizes) {
+  const Rect r = Rect::from_corners({4, 6}, {1, 2});
+  EXPECT_EQ(r, (Rect{1, 2, 4, 6}));
+}
+
+TEST(Rect, ContainsPoint) {
+  Rect r{0, 0, 2, 2};
+  EXPECT_TRUE(r.contains(Point{1, 1}));
+  EXPECT_TRUE(r.contains(Point{0, 0}));   // boundary
+  EXPECT_TRUE(r.contains(Point{2, 2}));
+  EXPECT_FALSE(r.contains(Point{2.1, 1}));
+}
+
+TEST(Rect, ContainsRect) {
+  Rect big{0, 0, 10, 10};
+  EXPECT_TRUE(big.contains(Rect{1, 1, 9, 9}));
+  EXPECT_TRUE(big.contains(big));
+  EXPECT_FALSE(big.contains(Rect{-1, 1, 5, 5}));
+}
+
+TEST(Rect, Inflated) {
+  const Rect r = Rect{2, 2, 4, 4}.inflated(0.5);
+  EXPECT_EQ(r, (Rect{1.5, 1.5, 4.5, 4.5}));
+  const Rect shrunk = Rect{2, 2, 4, 4}.inflated(-1.5);
+  EXPECT_TRUE(shrunk.empty());
+}
+
+TEST(Rect, OverlapArea) {
+  EXPECT_DOUBLE_EQ(overlap_area({0, 0, 4, 4}, {2, 2, 6, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(overlap_area({0, 0, 1, 1}, {2, 2, 3, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_area({0, 0, 2, 2}, {2, 0, 4, 2}), 0.0);  // touch
+}
+
+TEST(Rect, OverlapsVsStrict) {
+  EXPECT_TRUE(overlaps({0, 0, 2, 2}, {2, 0, 4, 2}));            // touching
+  EXPECT_FALSE(overlaps_strictly({0, 0, 2, 2}, {2, 0, 4, 2}));  // no area
+  EXPECT_TRUE(overlaps_strictly({0, 0, 2, 2}, {1, 1, 3, 3}));
+}
+
+TEST(Rect, BoundingBox) {
+  EXPECT_EQ(bounding_box({0, 0, 1, 1}, {5, 5, 6, 7}), (Rect{0, 0, 6, 7}));
+  EXPECT_EQ(bounding_box(Rect{}, {1, 2, 3, 4}), (Rect{1, 2, 3, 4}));
+  EXPECT_EQ(bounding_box({1, 2, 3, 4}, Rect{}), (Rect{1, 2, 3, 4}));
+}
+
+TEST(Rect, SpanAccessors) {
+  Rect r{1, 2, 4, 6};
+  EXPECT_EQ(r.x_span(), (Interval{1, 4}));
+  EXPECT_EQ(r.y_span(), (Interval{2, 6}));
+}
+
+// Property: overlap area is symmetric, bounded by both areas, and matches a
+// Monte-Carlo estimate.
+TEST(RectProperty, OverlapAreaConsistency) {
+  Rng rng(44);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto rand_rect = [&] {
+      const double x = rng.uniform_real(0, 8), y = rng.uniform_real(0, 8);
+      return Rect{x, y, x + rng.uniform_real(0.1, 6), y + rng.uniform_real(0.1, 6)};
+    };
+    const Rect a = rand_rect(), b = rand_rect();
+    const double ab = overlap_area(a, b);
+    EXPECT_DOUBLE_EQ(ab, overlap_area(b, a));
+    EXPECT_LE(ab, std::min(a.area(), b.area()) + 1e-12);
+    EXPECT_GE(ab, 0.0);
+    if (ab > 0) EXPECT_TRUE(overlaps_strictly(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace pil::geom

@@ -1,0 +1,275 @@
+// Tests for the branch-and-bound MILP solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pil/ilp/branch_and_bound.hpp"
+#include "pil/util/rng.hpp"
+
+namespace pil::ilp {
+namespace {
+
+using lp::kInf;
+using lp::LpProblem;
+using lp::RowEntry;
+using lp::Sense;
+
+TEST(Ilp, AlreadyIntegralLpNeedsNoBranching) {
+  // min -x - y, x + y <= 4, 0 <= x,y <= 3 integer. LP optimum (3,1) integral.
+  LpProblem p;
+  const int x = p.add_var(0, 3, -1.0);
+  const int y = p.add_var(0, 3, -1.0);
+  p.add_row(Sense::kLe, 4, {{x, 1.0}, {y, 1.0}});
+  const IlpSolution s = solve_ilp(p, {true, true});
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -4.0, 1e-9);
+  EXPECT_NEAR(s.x[0] + s.x[1], 4.0, 1e-9);
+}
+
+TEST(Ilp, ClassicKnapsack) {
+  // max 8a + 11b + 6c + 4d, weights 5,7,4,3 <= 14, binary.
+  // Optimum: a + c + d? 8+6+4=18 w=12; b+c+d=21 w=14 -> 21.
+  LpProblem p;
+  const double val[4] = {8, 11, 6, 4};
+  const double wt[4] = {5, 7, 4, 3};
+  std::vector<RowEntry> row;
+  for (int j = 0; j < 4; ++j) {
+    p.add_var(0, 1, -val[j]);
+    row.push_back({j, wt[j]});
+  }
+  p.add_row(Sense::kLe, 14, std::move(row));
+  const IlpSolution s = solve_ilp(p, std::vector<bool>(4, true));
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -21.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 0, 1e-9);
+  EXPECT_NEAR(s.x[1], 1, 1e-9);
+}
+
+TEST(Ilp, FractionalLpGetsRoundedCorrectly) {
+  // min -x, 2x <= 5, x in [0, 5] integer -> x = 2 (LP gives 2.5).
+  LpProblem p;
+  const int x = p.add_var(0, 5, -1.0);
+  p.add_row(Sense::kLe, 5, {{x, 2.0}});
+  const IlpSolution s = solve_ilp(p, {true});
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+}
+
+TEST(Ilp, MixedIntegerContinuous) {
+  // min -x - 10y, x continuous in [0, 3.7], y integer in [0, 2],
+  // x + 4y <= 8 -> y = 2 forces x = 0; obj -20 vs y=1, x=3.7 -> -13.7.
+  LpProblem p;
+  const int x = p.add_var(0, 3.7, -1.0);
+  const int y = p.add_var(0, 2, -10.0);
+  p.add_row(Sense::kLe, 8, {{x, 1.0}, {y, 4.0}});
+  const IlpSolution s = solve_ilp(p, {false, true});
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective, -20.0, 1e-8);
+}
+
+TEST(Ilp, InfeasibleIntegerProblem) {
+  // 2x = 3 with x integer: LP feasible (x = 1.5) but no integer point.
+  LpProblem p;
+  const int x = p.add_var(0, 5, 1.0);
+  p.add_row(Sense::kEq, 3, {{x, 2.0}});
+  const IlpSolution s = solve_ilp(p, {true});
+  EXPECT_EQ(s.status, IlpStatus::kInfeasible);
+}
+
+TEST(Ilp, InfeasibleLpRelaxation) {
+  LpProblem p;
+  const int x = p.add_var(0, 1, 1.0);
+  p.add_row(Sense::kGe, 5, {{x, 1.0}});
+  EXPECT_EQ(solve_ilp(p, {true}).status, IlpStatus::kInfeasible);
+}
+
+TEST(Ilp, EqualitySumAllocation) {
+  // The MDFC shape: sum m_k = F with per-column costs and capacities;
+  // optimum takes the cheapest columns first.
+  LpProblem p;
+  const double cost[4] = {3.0, 1.0, 2.0, 10.0};
+  const double cap[4] = {2, 2, 2, 2};
+  std::vector<RowEntry> sum_row;
+  for (int j = 0; j < 4; ++j) {
+    p.add_var(0, cap[j], cost[j]);
+    sum_row.push_back({j, 1.0});
+  }
+  p.add_row(Sense::kEq, 5, std::move(sum_row));
+  const IlpSolution s = solve_ilp(p, std::vector<bool>(4, true));
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  // cheapest: col1 (2), col2 (2), col0 (1) -> 2*1 + 2*2 + 1*3 = 9.
+  EXPECT_NEAR(s.objective, 9.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[3], 0.0, 1e-9);
+}
+
+TEST(Ilp, RejectsUnboundedIntegerVariables) {
+  LpProblem p;
+  p.add_var(0, kInf, 1.0);
+  EXPECT_THROW(solve_ilp(p, {true}), Error);
+}
+
+TEST(Ilp, RejectsWrongMaskSize) {
+  LpProblem p;
+  p.add_var(0, 1, 1.0);
+  EXPECT_THROW(solve_ilp(p, {true, false}), Error);
+}
+
+TEST(Ilp, StatusToString) {
+  EXPECT_STREQ(to_string(IlpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(IlpStatus::kInfeasible), "infeasible");
+}
+
+TEST(Ilp, NodeLimitReturnsIncumbentOrLimitStatus) {
+  // A problem needing some branching, solved with a 1-node budget: either
+  // the first relaxation was already integral (optimal) or we get the
+  // node-limit status -- never a crash or a wrong "optimal".
+  LpProblem p;
+  std::vector<RowEntry> row;
+  Rng rng(5);
+  for (int j = 0; j < 8; ++j) {
+    p.add_var(0, 3, rng.uniform_real(-2, 2));
+    row.push_back({j, rng.uniform_real(0.5, 2.0)});
+  }
+  p.add_row(Sense::kEq, 7.3, std::move(row));  // fractional RHS forces work
+  IlpOptions opt;
+  opt.max_nodes = 1;
+  const IlpSolution s = solve_ilp(p, std::vector<bool>(8, true), opt);
+  EXPECT_TRUE(s.status == IlpStatus::kNodeLimit ||
+              s.status == IlpStatus::kOptimal ||
+              s.status == IlpStatus::kInfeasible);
+  EXPECT_LE(s.nodes_explored, 1);
+}
+
+TEST(Ilp, GeneralIntegerBoundsRespected) {
+  // Integer vars with lo > 0: branching must respect the original bounds.
+  LpProblem p;
+  const int x = p.add_var(2, 7, -1.0);
+  const int y = p.add_var(1, 4, -1.0);
+  p.add_row(Sense::kLe, 9.5, {{x, 1.0}, {y, 1.0}});
+  const IlpSolution s = solve_ilp(p, {true, true});
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0] + s.x[1], 9.0, 1e-9);
+  EXPECT_GE(s.x[0], 2 - 1e-9);
+  EXPECT_GE(s.x[1], 1 - 1e-9);
+}
+
+// --------------------------------------------------- randomized properties ----
+
+/// Small random bounded ILPs verified against exhaustive enumeration.
+TEST(IlpProperty, MatchesBruteForceOnSmallProblems) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(0, 2));  // 2..4 vars
+    std::vector<int> ub(n);
+    LpProblem p;
+    for (int j = 0; j < n; ++j) {
+      ub[j] = 1 + static_cast<int>(rng.uniform_int(0, 2));  // 1..3
+      p.add_var(0, ub[j], rng.uniform_real(-3, 3));
+    }
+    const int m = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    std::vector<std::vector<double>> a(m, std::vector<double>(n));
+    std::vector<double> b(m);
+    for (int i = 0; i < m; ++i) {
+      std::vector<RowEntry> entries;
+      for (int j = 0; j < n; ++j) {
+        a[i][j] = std::floor(rng.uniform_real(-2, 3));
+        entries.push_back({j, a[i][j]});
+      }
+      b[i] = std::floor(rng.uniform_real(0, 8));
+      p.add_row(Sense::kLe, b[i], std::move(entries));
+    }
+
+    // Brute force over the integer box.
+    double best = 1e100;
+    std::vector<int> x(n, 0);
+    bool any = false;
+    while (true) {
+      bool feasible = true;
+      for (int i = 0; i < m && feasible; ++i) {
+        double lhs = 0;
+        for (int j = 0; j < n; ++j) lhs += a[i][j] * x[j];
+        feasible = lhs <= b[i] + 1e-9;
+      }
+      if (feasible) {
+        any = true;
+        double obj = 0;
+        for (int j = 0; j < n; ++j) obj += p.var(j).obj * x[j];
+        best = std::min(best, obj);
+      }
+      int k = 0;
+      while (k < n && ++x[k] > ub[k]) x[k++] = 0;
+      if (k == n) break;
+    }
+
+    const IlpSolution s = solve_ilp(p, std::vector<bool>(n, true));
+    if (any) {
+      ASSERT_EQ(s.status, IlpStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(s.objective, best, 1e-7) << "trial " << trial;
+      // Returned point is integral and feasible.
+      for (int j = 0; j < n; ++j)
+        EXPECT_NEAR(s.x[j], std::round(s.x[j]), 1e-7);
+      EXPECT_LT(p.max_violation(s.x), 1e-6);
+    } else {
+      EXPECT_EQ(s.status, IlpStatus::kInfeasible) << "trial " << trial;
+    }
+  }
+}
+
+/// Binary-expansion problems (the ILP-II shape) against brute force.
+TEST(IlpProperty, BinaryExpansionShape) {
+  Rng rng(555);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int cols = 2 + static_cast<int>(rng.uniform_int(0, 1));
+    std::vector<int> cap(cols);
+    std::vector<std::vector<double>> cost(cols);
+    LpProblem p;
+    std::vector<RowEntry> sum_row;
+    int total_cap = 0;
+    std::vector<int> first_var(cols);
+    for (int k = 0; k < cols; ++k) {
+      cap[k] = 1 + static_cast<int>(rng.uniform_int(0, 2));
+      total_cap += cap[k];
+      cost[k].assign(cap[k] + 1, 0.0);
+      std::vector<RowEntry> sos;
+      // Convex increasing cost levels.
+      double c = 0;
+      for (int n = 1; n <= cap[k]; ++n) {
+        c += rng.uniform_real(0.1, 2.0) * n;
+        cost[k][n] = c;
+        const int var = p.add_var(0, 1, c);
+        if (n == 1) first_var[k] = var;
+        sum_row.push_back({var, static_cast<double>(n)});
+        sos.push_back({var, 1.0});
+      }
+      p.add_row(Sense::kLe, 1.0, std::move(sos));
+    }
+    const int f = static_cast<int>(rng.uniform_int(0, total_cap));
+    p.add_row(Sense::kEq, f, std::move(sum_row));
+
+    const IlpSolution s = solve_ilp(p, std::vector<bool>(p.num_vars(), true));
+    ASSERT_EQ(s.status, IlpStatus::kOptimal) << "trial " << trial;
+
+    // Brute force over per-column counts.
+    double best = 1e100;
+    std::vector<int> m(cols, 0);
+    while (true) {
+      int total = 0;
+      double obj = 0;
+      for (int k = 0; k < cols; ++k) {
+        total += m[k];
+        obj += cost[k][m[k]];
+      }
+      if (total == f) best = std::min(best, obj);
+      int k = 0;
+      while (k < cols && ++m[k] > cap[k]) m[k++] = 0;
+      if (k == cols) break;
+    }
+    EXPECT_NEAR(s.objective, best, 1e-7) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace pil::ilp

@@ -1,0 +1,120 @@
+// Tests for the LEF-lite technology reader.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pil/layout/def_io.hpp"
+#include "pil/layout/lef_io.hpp"
+
+namespace pil::layout {
+namespace {
+
+std::vector<Layer> parse(const std::string& text,
+                         const LefReadOptions& o = {}) {
+  std::istringstream is(text);
+  return read_lef(is, o);
+}
+
+const char* kLef = R"(
+VERSION 5.8 ;
+NAMESCASESENSITIVE ON ;
+UNITS
+  DATABASE MICRONS 1000 ;
+END UNITS
+MANUFACTURINGGRID 0.005 ;
+LAYER poly
+  TYPE MASTERSLICE ;
+END poly
+LAYER cut2
+  TYPE CUT ;
+  SPACING 0.07 ;
+END cut2
+LAYER m3
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 2.0 ;
+  WIDTH 0.5 ;
+  THICKNESS 0.45 ;
+  RESISTANCE RPERSQ 0.09 ;
+  EDGECAPACITANCE 0.00003 ;
+END m3
+LAYER m4
+  TYPE ROUTING ;
+  DIRECTION VERTICAL ;
+  WIDTH 0.6 ;
+END m4
+VIA via3_4 DEFAULT
+  LAYER m3 ; RECT -0.3 -0.3 0.3 0.3 ;
+END via3_4
+END LIBRARY
+)";
+
+TEST(LefReader, OnlyRoutingLayers) {
+  const auto layers = parse(kLef);
+  ASSERT_EQ(layers.size(), 2u);
+  EXPECT_EQ(layers[0].name, "m3");
+  EXPECT_EQ(layers[1].name, "m4");
+}
+
+TEST(LefReader, LayerAttributes) {
+  const auto layers = parse(kLef);
+  EXPECT_EQ(layers[0].preferred_direction, Orientation::kHorizontal);
+  EXPECT_DOUBLE_EQ(layers[0].default_wire_width_um, 0.5);
+  EXPECT_DOUBLE_EQ(layers[0].thickness_um, 0.45);
+  EXPECT_DOUBLE_EQ(layers[0].sheet_res_ohm_sq, 0.09);
+  EXPECT_EQ(layers[1].preferred_direction, Orientation::kVertical);
+}
+
+TEST(LefReader, DefaultsApplyWhenOmitted) {
+  LefReadOptions o;
+  o.default_thickness_um = 0.7;
+  o.default_sheet_res_ohm_sq = 0.11;
+  o.default_eps_r = 2.9;
+  const auto layers = parse(kLef, o);
+  // m4 has only WIDTH: the rest come from options.
+  EXPECT_DOUBLE_EQ(layers[1].thickness_um, 0.7);
+  EXPECT_DOUBLE_EQ(layers[1].sheet_res_ohm_sq, 0.11);
+  EXPECT_DOUBLE_EQ(layers[1].eps_r, 2.9);
+}
+
+TEST(LefReader, ErrorOnMismatchedEnd) {
+  EXPECT_THROW(parse("LAYER m1\nTYPE ROUTING ;\nWIDTH 0.5 ;\nEND m2\n"),
+               Error);
+}
+
+TEST(LefReader, ErrorOnRoutingLayerWithoutWidth) {
+  EXPECT_THROW(parse("LAYER m1\nTYPE ROUTING ;\nEND m1\nEND LIBRARY\n"),
+               Error);
+}
+
+TEST(LefReader, MissingFileThrows) {
+  EXPECT_THROW(read_lef_file("/nonexistent.lef"), Error);
+}
+
+TEST(LefReader, FeedsTheDefReader) {
+  // The intended pairing: LEF supplies the stack, DEF supplies the routing.
+  DefReadOptions def_options;
+  def_options.layers = parse(kLef);
+  std::istringstream def(R"(
+DESIGN paired ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 64000 64000 ) ;
+NETS 1 ;
+- n0 + ROUTED m3 ( 2000 10000 ) ( 30000 10000 )
+    NEW m4 ( 30000 10000 ) ( 30000 20000 )
+  ;
+END NETS
+END DESIGN
+)");
+  const Layout l = read_def(def, def_options);
+  ASSERT_EQ(l.num_layers(), 2u);
+  EXPECT_EQ(l.segment(0).layer, l.find_layer("m3"));
+  EXPECT_EQ(l.segment(1).layer, l.find_layer("m4"));
+  // DEF regular wiring uses each layer's LEF width.
+  EXPECT_DOUBLE_EQ(l.segment(0).width_um, 0.5);
+  EXPECT_DOUBLE_EQ(l.segment(1).width_um, 0.6);
+}
+
+}  // namespace
+}  // namespace pil::layout

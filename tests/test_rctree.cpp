@@ -1,0 +1,362 @@
+// Tests for pil/rctree: connectivity discovery, segment splitting, Elmore
+// delays, weights, entry resistances, and the exact-delay constants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pil/layout/synthetic.hpp"
+#include "pil/rctree/rctree.hpp"
+
+namespace pil::rctree {
+namespace {
+
+using layout::Layout;
+using layout::Net;
+using layout::NetId;
+using layout::Orientation;
+
+// A layer with easy numbers: 0.1 ohm/sq at 0.5 um width -> 0.2 ohm/um.
+layout::Layer test_layer() {
+  layout::Layer m;
+  m.name = "m3";
+  m.sheet_res_ohm_sq = 0.1;
+  return m;
+}
+
+/// source --(100 um trunk)--> sink, driver 100 ohm.
+Layout two_pin_layout() {
+  Layout l(geom::Rect{0, 0, 200, 200});
+  l.add_layer(test_layer());
+  Net n;
+  n.name = "n0";
+  n.source = geom::Point{10, 100};
+  n.driver_res_ohm = 100.0;
+  n.sinks.push_back({geom::Point{110, 100}, 10.0});
+  const NetId nid = l.add_net(n);
+  l.add_segment(nid, 0, {10, 100}, {110, 100}, 0.5);
+  return l;
+}
+
+/// Trunk 0..100 at y=100 with a branch at x=60 up to y=108 (sink there)
+/// plus the trunk-end sink at x=100.
+Layout tee_layout() {
+  Layout l(geom::Rect{0, 0, 200, 200});
+  l.add_layer(test_layer());
+  Net n;
+  n.name = "tee";
+  n.source = geom::Point{0, 100};
+  n.driver_res_ohm = 50.0;
+  n.sinks.push_back({geom::Point{100, 100}, 4.0});
+  n.sinks.push_back({geom::Point{60, 108}, 6.0});
+  const NetId nid = l.add_net(n);
+  l.add_segment(nid, 0, {0, 100}, {100, 100}, 0.5);
+  l.add_segment(nid, 0, {60, 100}, {60, 108}, 0.5);
+  return l;
+}
+
+RcTreeOptions no_wire_cap() {
+  RcTreeOptions o;
+  o.wire_ground_cap_ff_per_um = 0.0;
+  return o;
+}
+
+// ------------------------------------------------------------- building ----
+
+TEST(RcTree, TwoPinStructure) {
+  const Layout l = two_pin_layout();
+  const RcTree t = RcTree::build(l, 0);
+  EXPECT_EQ(t.nodes().size(), 2u);
+  ASSERT_EQ(t.pieces().size(), 1u);
+  const WirePiece& p = t.pieces()[0];
+  EXPECT_EQ(p.orientation, Orientation::kHorizontal);
+  EXPECT_DOUBLE_EQ(p.length(), 100.0);
+  EXPECT_DOUBLE_EQ(p.res_per_um, 0.2);
+  EXPECT_DOUBLE_EQ(p.upstream_res, 100.0);  // driver only
+  EXPECT_EQ(p.downstream_sinks, 1);
+  EXPECT_DOUBLE_EQ(p.offpath_res_sum, 0.0);
+}
+
+TEST(RcTree, TwoPinElmoreDelay) {
+  const Layout l = two_pin_layout();
+  const RcTree t = RcTree::build(l, 0, no_wire_cap());
+  // tau = (Rdrv + Rwire) * Cload = (100 + 20) * 10 fF = 1200 ohm*fF = 1.2 ps.
+  EXPECT_NEAR(t.sink_delay_ps(0), 1.2, 1e-12);
+  EXPECT_NEAR(t.total_sink_delay_ps(), 1.2, 1e-12);
+}
+
+TEST(RcTree, WireCapAddsDelay) {
+  const Layout l = two_pin_layout();
+  RcTreeOptions o;
+  o.wire_ground_cap_ff_per_um = 0.05;  // 5 fF total on the trunk
+  const RcTree t = RcTree::build(l, 0, o);
+  // Half the wire cap at each end: tau = 100*2.5 + 120*(10+2.5) ohm*fF.
+  EXPECT_NEAR(t.sink_delay_ps(0), (100 * 2.5 + 120 * 12.5) * 1e-3, 1e-12);
+}
+
+TEST(RcTree, TeeSplitsTrunk) {
+  const Layout l = tee_layout();
+  const RcTree t = RcTree::build(l, 0);
+  // Nodes: source, junction at 60, trunk end, branch tip.
+  EXPECT_EQ(t.nodes().size(), 4u);
+  EXPECT_EQ(t.pieces().size(), 3u);
+  int horizontal = 0, vertical = 0;
+  for (const auto& p : t.pieces()) {
+    if (p.orientation == Orientation::kHorizontal) ++horizontal;
+    else ++vertical;
+  }
+  EXPECT_EQ(horizontal, 2);
+  EXPECT_EQ(vertical, 1);
+}
+
+TEST(RcTree, TeeWeightsAndResistances) {
+  const Layout l = tee_layout();
+  const RcTree t = RcTree::build(l, 0, no_wire_cap());
+  for (const auto& p : t.pieces()) {
+    if (p.orientation == Orientation::kVertical) {
+      EXPECT_EQ(p.downstream_sinks, 1);
+      EXPECT_NEAR(p.upstream_res, 50.0 + 60 * 0.2, 1e-12);  // driver + 60 um
+    } else if (p.up.x == 0.0) {  // source-side trunk piece
+      EXPECT_EQ(p.downstream_sinks, 2);
+      EXPECT_DOUBLE_EQ(p.upstream_res, 50.0);
+    } else {  // far trunk piece
+      EXPECT_EQ(p.downstream_sinks, 1);
+      EXPECT_NEAR(p.upstream_res, 50.0 + 12.0, 1e-12);
+    }
+  }
+}
+
+TEST(RcTree, TeeElmoreDelays) {
+  const Layout l = tee_layout();
+  const RcTree t = RcTree::build(l, 0, no_wire_cap());
+  // Sink 0 at trunk end: tau = 50*(4+6) + 12*(4+6) + 8*4  (junction carries
+  // both loads up to the junction, then only the trunk load).
+  EXPECT_NEAR(t.sink_delay_ps(0), (50 * 10 + 12 * 10 + 8 * 4) * 1e-3, 1e-12);
+  // Sink 1 at branch tip: shared resistance to junction, then branch.
+  // Branch: 8 um * 0.2 = 1.6 ohm.
+  EXPECT_NEAR(t.sink_delay_ps(1), (50 * 10 + 12 * 10 + 1.6 * 6) * 1e-3, 1e-12);
+}
+
+TEST(RcTree, ResAtAlongPiece) {
+  const Layout l = two_pin_layout();
+  const RcTree t = RcTree::build(l, 0);
+  const WirePiece& p = t.pieces()[0];
+  EXPECT_DOUBLE_EQ(p.res_at(geom::Point{10, 100}), 100.0);
+  EXPECT_DOUBLE_EQ(p.res_at(geom::Point{60, 100}), 100.0 + 50 * 0.2);
+  EXPECT_DOUBLE_EQ(p.res_at(geom::Point{110, 100}), 100.0 + 100 * 0.2);
+}
+
+TEST(RcTree, ExactDelayIncreaseMatchesRecomputation) {
+  // Add a lumped cap mid-trunk and compare the closed-form increase with a
+  // from-scratch Elmore computation that models the cap as a fake sink load.
+  const Layout l = tee_layout();
+  const RcTree t = RcTree::build(l, 0, no_wire_cap());
+  const double dcap = 3.0;
+  const geom::Point q{80, 100};  // on the far trunk piece
+
+  int far_piece = -1;
+  for (std::size_t i = 0; i < t.pieces().size(); ++i)
+    if (t.pieces()[i].orientation == Orientation::kHorizontal &&
+        t.pieces()[i].up.x == 60.0)
+      far_piece = static_cast<int>(i);
+  ASSERT_GE(far_piece, 0);
+  const double predicted =
+      t.exact_total_delay_increase_ps(far_piece, q, dcap);
+
+  // Rebuild with an explicit extra "sink" carrying the cap at q, with the
+  // segment split there; total delay over the two *original* sinks must
+  // increase by exactly `predicted`.
+  Layout l2(geom::Rect{0, 0, 200, 200});
+  l2.add_layer(test_layer());
+  Net n;
+  n.name = "tee2";
+  n.source = geom::Point{0, 100};
+  n.driver_res_ohm = 50.0;
+  n.sinks.push_back({geom::Point{100, 100}, 4.0});
+  n.sinks.push_back({geom::Point{60, 108}, 6.0});
+  n.sinks.push_back({q, dcap});  // the added fill cap, modeled as a load
+  const NetId nid = l2.add_net(n);
+  l2.add_segment(nid, 0, {0, 100}, {100, 100}, 0.5);
+  l2.add_segment(nid, 0, {60, 100}, {60, 108}, 0.5);
+  const RcTree t2 = RcTree::build(l2, 0, no_wire_cap());
+
+  const double before = t.sink_delay_ps(0) + t.sink_delay_ps(1);
+  const double after = t2.sink_delay_ps(0) + t2.sink_delay_ps(1);
+  EXPECT_NEAR(after - before, predicted, 1e-9);
+}
+
+// ------------------------------------------------------------------ vias ----
+
+TEST(RcTree, ViaResistanceAtLayerChanges) {
+  // Trunk on m3, branch on m4: the junction is an implicit via.
+  Layout l(geom::Rect{0, 0, 200, 200});
+  l.add_layer(test_layer());
+  layout::Layer m4 = test_layer();
+  m4.name = "m4";
+  m4.preferred_direction = Orientation::kVertical;
+  l.add_layer(m4);
+  Net n;
+  n.name = "via";
+  n.source = geom::Point{0, 100};
+  n.driver_res_ohm = 50.0;
+  n.sinks.push_back({geom::Point{60, 110}, 5.0});
+  const NetId nid = l.add_net(n);
+  l.add_segment(nid, 0, {0, 100}, {60, 100}, 0.5);   // m3 trunk
+  l.add_segment(nid, 1, {60, 100}, {60, 110}, 0.5);  // m4 branch
+
+  RcTreeOptions with_via = no_wire_cap();
+  with_via.via_res_ohm = 4.0;
+  const RcTree base = RcTree::build(l, 0, no_wire_cap());
+  const RcTree via = RcTree::build(l, 0, with_via);
+
+  // Branch entry resistance gains exactly the via resistance; the trunk's
+  // does not (the driver pin is not a via).
+  for (std::size_t i = 0; i < base.pieces().size(); ++i) {
+    const auto& pb = base.pieces()[i];
+    const auto& pv = via.pieces()[i];
+    if (pb.layer == 1)
+      EXPECT_NEAR(pv.upstream_res, pb.upstream_res + 4.0, 1e-12);
+    else
+      EXPECT_NEAR(pv.upstream_res, pb.upstream_res, 1e-12);
+  }
+  // Sink delay rises by via_res * downstream cap.
+  EXPECT_NEAR(via.sink_delay_ps(0), base.sink_delay_ps(0) + 4.0 * 5.0 * 1e-3,
+              1e-12);
+}
+
+TEST(RcTree, NoViaOnSameLayerJunctions) {
+  const Layout l = tee_layout();  // all m3
+  RcTreeOptions with_via = no_wire_cap();
+  with_via.via_res_ohm = 100.0;
+  const RcTree a = RcTree::build(l, 0, no_wire_cap());
+  const RcTree b = RcTree::build(l, 0, with_via);
+  for (int s = 0; s < a.num_sinks(); ++s)
+    EXPECT_DOUBLE_EQ(a.sink_delay_ps(s), b.sink_delay_ps(s));
+}
+
+// ---------------------------------------------------------- error paths ----
+
+TEST(RcTree, DisconnectedNetThrows) {
+  Layout l(geom::Rect{0, 0, 100, 100});
+  l.add_layer(test_layer());
+  Net n;
+  n.name = "gap";
+  n.source = geom::Point{0, 50};
+  n.sinks.push_back({geom::Point{90, 50}, 1.0});
+  const NetId nid = l.add_net(n);
+  l.add_segment(nid, 0, {0, 50}, {40, 50}, 0.5);
+  l.add_segment(nid, 0, {50, 50}, {90, 50}, 0.5);  // not touching
+  EXPECT_THROW(RcTree::build(l, 0), Error);
+}
+
+TEST(RcTree, LoopThrows) {
+  Layout l(geom::Rect{0, 0, 100, 100});
+  l.add_layer(test_layer());
+  Net n;
+  n.name = "loop";
+  n.source = geom::Point{0, 10};
+  n.sinks.push_back({geom::Point{10, 10}, 1.0});
+  const NetId nid = l.add_net(n);
+  l.add_segment(nid, 0, {0, 10}, {10, 10}, 0.5);
+  l.add_segment(nid, 0, {0, 20}, {10, 20}, 0.5);
+  l.add_segment(nid, 0, {0, 10}, {0, 20}, 0.5);
+  l.add_segment(nid, 0, {10, 10}, {10, 20}, 0.5);
+  EXPECT_THROW(RcTree::build(l, 0), Error);
+}
+
+TEST(RcTree, SourceOffRoutingThrows) {
+  Layout l(geom::Rect{0, 0, 100, 100});
+  l.add_layer(test_layer());
+  Net n;
+  n.name = "off";
+  n.source = geom::Point{0, 99};
+  n.sinks.push_back({geom::Point{10, 10}, 1.0});
+  const NetId nid = l.add_net(n);
+  l.add_segment(nid, 0, {0, 10}, {10, 10}, 0.5);
+  EXPECT_THROW(RcTree::build(l, 0), Error);
+}
+
+TEST(RcTree, SinkOffRoutingThrows) {
+  Layout l(geom::Rect{0, 0, 100, 100});
+  l.add_layer(test_layer());
+  Net n;
+  n.name = "off";
+  n.source = geom::Point{0, 10};
+  n.sinks.push_back({geom::Point{50, 99}, 1.0});
+  const NetId nid = l.add_net(n);
+  l.add_segment(nid, 0, {0, 10}, {10, 10}, 0.5);
+  EXPECT_THROW(RcTree::build(l, 0), Error);
+}
+
+// --------------------------------------------- properties on generated nets ----
+
+TEST(RcTreeProperty, AllSyntheticNetsExtract) {
+  const Layout l = layout::make_testcase_t2();
+  const auto trees = build_all_trees(l);
+  ASSERT_EQ(trees.size(), l.num_nets());
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    const RcTree& t = trees[i];
+    const auto& net = l.net(static_cast<NetId>(i));
+    // Every sink resolved, positive delays, weights within bounds.
+    EXPECT_EQ(t.num_sinks(), static_cast<int>(net.sinks.size()));
+    for (int s = 0; s < t.num_sinks(); ++s)
+      EXPECT_GT(t.sink_delay_ps(s), 0.0);
+    for (const auto& p : t.pieces()) {
+      EXPECT_GE(p.downstream_sinks, 0);
+      EXPECT_LE(p.downstream_sinks, t.num_sinks());
+      EXPECT_GE(p.upstream_res, net.driver_res_ohm);
+      EXPECT_GT(p.length(), 0.0);
+      EXPECT_GE(p.offpath_res_sum, 0.0);
+    }
+  }
+}
+
+TEST(RcTreeProperty, UpstreamResistanceMonotoneAlongPaths) {
+  const Layout l = layout::make_testcase_t2();
+  const auto trees = build_all_trees(l);
+  for (const RcTree& t : trees) {
+    for (const auto& node : t.nodes()) {
+      if (node.parent < 0) continue;
+      EXPECT_GE(node.upstream_res,
+                t.nodes()[node.parent].upstream_res - 1e-12);
+      EXPECT_GE(node.elmore_ps, t.nodes()[node.parent].elmore_ps - 1e-12);
+    }
+  }
+}
+
+TEST(RcTreeProperty, SubtreeSinkCountsSumAtRoot) {
+  const Layout l = layout::make_testcase_t2();
+  const auto trees = build_all_trees(l);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_EQ(trees[i].nodes()[0].subtree_sinks,
+              static_cast<int>(l.net(static_cast<NetId>(i)).sinks.size()));
+  }
+}
+
+TEST(RcTree, TotalCapSumsWireAndLoads) {
+  const Layout l = two_pin_layout();
+  RcTreeOptions o;
+  o.wire_ground_cap_ff_per_um = 0.05;
+  const RcTree t = RcTree::build(l, 0, o);
+  // 100 um * 0.05 + 10 fF load.
+  EXPECT_NEAR(t.total_cap_ff(), 15.0, 1e-12);
+  const RcTree bare = RcTree::build(l, 0, no_wire_cap());
+  EXPECT_NEAR(bare.total_cap_ff(), 10.0, 1e-12);
+}
+
+TEST(RcTree, EmptyNetWithCoincidentPins) {
+  Layout l(geom::Rect{0, 0, 10, 10});
+  l.add_layer(test_layer());
+  Net n;
+  n.name = "stub";
+  n.source = geom::Point{5, 5};
+  n.driver_res_ohm = 100;
+  n.sinks.push_back({geom::Point{5, 5}, 2.0});
+  l.add_net(n);
+  const RcTree t = RcTree::build(l, 0);
+  EXPECT_EQ(t.pieces().size(), 0u);
+  EXPECT_NEAR(t.sink_delay_ps(0), 0.2, 1e-12);  // 100 ohm * 2 fF
+}
+
+}  // namespace
+}  // namespace pil::rctree

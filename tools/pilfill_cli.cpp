@@ -1,0 +1,413 @@
+/// \file pilfill_cli.cpp
+/// The `pilfill` command-line tool: density/timing analysis, fill synthesis,
+/// testcase generation, and paper-table reproduction without writing any
+/// C++. Layouts are .pld (native) or .def (DEF-lite with default layers).
+///
+///   pilfill gen out.pld [--die D] [--nets N] [--seed S] [--two-layer]
+///   pilfill analyze layout.{pld,def} [--window W] [--r R] [--layer L]
+///   pilfill fill layout.{pld,def} [--window W] [--r R] [--layer L]
+///                [--method normal|ilp1|ilp2|greedy|convex] [--weighted]
+///                [--mode I|II|III] [--threads N]
+///                [--out filled.pld] [--svg out.svg]
+///   pilfill table layout.{pld,def} [--weighted]   # all 4 methods, one row
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "pil/pil.hpp"
+
+namespace {
+
+using namespace pil;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& dflt) const {
+    const auto it = options.find(name);
+    return it == options.end() ? dflt : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string name = a.substr(2);
+      // Boolean flags take no value; everything else consumes the next arg.
+      if (name == "weighted" || name == "two-layer") {
+        args.options[name] = "1";
+      } else {
+        if (i + 1 >= argc) throw Error("option --" + name + " needs a value");
+        args.options[name] = argv[++i];
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+layout::Layout load_layout(const std::string& path, const Args& args) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".def") {
+    layout::DefReadOptions options;
+    if (args.flag("lef")) {
+      options.layers = layout::read_lef_file(args.get("lef", ""));
+    } else {
+      layout::Layer m3;
+      m3.name = "m3";
+      options.layers.push_back(m3);
+      layout::Layer m4 = m3;
+      m4.name = "m4";
+      m4.preferred_direction = layout::Orientation::kVertical;
+      options.layers.push_back(m4);
+    }
+    return layout::read_def_file(path, options);
+  }
+  return layout::read_pld_file(path);
+}
+
+pilfill::FlowConfig flow_from_args(const Args& args) {
+  pilfill::FlowConfig config;
+  config.window_um = parse_double(args.get("window", "32"), "--window");
+  config.r = static_cast<int>(parse_int(args.get("r", "2"), "--r"));
+  config.layer =
+      static_cast<layout::LayerId>(parse_int(args.get("layer", "0"), "--layer"));
+  config.threads =
+      static_cast<int>(parse_int(args.get("threads", "1"), "--threads"));
+  if (args.flag("weighted"))
+    config.objective = pilfill::Objective::kWeighted;
+  const std::string mode = args.get("mode", "III");
+  config.solver_mode = mode == "I"    ? fill::SlackMode::kI
+                       : mode == "II" ? fill::SlackMode::kII
+                                      : fill::SlackMode::kIII;
+  return config;
+}
+
+pilfill::Method method_from_name(const std::string& name) {
+  if (name == "normal") return pilfill::Method::kNormal;
+  if (name == "ilp1") return pilfill::Method::kIlp1;
+  if (name == "ilp2") return pilfill::Method::kIlp2;
+  if (name == "greedy") return pilfill::Method::kGreedy;
+  if (name == "convex") return pilfill::Method::kConvex;
+  throw Error("unknown method '" + name + "'");
+}
+
+
+// Window-density stats of wires + a given fill placement.
+grid::DensityStats density_with_fill(const layout::Layout& l,
+                                     const pilfill::FlowConfig& config,
+                                     const std::vector<geom::Rect>& features) {
+  const grid::Dissection dis(l.die(), config.window_um, config.r);
+  grid::DensityMap m(dis);
+  m.add_layer_wires(l, config.layer);
+  m.add_layer_metal_blockages(l, config.layer);
+  for (const auto& f : features) m.add_rect(f);
+  return m.stats();
+}
+
+int cmd_gen(const Args& args) {
+  if (args.positional.empty()) throw Error("gen: output path required");
+  layout::SyntheticLayoutConfig cfg;
+  cfg.die_um = parse_double(args.get("die", "128"), "--die");
+  cfg.num_nets = static_cast<int>(parse_int(args.get("nets", "150"), "--nets"));
+  cfg.seed = static_cast<std::uint64_t>(parse_int(args.get("seed", "1"), "--seed"));
+  cfg.separate_branch_layer = args.flag("two-layer");
+  layout::GeneratorStats stats;
+  const layout::Layout l = layout::generate_synthetic_layout(cfg, &stats);
+  layout::write_pld_file(l, args.positional[0]);
+  std::cout << "wrote " << args.positional[0] << ": " << stats.nets_placed
+            << " nets, " << stats.segments << " segments, " << stats.sinks
+            << " sinks\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) throw Error("analyze: layout path required");
+  const layout::Layout l = load_layout(args.positional[0], args);
+  const pilfill::FlowConfig config = flow_from_args(args);
+
+  const grid::Dissection dis(l.die(), config.window_um, config.r);
+  grid::DensityMap wires(dis);
+  wires.add_layer_wires(l, config.layer);
+  const grid::DensityStats stats = wires.stats();
+
+  const auto trees = rctree::build_all_trees(l);
+  double worst_delay = 0, total_delay = 0;
+  int sinks = 0;
+  for (const auto& t : trees) {
+    for (int s = 0; s < t.num_sinks(); ++s) {
+      worst_delay = std::max(worst_delay, t.sink_delay_ps(s));
+      total_delay += t.sink_delay_ps(s);
+      ++sinks;
+    }
+  }
+  const auto pieces = fill::flatten_pieces(trees);
+  const auto slack = fill::extract_slack_columns(
+      l, dis, pieces, config.layer, config.rules, config.solver_mode);
+
+  std::cout << "layout            : " << l.num_nets() << " nets, "
+            << l.num_segments() << " segments, die " << l.die().width()
+            << " x " << l.die().height() << " um\n"
+            << "dissection        : " << dis.tiles_x() << " x "
+            << dis.tiles_y() << " tiles (" << dis.tile_um() << " um), "
+            << dis.num_windows() << " windows\n"
+            << "window density    : [" << stats.min_density << ", "
+            << stats.max_density << "], variation " << stats.variation()
+            << "\n"
+            << "timing (Elmore)   : " << sinks << " sinks, worst "
+            << worst_delay << " ps, mean " << (sinks ? total_delay / sinks : 0)
+            << " ps\n"
+            << "slack columns     : " << slack.columns().size() << " ("
+            << to_string(config.solver_mode) << "), capacity "
+            << slack.total_capacity() << " features\n";
+  std::cout << "\nwindow density heatmap (' ' = min, '@' = max):\n"
+            << grid::render_density_ascii(wires);
+  return 0;
+}
+
+int cmd_fill(const Args& args) {
+  if (args.positional.empty()) throw Error("fill: layout path required");
+  const layout::Layout l = load_layout(args.positional[0], args);
+  const pilfill::FlowConfig config = flow_from_args(args);
+  const std::string method_name = args.get("method", "ilp2");
+
+  // The two extension flows have their own drivers; adapt their results to
+  // the common reporting shape.
+  pilfill::FlowResult res;
+  if (method_name == "anneal") {
+    const pilfill::AnnealFlowResult ann =
+        pilfill::run_annealed_pil_fill_flow(l, config);
+    pilfill::MethodResult mr;
+    mr.method = pilfill::Method::kConvex;  // display only
+    mr.impact = ann.impact;
+    mr.solve_seconds = ann.solve_seconds;
+    mr.placed = static_cast<long long>(ann.features.size());
+    mr.placement.features = ann.features;
+    mr.placement.features_per_tile = ann.features_per_tile;
+    res.target = ann.target;
+    res.density_before = ann.target.before;
+    mr.density_after = density_with_fill(l, config, mr.placement.features);
+    res.methods.push_back(std::move(mr));
+    std::cout << "anneal: model cost " << format_double(ann.initial_cost_ps, 4)
+              << " -> " << format_double(ann.final_cost_ps, 4) << " ps ("
+              << ann.moves_accepted << "/" << ann.moves_tried
+              << " moves)\n";
+  } else if (args.flag("allowance-ps")) {
+    const auto pieces = fill::flatten_pieces(rctree::build_all_trees(l));
+    pilfill::BudgetedConfig budgets;
+    budgets.net_cap_budget_ff = pilfill::budgets_from_delay_ps(
+        pieces, static_cast<int>(l.num_nets()),
+        parse_double(args.get("allowance-ps", ""), "--allowance-ps"));
+    const pilfill::BudgetedFlowResult b =
+        pilfill::run_budgeted_pil_fill_flow(l, config, budgets);
+    pilfill::MethodResult mr;
+    mr.method = pilfill::Method::kConvex;  // display only
+    mr.impact = b.impact;
+    mr.solve_seconds = b.solve_seconds;
+    mr.placed = b.allocation.placed;
+    mr.shortfall = b.allocation.shortfall;
+    mr.placement.features = b.features;
+    res.target = b.target;
+    res.density_before = b.density_before;
+    mr.density_after = density_with_fill(l, config, mr.placement.features);
+    res.methods.push_back(std::move(mr));
+    std::cout << "budgeted: max utilization "
+              << format_double(b.allocation.max_budget_utilization, 3)
+              << "\n";
+  } else {
+    res = pilfill::run_pil_fill_flow(l, config,
+                                     {method_from_name(method_name)});
+  }
+  const auto& mr = res.methods[0];
+  std::cout << method_name << ": placed " << mr.placed
+            << " features (shortfall " << mr.shortfall << ") in "
+            << mr.solve_seconds << " s\n"
+            << "delay impact: +" << mr.impact.delay_ps << " ps (weighted +"
+            << mr.impact.weighted_delay_ps << " ps)\n"
+            << "density: [" << res.density_before.min_density << ", "
+            << res.density_before.max_density << "] -> ["
+            << mr.density_after.min_density << ", "
+            << mr.density_after.max_density << "]\n";
+
+  if (args.flag("svg")) {
+    layout::SvgOptions svg;
+    svg.grid_um = config.window_um / config.r;
+    layout::write_svg_file(l, mr.placement.features, args.get("svg", ""), svg);
+    std::cout << "wrote " << args.get("svg", "") << "\n";
+  }
+  if (args.flag("out")) {
+    layout::Layout filled = l;
+    int count = 0;
+    for (const auto& f : mr.placement.features) {
+      layout::Net net;
+      net.name = "FILL" + std::to_string(count++);
+      net.source = f.center();
+      const layout::NetId nid = filled.add_net(net);
+      filled.add_segment(nid, config.layer, {f.xlo, f.center().y},
+                         {f.xhi, f.center().y}, f.height());
+    }
+    layout::write_pld_file(filled, args.get("out", ""));
+    std::cout << "wrote " << args.get("out", "") << "\n";
+  }
+  if (args.flag("gds")) {
+    layout::write_gds_file(l, mr.placement.features, args.get("gds", ""));
+    std::cout << "wrote " << args.get("gds", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_check(const Args& args) {
+  // Verify a filled .pld: fill nets are recognized by the "FILL" name
+  // prefix written by `pilfill fill --out`; everything else is real wiring.
+  if (args.positional.empty()) throw Error("check: layout path required");
+  const layout::Layout filled = load_layout(args.positional[0], args);
+  const pilfill::FlowConfig config = flow_from_args(args);
+
+  layout::Layout wires_only(filled.die());
+  for (std::size_t i = 0; i < filled.num_layers(); ++i)
+    wires_only.add_layer(filled.layer(static_cast<layout::LayerId>(i)));
+  std::vector<geom::Rect> features;
+  for (std::size_t i = 0; i < filled.num_nets(); ++i) {
+    const layout::Net& net = filled.net(static_cast<layout::NetId>(i));
+    const bool is_fill = net.name.rfind("FILL", 0) == 0;
+    layout::NetId nid = layout::kInvalidNet;
+    if (!is_fill) {
+      layout::Net copy;
+      copy.name = net.name;
+      copy.source = net.source;
+      copy.driver_res_ohm = net.driver_res_ohm;
+      copy.sinks = net.sinks;
+      nid = wires_only.add_net(std::move(copy));
+    }
+    for (const layout::SegmentId sid : net.segments) {
+      const layout::WireSegment& seg = filled.segment(sid);
+      if (is_fill)
+        features.push_back(seg.rect());
+      else
+        wires_only.add_segment(nid, seg.layer, seg.a, seg.b, seg.width_um);
+    }
+  }
+
+  fill::CheckOptions options;
+  options.layer = config.layer;
+  if (args.flag("max-density"))
+    options.max_window_density =
+        parse_double(args.get("max-density", ""), "--max-density");
+  const grid::Dissection dis(filled.die(), config.window_um, config.r);
+  const fill::CheckReport report =
+      fill::check_fill(wires_only, features, options, &dis);
+
+  std::cout << "checked " << report.features_checked << " fill features: "
+            << (report.clean() ? "CLEAN" : "VIOLATIONS FOUND") << "\n";
+  for (const auto& v : report.violations)
+    std::cout << "  " << v.describe() << "\n";
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_score(const Args& args) {
+  // Score an EXTERNALLY produced fill placement (e.g. from a commercial
+  // tool): fill rects come from a GDSII stream, the layout from .pld/.def,
+  // and both the exact delay evaluator and the legality checker run on it.
+  if (args.positional.size() < 2)
+    throw Error("score: usage: score <layout> <fill.gds> [--fill-layer N]");
+  const layout::Layout l = load_layout(args.positional[0], args);
+  const pilfill::FlowConfig config = flow_from_args(args);
+  const int fill_layer =
+      static_cast<int>(parse_int(args.get("fill-layer", "100"), "--fill-layer"));
+
+  const layout::GdsContents gds = layout::read_gds_file(args.positional[1]);
+  std::vector<geom::Rect> features;
+  for (const auto& r : gds.rects)
+    if (r.layer == fill_layer) features.push_back(r.rect);
+  std::cout << "read " << features.size() << " fill rects (GDS layer "
+            << fill_layer << ") from " << args.positional[1] << "\n";
+
+  const grid::Dissection dis(l.die(), config.window_um, config.r);
+  const auto trees = rctree::build_all_trees(l);
+  const auto pieces = fill::flatten_pieces(trees);
+  const auto slack = fill::extract_slack_columns(
+      l, dis, pieces, config.layer, config.rules, fill::SlackMode::kIII);
+  const cap::CouplingModel model(l.layer(config.layer).eps_r,
+                                 l.layer(config.layer).thickness_um);
+  const pilfill::DelayImpactEvaluator evaluator(slack, pieces, model,
+                                                config.rules);
+  const pilfill::DelayImpact impact = evaluator.evaluate_rects(features);
+  std::cout << "delay impact : +" << impact.delay_ps << " ps (weighted +"
+            << impact.weighted_delay_ps << " ps, exact sink +"
+            << impact.exact_sink_delay_ps << " ps)\n"
+            << "mapped       : " << impact.features - impact.unmapped << "/"
+            << impact.features
+            << " features on the shared site grid\n";
+
+  fill::CheckOptions check;
+  check.rules = config.rules;
+  check.layer = config.layer;
+  if (args.flag("max-density"))
+    check.max_window_density =
+        parse_double(args.get("max-density", ""), "--max-density");
+  const fill::CheckReport report = fill::check_fill(l, features, check, &dis);
+  std::cout << "legality     : "
+            << (report.clean() ? "CLEAN" : "VIOLATIONS FOUND") << "\n";
+  for (const auto& v : report.violations) std::cout << "  " << v.describe() << "\n";
+  return report.clean() ? 0 : 1;
+}
+
+int cmd_table(const Args& args) {
+  if (args.positional.empty()) throw Error("table: layout path required");
+  const layout::Layout l = load_layout(args.positional[0], args);
+  pilfill::FlowConfig config = flow_from_args(args);
+
+  Table table({"method", "tau (ps)", "wtau (ps)", "cpu (s)"});
+  const pilfill::FlowResult res = pilfill::run_pil_fill_flow(
+      l, config,
+      {pilfill::Method::kNormal, pilfill::Method::kIlp1,
+       pilfill::Method::kIlp2, pilfill::Method::kGreedy});
+  for (const auto& mr : res.methods)
+    table.add_row({to_string(mr.method), format_double(mr.impact.delay_ps, 4),
+                   format_double(mr.impact.weighted_delay_ps, 4),
+                   format_double(mr.solve_seconds, 4)});
+  table.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: pilfill <command> [options]\n"
+      "  gen <out.pld>      [--die D] [--nets N] [--seed S] [--two-layer]\n"
+      "  analyze <layout>   [--window W] [--r R] [--layer L] [--mode I|II|III]\n"
+      "  fill <layout>      [--window W] [--r R] [--layer L] [--method M]\n"
+      "                     [--weighted] [--mode I|II|III] [--threads N]\n"
+      "                     [--out filled.pld] [--svg out.svg] [--gds out.gds]\n"
+      "                     [--allowance-ps X] (budgeted) | --method anneal\n"
+      "                     [--lef tech.lef]\n"
+      "  table <layout>     [--window W] [--r R] [--weighted]\n"
+      "  check <filled.pld> [--max-density D] [--window W] [--r R]\n"
+      "  score <layout> <fill.gds> [--fill-layer N] [--max-density D]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "fill") return cmd_fill(args);
+    if (cmd == "table") return cmd_table(args);
+    if (cmd == "check") return cmd_check(args);
+    if (cmd == "score") return cmd_score(args);
+    return usage();
+  } catch (const pil::Error& e) {
+    std::cerr << "pilfill: " << e.what() << "\n";
+    return 1;
+  }
+}
