@@ -3,9 +3,13 @@
 /// Shared harness for the Table 1 / Table 2 reproductions: run the 12 paper
 /// configurations ({T1,T2} x W in {32,20} x r in {2,4,8}) with the four
 /// methods and print a paper-shaped table plus the reduction-vs-normal
-/// percentages.
+/// percentages. Pass a --json path (see run_table_main) to also emit a
+/// machine-readable "pil.bench.v1" record per run.
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,15 +34,36 @@ inline const std::vector<ConfigRow>& paper_configs() {
 }
 
 /// Run the full table for one objective. `metric` picks which impact number
-/// is reported (non-weighted for Table 1, weighted for Table 2).
+/// is reported (non-weighted for Table 1, weighted for Table 2). When
+/// `json_path` is non-empty the same runs are also written as one
+/// "pil.bench.v1" JSON document (an array of per-configuration records,
+/// each embedding the per-method results in run-report shape).
 inline void run_table(const char* title, pilfill::Objective objective,
-                      double (*metric)(const pilfill::DelayImpact&)) {
+                      double (*metric)(const pilfill::DelayImpact&),
+                      const std::string& json_path = "") {
   using pilfill::Method;
   const std::vector<Method> methods = {Method::kNormal, Method::kIlp1,
                                        Method::kIlp2, Method::kGreedy};
 
   const layout::Layout t1 = layout::make_testcase_t1();
   const layout::Layout t2 = layout::make_testcase_t2();
+
+  std::ofstream json_os;
+  std::optional<obs::JsonWriter> json;
+  if (!json_path.empty()) {
+    json_os.open(json_path);
+    PIL_REQUIRE(json_os.good(), "cannot open '" + json_path + "'");
+    json.emplace(json_os);
+    json->begin_object();
+    json->kv("schema", "pil.bench.v1");
+    json->kv("bench", title);
+    json->kv("version", kVersionString);
+    json->kv("objective",
+             objective == pilfill::Objective::kWeighted ? "weighted"
+                                                        : "non-weighted");
+    json->key("runs");
+    json->begin_array();
+  }
 
   Table table({"T/W/r", "Normal tau", "ILP-I tau", "ILP-I cpu", "ILP-II tau",
                "ILP-II cpu", "Greedy tau", "Greedy cpu", "ILP-II red%"});
@@ -56,6 +81,20 @@ inline void run_table(const char* title, pilfill::Objective objective,
     flow.objective = objective;
     const pilfill::FlowResult res =
         pilfill::run_pil_fill_flow(chip, flow, methods);
+
+    if (json) {
+      json->begin_object();
+      json->kv("testcase", cfg.testcase);
+      json->kv("window_um", cfg.window_um);
+      json->kv("r", cfg.r);
+      json->kv("prep_seconds", res.prep_seconds);
+      json->key("methods");
+      json->begin_array();
+      for (const auto& mr : res.methods)
+        pilfill::write_method_result_json(*json, mr);
+      json->end_array();
+      json->end_object();
+    }
 
     auto tau = [&](Method m) {
       for (const auto& mr : res.methods)
@@ -85,6 +124,38 @@ inline void run_table(const char* title, pilfill::Objective objective,
   table.print(std::cout);
   std::cout << "\nCSV:\n";
   table.print_csv(std::cout);
+
+  if (json) {
+    json->end_array();
+    json->end_object();
+    json_os << '\n';
+    json_os.flush();
+    PIL_REQUIRE(json_os.good(), "failed writing '" + json_path + "'");
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+}
+
+/// Shared main() body for the table benches: `--json <path>` (or a bare
+/// positional path) selects the JSON output file; `default_json_name` is
+/// used when `--json` is given without the flag being followed by a path.
+inline int run_table_main(int argc, char** argv, const char* title,
+                          pilfill::Objective objective,
+                          double (*metric)(const pilfill::DelayImpact&),
+                          const char* default_json_name) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0)
+      json_path = i + 1 < argc ? argv[++i] : default_json_name;
+    else
+      json_path = argv[i];
+  }
+  try {
+    run_table(title, objective, metric, json_path);
+  } catch (const Error& e) {
+    std::cerr << "bench: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace pil::bench

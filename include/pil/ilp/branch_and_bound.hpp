@@ -38,6 +38,19 @@ struct IlpSolution {
   double objective = 0.0;
   std::vector<double> x;   ///< integral on integer vars (within int_tol)
   int nodes_explored = 0;
+  // Search statistics (observability; never fed back into the search).
+  int lp_solves = 0;            ///< LP relaxations solved (= nodes not pruned early)
+  long long lp_iterations = 0;  ///< simplex iterations summed over those solves
+  int max_depth = 0;            ///< deepest branch-path length explored
+  int incumbent_updates = 0;    ///< times a new best integral solution was found
+  /// Best proven lower bound at exit. Equals `objective` when kOptimal; on
+  /// kNodeLimit it is the smallest bound among unexplored nodes, so
+  /// objective - best_bound is the residual optimality gap.
+  double best_bound = 0.0;
+
+  /// Absolute optimality gap (0 when proven optimal; meaningful with an
+  /// incumbent, i.e. kOptimal or kNodeLimit with non-empty x).
+  double gap() const { return objective - best_bound; }
 };
 
 /// Solve min c^T x with `integer[j]` marking integrality. `integer` must

@@ -30,7 +30,9 @@ struct LpSolution {
   SolveStatus status = SolveStatus::kIterLimit;
   double objective = 0.0;
   std::vector<double> x;  ///< structural variable values (empty if infeasible)
-  int iterations = 0;
+  int iterations = 0;          ///< total pivots + bound flips (both phases)
+  int phase1_iterations = 0;   ///< iterations spent reaching feasibility
+  int bound_flips = 0;         ///< iterations resolved by a bound flip
 };
 
 /// Solve min c^T x s.t. rows, bounds. Deterministic.

@@ -1,0 +1,9 @@
+#pragma once
+/// \file obs.hpp
+/// Umbrella header for the pil::obs observability subsystem: metrics
+/// registry, trace spans, and the minimal JSON layer they emit through.
+/// See docs/OBSERVABILITY.md for metric names and the report schema.
+
+#include "pil/obs/json.hpp"
+#include "pil/obs/metrics.hpp"
+#include "pil/obs/trace.hpp"

@@ -1,0 +1,92 @@
+#pragma once
+/// \file trace.hpp
+/// RAII trace spans exported as Chrome trace-event JSON (the format both
+/// chrome://tracing and Perfetto's trace viewer load directly).
+///
+/// Usage: attach a TraceSession before a run, let instrumented code create
+/// TraceSpan objects, then write_json() into a file and open it in
+/// https://ui.perfetto.dev. When no session is attached (the default) a
+/// span's constructor is a single relaxed atomic load -- tracing costs
+/// nothing unless someone asked for it.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pil::obs {
+
+/// One completed span ("ph":"X" in trace-event terms).
+struct TraceEvent {
+  std::string name;
+  std::string args_json;  ///< pre-serialized JSON object, or empty
+  double ts_us = 0.0;     ///< start, microseconds since session start
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;  ///< dense per-process thread id
+};
+
+class TraceSession {
+ public:
+  TraceSession() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since the session was created.
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void record(TraceEvent e);
+  std::size_t num_events() const;
+
+  /// Write the whole session as a JSON array of trace events.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Globally attached session (nullptr = tracing off). Attach before
+/// spawning instrumented workers and detach after joining them.
+TraceSession* trace_session() noexcept;
+void set_trace_session(TraceSession* session) noexcept;
+
+/// Dense id for the calling thread, assigned on first use (0, 1, 2, ...).
+std::uint32_t trace_thread_id() noexcept;
+
+/// RAII span: records one complete event on the attached session between
+/// construction and destruction; a no-op when no session is attached.
+/// `name` must outlive the span (string literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : TraceSpan(name, std::string()) {}
+  TraceSpan(const char* name, std::string args_json)
+      : session_(trace_session()), name_(name), args_(std::move(args_json)) {
+    if (session_) start_us_ = session_->now_us();
+  }
+  ~TraceSpan() {
+    if (!session_) return;
+    TraceEvent e;
+    e.name = name_;
+    e.args_json = std::move(args_);
+    e.ts_us = start_us_;
+    e.dur_us = session_->now_us() - start_us_;
+    e.tid = trace_thread_id();
+    session_->record(std::move(e));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceSession* session_;
+  const char* name_;
+  std::string args_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace pil::obs

@@ -67,13 +67,41 @@ struct FillPlacement {
   long long total() const { return static_cast<long long>(features.size()); }
 };
 
+/// Where the shared (method-independent) preparation time went. All in
+/// seconds; total() matches FlowResult::prep_seconds.
+struct StageSeconds {
+  double dissection = 0.0;        ///< fixed r-dissection construction
+  double density_map = 0.0;       ///< wire + blockage area accumulation
+  double rc_extraction = 0.0;     ///< RC trees + active-line pieces
+  double slack_extraction = 0.0;  ///< slack-column inventory (both modes)
+  double targeting = 0.0;         ///< per-tile fill requirements
+  double instances = 0.0;         ///< per-tile MDFC instance construction
+  double total() const {
+    return dissection + density_map + rc_extraction + slack_extraction +
+           targeting + instances;
+  }
+};
+
 struct MethodResult {
   Method method = Method::kNormal;
   DelayImpact impact;
   double solve_seconds = 0.0;  ///< per-tile solve time only (paper's CPU)
+  double eval_seconds = 0.0;   ///< exact-evaluator scoring time
   long long placed = 0;
   long long shortfall = 0;     ///< unmet fill requirement (capacity misses)
   long long bb_nodes = 0;
+  // Solver internals aggregated over the tiles (observability).
+  long long lp_solves = 0;           ///< LP relaxations solved (ILP methods)
+  long long simplex_iterations = 0;  ///< simplex iterations over those solves
+  /// Tiles whose integer program hit the node budget; their (unproven)
+  /// incumbents were used. Distinct from shortfall: the requirement was met.
+  long long tiles_node_limit = 0;
+  /// Tiles whose integer program failed outright (LP iteration limit or
+  /// infeasibility); they placed nothing, so their requirement *is* part of
+  /// the shortfall -- but no longer silently.
+  long long tiles_error = 0;
+  /// Worst residual optimality gap among node-limited tiles.
+  double max_ilp_gap = 0.0;
   grid::DensityStats density_after;
   FillPlacement placement;
 };
@@ -84,6 +112,7 @@ struct FlowResult {
   long long total_capacity = 0;
   std::vector<MethodResult> methods;
   double prep_seconds = 0.0;   ///< extraction + targeting, shared by methods
+  StageSeconds prep_stages;    ///< breakdown of prep_seconds
 };
 
 /// Run the flow for each method in `methods`; `config.layer` selects the

@@ -37,6 +37,17 @@ struct TileSolveResult {
   int placed = 0;
   int shortfall = 0;        ///< required - placed (capacity shortage)
   long long bb_nodes = 0;   ///< branch-and-bound nodes (ILP methods)
+  // Solver internals (ILP methods; zero for Normal/Greedy/Convex).
+  long long lp_solves = 0;           ///< LP relaxations solved
+  long long simplex_iterations = 0;  ///< simplex iterations over those solves
+  double ilp_gap = 0.0;              ///< residual optimality gap (kNodeLimit)
+  /// Outcome of the tile's integer program. Non-ILP methods report
+  /// kOptimal. kNodeLimit means the incumbent was used unproven; kError /
+  /// kInfeasible mean no usable solution -- the tile places nothing and the
+  /// requirement shows up as shortfall. The driver aggregates these into
+  /// MethodResult::tiles_node_limit / tiles_error rather than folding them
+  /// silently into the shortfall.
+  ilp::IlpStatus ilp_status = ilp::IlpStatus::kOptimal;
 };
 
 struct SolverContext {

@@ -2,12 +2,14 @@
 /// \file log.hpp
 /// Minimal leveled logging. Off by default above kWarn so that library code
 /// can narrate long runs (layout generation, per-tile solves) without
-/// polluting test output. Not thread-safe by design: the PIL-Fill pipeline is
-/// single-threaded per layout (tiles are independent but we keep determinism).
+/// polluting test output. Thread-safe: the driver runs per-tile workers
+/// (FlowConfig::threads > 1), so emission is serialized -- concurrent
+/// PIL_* calls never interleave within a line.
 
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace pil {
 
@@ -16,6 +18,10 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 /// Global log threshold; messages below it are dropped.
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
+
+/// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// throws pil::Error on anything else. For CLI --log-level flags.
+LogLevel parse_log_level(std::string_view name);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

@@ -13,6 +13,7 @@ namespace {
 
 struct Node {
   double bound = -lp::kInf;  ///< parent LP objective (lower bound on subtree)
+  int depth = 0;             ///< branch decisions on the path to this node
   // Bound overrides accumulated along the branch path.
   std::vector<std::pair<int, double>> lo_over;
   std::vector<std::pair<int, double>> hi_over;
@@ -88,6 +89,7 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
     open.pop();
     if (node->bound >= incumbent - options.abs_gap) continue;  // pruned
     ++explored;
+    best.max_depth = std::max(best.max_depth, node->depth);
 
     lp::LpProblem sub = problem;
     bool empty_interval = false;
@@ -105,6 +107,8 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
     if (empty_interval) continue;  // branch emptied a variable's interval
 
     const lp::LpSolution rel = lp::solve_lp(sub, options.lp);
+    ++best.lp_solves;
+    best.lp_iterations += rel.iterations;
     if (rel.status == lp::SolveStatus::kInfeasible) continue;
     if (rel.status == lp::SolveStatus::kUnbounded) {
       // An unbounded relaxation at the root means the MILP is unbounded or
@@ -122,6 +126,7 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
     const int bv = pick_branch_var(rel.x, integer, options.int_tol);
     if (bv < 0) {
       // Integral: new incumbent.
+      ++best.incumbent_updates;
       incumbent = rel.objective;
       best.objective = rel.objective;
       best.x = rel.x;
@@ -134,9 +139,11 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
     const double xv = rel.x[bv];
     auto down = std::make_shared<Node>(*node);
     down->bound = rel.objective;
+    down->depth = node->depth + 1;
     down->hi_over.emplace_back(bv, std::floor(xv));
     auto up = std::make_shared<Node>(*node);
     up->bound = rel.objective;
+    up->depth = node->depth + 1;
     up->lo_over.emplace_back(bv, std::ceil(xv));
     open.push(std::move(down));
     open.push(std::move(up));
@@ -147,6 +154,12 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
     best.status = IlpStatus::kNodeLimit;
   if (best.status == IlpStatus::kInfeasible && node_limit_hit)
     best.status = IlpStatus::kNodeLimit;
+  // Final bound: with the search exhausted the incumbent is proven; when
+  // the node budget cut the search off, the best open node bounds what an
+  // exhaustive search could still improve.
+  best.best_bound = best.objective;
+  if (node_limit_hit && !open.empty())
+    best.best_bound = std::min(best.objective, open.top()->bound);
   return best;
 }
 

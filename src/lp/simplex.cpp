@@ -29,14 +29,17 @@ class Simplex {
     if (num_artificials_ > 0) {
       set_phase1_costs();
       const SolveStatus s1 = iterate(sol.iterations);
+      sol.phase1_iterations = sol.iterations;
       if (s1 == SolveStatus::kIterLimit) {
         sol.status = s1;
+        sol.bound_flips = bound_flips_;
         return sol;
       }
       PIL_ASSERT(s1 != SolveStatus::kUnbounded,
                  "phase-1 objective is bounded below by zero");
       if (phase_objective() > opt_.feas_tol) {
         sol.status = SolveStatus::kInfeasible;
+        sol.bound_flips = bound_flips_;
         return sol;
       }
       // Pin artificials to zero for phase 2.
@@ -46,6 +49,7 @@ class Simplex {
     set_phase2_costs();
     const SolveStatus s2 = iterate(sol.iterations);
     sol.status = s2;
+    sol.bound_flips = bound_flips_;
     if (s2 != SolveStatus::kOptimal) return sol;
 
     sol.x.assign(n_, 0.0);
@@ -210,7 +214,13 @@ class Simplex {
   SolveStatus iterate(int& iter_accum) {
     std::vector<double> y(m_), w(m_);
     int degenerate_run = 0;
-    for (int iter = 0; iter < opt_.max_iterations; ++iter, ++iter_accum) {
+    // Counters stay in locals inside the loop (int stores through `this` or
+    // the accumulator reference could alias basis_/status_ writes and cost
+    // registers); they flush once at the single exit point below.
+    int flips = 0;
+    SolveStatus result = SolveStatus::kIterLimit;
+    int iter = 0;
+    for (; iter < opt_.max_iterations; ++iter) {
       const bool bland = degenerate_run >= opt_.degenerate_switch;
       btran(y);
 
@@ -243,7 +253,10 @@ class Simplex {
           dir = this_dir;
         }
       }
-      if (q < 0) return SolveStatus::kOptimal;
+      if (q < 0) {
+        result = SolveStatus::kOptimal;
+        break;
+      }
 
       ftran(q, w);
 
@@ -286,11 +299,15 @@ class Simplex {
         }
       }
 
-      if (!std::isfinite(tmax)) return SolveStatus::kUnbounded;
+      if (!std::isfinite(tmax)) {
+        result = SolveStatus::kUnbounded;
+        break;
+      }
       degenerate_run = (tmax <= opt_.tol) ? degenerate_run + 1 : 0;
 
       if (leave < 0) {
         // Bound flip: entering runs to its opposite bound.
+        ++flips;
         for (int i = 0; i < m_; ++i) xb_[i] -= dir * tmax * w[i];
         val_[q] = (dir > 0) ? hi_[q] : lo_[q];
         status_[q] = (dir > 0) ? ColStatus::kAtUpper : ColStatus::kAtLower;
@@ -325,7 +342,9 @@ class Simplex {
 
       if ((iter + 1) % opt_.refactor_interval == 0) recompute_xb();
     }
-    return SolveStatus::kIterLimit;
+    iter_accum += iter;
+    bound_flips_ += flips;
+    return result;
   }
 
   std::vector<double> full_solution() const {
@@ -340,6 +359,7 @@ class Simplex {
   int m_ = 0;
   int total_ = 0;
   int num_artificials_ = 0;
+  int bound_flips_ = 0;
 
   std::vector<std::vector<std::pair<int, double>>> cols_;
   std::vector<double> rhs_;

@@ -1,0 +1,219 @@
+#include "pil/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pil/obs/json.hpp"
+
+namespace pil::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double delta) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  int exp = 0;
+  std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+  return std::clamp(exp + 31, 0, kNumBuckets - 1);
+}
+
+double Histogram::bucket_lower(int b) noexcept {
+  if (b <= 0) return 0.0;
+  return std::ldexp(1.0, b - 32);
+}
+
+void Histogram::observe(double v) noexcept {
+  // First observation seeds min/max: count 0 -> 1 transition is racy across
+  // threads, so seed both toward the value and let CAS settle the rest.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  } else {
+    atomic_min_double(min_, v);
+    atomic_max_double(max_, v);
+  }
+  atomic_add_double(sum_, v);
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int b = 0; b < kNumBuckets; ++b)
+    s.buckets[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const long long target =
+      std::max<long long>(1, static_cast<long long>(std::ceil(q * count)));
+  long long seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= target) {
+      const double lo = std::max(bucket_lower(b), min);
+      const double hi = std::min(
+          b + 1 < kNumBuckets ? bucket_lower(b + 1) : max, max);
+      if (lo <= 0.0 || hi <= lo) return hi;
+      return std::sqrt(lo * hi);  // geometric midpoint of the bucket
+    }
+  }
+  return max;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c.value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g.value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.emplace_back(name, h.snapshot());
+  return s;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("min", h.count > 0 ? h.min : 0.0);
+    w.kv("max", h.count > 0 ? h.max : 0.0);
+    w.kv("mean", h.mean());
+    w.kv("p50", h.quantile(0.50));
+    w.kv("p90", h.quantile(0.90));
+    w.kv("p99", h.quantile(0.99));
+    w.key("buckets");
+    w.begin_array();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const long long n = h.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      w.begin_array();
+      w.value(Histogram::bucket_lower(b));
+      w.value(n);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(k);
+    out.push_back('=');
+    out.append(v);
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace pil::obs

@@ -1,0 +1,61 @@
+#include "pil/obs/trace.hpp"
+
+#include <atomic>
+
+#include "pil/obs/json.hpp"
+
+namespace pil::obs {
+
+void TraceSession::record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceSession::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceSession::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_array();
+  for (const TraceEvent& e : events_) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("cat", "pil");
+    w.kv("ph", "X");
+    w.kv("ts", e.ts_us);
+    w.kv("dur", e.dur_us);
+    w.kv("pid", 1);
+    w.kv("tid", static_cast<long long>(e.tid));
+    if (!e.args_json.empty()) {
+      w.key("args");
+      w.raw(e.args_json);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  os << '\n';
+}
+
+namespace {
+std::atomic<TraceSession*> g_session{nullptr};
+std::atomic<std::uint32_t> g_next_tid{0};
+}  // namespace
+
+TraceSession* trace_session() noexcept {
+  return g_session.load(std::memory_order_relaxed);
+}
+
+void set_trace_session(TraceSession* session) noexcept {
+  g_session.store(session, std::memory_order_relaxed);
+}
+
+std::uint32_t trace_thread_id() noexcept {
+  thread_local std::uint32_t id =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace pil::obs

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <optional>
+#include <string>
 #include <thread>
 
+#include "pil/obs/metrics.hpp"
+#include "pil/obs/trace.hpp"
 #include "pil/pilfill/budgeted.hpp"
 #include "pil/util/log.hpp"
 #include "pil/util/stopwatch.hpp"
@@ -17,10 +20,44 @@ using fill::SlackColumn;
 using fill::SlackColumns;
 using fill::SlackMode;
 
+grid::Dissection timed_dissection(const layout::Layout& layout,
+                                  const FlowConfig& config, double& accum) {
+  obs::TraceSpan span("prep.dissection");
+  ScopedTimer timer(accum);
+  return grid::Dissection(layout.die(), config.window_um, config.r);
+}
+
+std::vector<rctree::RcTree> timed_trees(const layout::Layout& layout,
+                                        double& accum) {
+  obs::TraceSpan span("prep.rc_trees");
+  ScopedTimer timer(accum);
+  return rctree::build_all_trees(layout);
+}
+
+std::vector<rctree::WirePiece> timed_pieces(
+    const std::vector<rctree::RcTree>& trees, double& accum) {
+  ScopedTimer timer(accum);
+  return fill::flatten_pieces(trees);
+}
+
+SlackColumns timed_slack(const layout::Layout& layout,
+                         const grid::Dissection& dissection,
+                         const std::vector<rctree::WirePiece>& pieces,
+                         const FlowConfig& config, SlackMode mode,
+                         double& accum) {
+  obs::TraceSpan span("prep.slack_columns");
+  ScopedTimer timer(accum);
+  return fill::extract_slack_columns(layout, dissection, pieces, config.layer,
+                                     config.rules, mode);
+}
+
 /// Everything the flow computes before any method-specific solving:
 /// dissection, wire density, RC pieces, slack columns, fill requirements,
 /// and the per-tile instances. Shared by the per-tile and budgeted flows.
+/// Every stage is individually timed into `stages` (and traced when a
+/// trace session is attached).
 struct FlowPrep {
+  StageSeconds stages;  // declared first: the timed initializers below fill it
   grid::Dissection dissection;
   grid::DensityMap wires;
   std::vector<rctree::RcTree> trees;
@@ -34,69 +71,93 @@ struct FlowPrep {
   const SlackColumns& solver_slack() const { return alt ? *alt : global; }
 
   FlowPrep(const layout::Layout& layout, const FlowConfig& config)
-      : dissection(layout.die(), config.window_um, config.r),
+      : dissection(timed_dissection(layout, config, stages.dissection)),
         wires(dissection),
-        trees(rctree::build_all_trees(layout)),
-        pieces(fill::flatten_pieces(trees)),
-        global(fill::extract_slack_columns(layout, dissection, pieces,
-                                           config.layer, config.rules,
-                                           SlackMode::kIII)) {
-    Stopwatch watch;
-    wires.add_layer_wires(layout, config.layer);
-    wires.add_layer_metal_blockages(layout, config.layer);
+        trees(timed_trees(layout, stages.rc_extraction)),
+        pieces(timed_pieces(trees, stages.rc_extraction)),
+        global(timed_slack(layout, dissection, pieces, config, SlackMode::kIII,
+                           stages.slack_extraction)) {
+    {
+      obs::TraceSpan span("prep.density_map");
+      ScopedTimer timer(stages.density_map);
+      wires.add_layer_wires(layout, config.layer);
+      wires.add_layer_metal_blockages(layout, config.layer);
+    }
     if (config.solver_mode != SlackMode::kIII)
-      alt = fill::extract_slack_columns(layout, dissection, pieces,
-                                        config.layer, config.rules,
-                                        config.solver_mode);
+      alt = timed_slack(layout, dissection, pieces, config, config.solver_mode,
+                        stages.slack_extraction);
 
     // Per-tile fill requirements from the global capacity inventory (or a
     // caller-provided spec).
-    std::vector<int> capacity(dissection.num_tiles());
-    for (int t = 0; t < dissection.num_tiles(); ++t)
-      capacity[t] = global.tile_capacity(t);
-    if (config.required_per_tile.empty()) {
-      switch (config.target_engine) {
-        case TargetEngine::kMonteCarlo:
-          target = density::compute_fill_amounts_mc(wires, capacity,
-                                                    config.rules,
-                                                    config.target);
-          break;
-        case TargetEngine::kMinVarLp:
-          target = density::compute_fill_amounts_lp(wires, capacity,
-                                                    config.rules,
-                                                    config.target);
-          break;
-        case TargetEngine::kMinFillLp:
-          target = density::compute_fill_amounts_min_fill_lp(
-              wires, capacity, config.rules, config.target);
-          break;
+    {
+      obs::TraceSpan span("prep.targeting");
+      ScopedTimer timer(stages.targeting);
+      std::vector<int> capacity(dissection.num_tiles());
+      for (int t = 0; t < dissection.num_tiles(); ++t)
+        capacity[t] = global.tile_capacity(t);
+      if (config.required_per_tile.empty()) {
+        switch (config.target_engine) {
+          case TargetEngine::kMonteCarlo:
+            target = density::compute_fill_amounts_mc(wires, capacity,
+                                                      config.rules,
+                                                      config.target);
+            break;
+          case TargetEngine::kMinVarLp:
+            target = density::compute_fill_amounts_lp(wires, capacity,
+                                                      config.rules,
+                                                      config.target);
+            break;
+          case TargetEngine::kMinFillLp:
+            target = density::compute_fill_amounts_min_fill_lp(
+                wires, capacity, config.rules, config.target);
+            break;
+        }
+      } else {
+        PIL_REQUIRE(static_cast<int>(config.required_per_tile.size()) ==
+                        dissection.num_tiles(),
+                    "required_per_tile size must match the dissection");
+        target.features_per_tile = config.required_per_tile;
+        target.before = wires.stats();
+        grid::DensityMap after = wires;
+        for (int t = 0; t < dissection.num_tiles(); ++t) {
+          PIL_REQUIRE(config.required_per_tile[t] >= 0,
+                      "negative fill requirement");
+          target.total_features += config.required_per_tile[t];
+          after.add_area(dissection.tile_unflat(t),
+                         config.required_per_tile[t] *
+                             config.rules.feature_area());
+        }
+        target.after = after.stats();
       }
-    } else {
-      PIL_REQUIRE(static_cast<int>(config.required_per_tile.size()) ==
-                      dissection.num_tiles(),
-                  "required_per_tile size must match the dissection");
-      target.features_per_tile = config.required_per_tile;
-      target.before = wires.stats();
-      grid::DensityMap after = wires;
-      for (int t = 0; t < dissection.num_tiles(); ++t) {
-        PIL_REQUIRE(config.required_per_tile[t] >= 0,
-                    "negative fill requirement");
-        target.total_features += config.required_per_tile[t];
-        after.add_area(dissection.tile_unflat(t),
-                       config.required_per_tile[t] *
-                           config.rules.feature_area());
-      }
-      target.after = after.stats();
     }
 
-    instances.reserve(dissection.num_tiles());
-    for (int t = 0; t < dissection.num_tiles(); ++t) {
-      const int required = target.features_per_tile[t];
-      if (required == 0) continue;
-      instances.push_back(build_tile_instance(t, required, solver_slack(),
-                                              pieces, config.net_criticality));
+    {
+      obs::TraceSpan span("prep.instances");
+      ScopedTimer timer(stages.instances);
+      instances.reserve(dissection.num_tiles());
+      for (int t = 0; t < dissection.num_tiles(); ++t) {
+        const int required = target.features_per_tile[t];
+        if (required == 0) continue;
+        instances.push_back(build_tile_instance(t, required, solver_slack(),
+                                                pieces,
+                                                config.net_criticality));
+      }
     }
-    prep_seconds = watch.seconds();
+    prep_seconds = stages.total();
+
+    if (obs::metrics_enabled()) {
+      auto& reg = obs::metrics();
+      reg.gauge("pilfill.prep.dissection_seconds").add(stages.dissection);
+      reg.gauge("pilfill.prep.density_map_seconds").add(stages.density_map);
+      reg.gauge("pilfill.prep.rc_extraction_seconds").add(stages.rc_extraction);
+      reg.gauge("pilfill.prep.slack_extraction_seconds")
+          .add(stages.slack_extraction);
+      reg.gauge("pilfill.prep.targeting_seconds").add(stages.targeting);
+      reg.gauge("pilfill.prep.instances_seconds").add(stages.instances);
+      reg.counter("pilfill.prep.tiles").add(dissection.num_tiles());
+      reg.counter("pilfill.prep.instances").add(
+          static_cast<long long>(instances.size()));
+    }
   }
 };
 
@@ -139,6 +200,44 @@ void append_rects(const TileInstance& inst, const std::vector<int>& counts,
   }
 }
 
+/// Fold one tile's solver internals into the method aggregate.
+void accumulate_tile_stats(const TileSolveResult& tile, MethodResult& mr) {
+  mr.placed += tile.placed;
+  mr.shortfall += tile.shortfall;
+  mr.bb_nodes += tile.bb_nodes;
+  mr.lp_solves += tile.lp_solves;
+  mr.simplex_iterations += tile.simplex_iterations;
+  switch (tile.ilp_status) {
+    case ilp::IlpStatus::kOptimal:
+      break;
+    case ilp::IlpStatus::kNodeLimit:
+      ++mr.tiles_node_limit;
+      mr.max_ilp_gap = std::max(mr.max_ilp_gap, tile.ilp_gap);
+      break;
+    default:
+      ++mr.tiles_error;
+      break;
+  }
+}
+
+/// Publish one solved method's aggregates into the global registry.
+void publish_method_metrics(const MethodResult& mr, std::size_t instances) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::metrics();
+  const char* m = to_string(mr.method);
+  auto name = [&](const char* base) { return obs::labeled(base, {{"method", m}}); };
+  reg.counter(name("pilfill.tiles_solved")).add(static_cast<long long>(instances));
+  reg.counter(name("pilfill.features_placed")).add(mr.placed);
+  reg.counter(name("pilfill.shortfall")).add(mr.shortfall);
+  reg.counter(name("pil.ilp.bb_nodes")).add(mr.bb_nodes);
+  reg.counter(name("pil.ilp.lp_solves")).add(mr.lp_solves);
+  reg.counter(name("pil.lp.simplex_iterations")).add(mr.simplex_iterations);
+  reg.counter(name("pilfill.tiles_node_limit")).add(mr.tiles_node_limit);
+  reg.counter(name("pilfill.tiles_error")).add(mr.tiles_error);
+  reg.gauge(name("pilfill.solve_seconds")).add(mr.solve_seconds);
+  reg.gauge(name("pilfill.eval_seconds")).add(mr.eval_seconds);
+}
+
 }  // namespace
 
 const char* to_string(TargetEngine e) {
@@ -162,6 +261,7 @@ FlowResult run_pil_fill_flow(const layout::Layout& layout,
   result.total_capacity = prep.global.total_capacity();
   result.target = prep.target;
   result.prep_seconds = prep.prep_seconds;
+  result.prep_stages = prep.stages;
 
   const cap::CouplingModel model(layer.eps_r, layer.thickness_um);
   cap::ColumnCapLut lut(model, config.rules.feature_um);
@@ -171,6 +271,8 @@ FlowResult run_pil_fill_flow(const layout::Layout& layout,
   const SolverContext ctx = make_context(config, model, lut);
 
   for (const Method method : methods) {
+    obs::TraceSpan method_span(
+        "method", std::string("{\"method\":\"") + to_string(method) + "\"}");
     MethodResult mr;
     mr.method = method;
     mr.placement.features_per_tile.assign(prep.dissection.num_tiles(), 0);
@@ -184,18 +286,41 @@ FlowResult run_pil_fill_flow(const layout::Layout& layout,
     const int threads =
         std::clamp(config.threads, 1,
                    static_cast<int>(prep.instances.size()) + 1);
-    auto solve_range = [&](SolverContext local_ctx, std::atomic<size_t>& next) {
+    auto solve_range = [&](SolverContext local_ctx, std::atomic<size_t>& next,
+                           int worker) {
+      // Hot-path handles resolved once per worker: recording a tile's solve
+      // time is then one lock-free histogram update. With no sinks attached
+      // the loop body is exactly the uninstrumented solve.
+      obs::Histogram* hist = nullptr;
+      if (obs::metrics_enabled())
+        hist = &obs::metrics().histogram(obs::labeled(
+            "pilfill.tile_solve_seconds",
+            {{"method", to_string(method)},
+             {"thread", std::to_string(worker)}}));
+      const bool tracing = obs::trace_session() != nullptr;
       for (std::size_t i = next.fetch_add(1); i < prep.instances.size();
            i = next.fetch_add(1)) {
         Rng rng(method_salt ^
                 (static_cast<std::uint64_t>(prep.instances[i].tile_flat) *
                  0x9E3779B97F4A7C15ull));
-        solved[i] = solve_tile(method, prep.instances[i], local_ctx, rng);
+        if (hist || tracing) {
+          obs::TraceSpan span(
+              "tile_solve",
+              tracing ? "{\"tile\":" +
+                            std::to_string(prep.instances[i].tile_flat) +
+                            ",\"method\":\"" + to_string(method) + "\"}"
+                      : std::string());
+          Stopwatch tile_watch;
+          solved[i] = solve_tile(method, prep.instances[i], local_ctx, rng);
+          if (hist) hist->observe(tile_watch.seconds());
+        } else {
+          solved[i] = solve_tile(method, prep.instances[i], local_ctx, rng);
+        }
       }
     };
     if (threads <= 1) {
       std::atomic<size_t> next{0};
-      solve_range(ctx, next);
+      solve_range(ctx, next, 0);
     } else {
       // The LUT cache is not thread-safe; each worker owns one.
       std::atomic<size_t> next{0};
@@ -206,7 +331,7 @@ FlowResult run_pil_fill_flow(const layout::Layout& layout,
       for (int w = 0; w < threads; ++w) {
         SolverContext local_ctx = ctx;
         local_ctx.lut = &luts[w];
-        pool.emplace_back(solve_range, local_ctx, std::ref(next));
+        pool.emplace_back(solve_range, local_ctx, std::ref(next), w);
       }
       for (auto& t : pool) t.join();
     }
@@ -214,20 +339,30 @@ FlowResult run_pil_fill_flow(const layout::Layout& layout,
 
     for (std::size_t i = 0; i < prep.instances.size(); ++i) {
       const TileInstance& inst = prep.instances[i];
-      mr.placed += solved[i].placed;
-      mr.shortfall += solved[i].shortfall;
-      mr.bb_nodes += solved[i].bb_nodes;
+      accumulate_tile_stats(solved[i], mr);
       mr.placement.features_per_tile[inst.tile_flat] = solved[i].placed;
       append_rects(inst, solved[i].counts, prep.solver_slack(), config.rules,
                    mr.placement.features);
     }
 
-    mr.impact = evaluator.evaluate_rects(mr.placement.features);
+    {
+      obs::TraceSpan eval_span(
+          "evaluate",
+          std::string("{\"method\":\"") + to_string(method) + "\"}");
+      ScopedTimer eval_timer(mr.eval_seconds);
+      mr.impact = evaluator.evaluate_rects(mr.placement.features);
+    }
 
     grid::DensityMap after = prep.wires;
     for (const auto& rect : mr.placement.features) after.add_rect(rect);
     mr.density_after = after.stats();
 
+    publish_method_metrics(mr, prep.instances.size());
+    if (mr.tiles_node_limit > 0 || mr.tiles_error > 0)
+      PIL_WARN(to_string(method)
+               << ": " << mr.tiles_node_limit << " tile(s) hit the B&B node "
+               << "budget (worst gap " << mr.max_ilp_gap << "), "
+               << mr.tiles_error << " tile(s) failed outright");
     PIL_INFO(to_string(method)
              << ": placed " << mr.placed << " (shortfall " << mr.shortfall
              << "), delay +" << mr.impact.delay_ps << " ps, weighted +"
@@ -270,8 +405,11 @@ BudgetedFlowResult run_budgeted_pil_fill_flow(const layout::Layout& layout,
   const SolverContext ctx = make_context(config, model, lut);
 
   Stopwatch watch;
-  result.allocation = solve_budgeted(prep.instances, ctx, budgets,
-                                     static_cast<int>(layout.num_nets()));
+  {
+    obs::TraceSpan span("budgeted_solve");
+    result.allocation = solve_budgeted(prep.instances, ctx, budgets,
+                                       static_cast<int>(layout.num_nets()));
+  }
   result.solve_seconds = watch.seconds();
 
   for (std::size_t i = 0; i < prep.instances.size(); ++i)

@@ -1,0 +1,137 @@
+#include "pil/pilfill/report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "pil/obs/json.hpp"
+#include "pil/util/error.hpp"
+#include "pil/version.hpp"
+
+namespace pil::pilfill {
+
+namespace {
+
+void write_density_stats(obs::JsonWriter& w, const grid::DensityStats& s) {
+  w.begin_object();
+  w.kv("min", s.min_density);
+  w.kv("max", s.max_density);
+  w.kv("mean", s.mean_density);
+  w.kv("variation", s.variation());
+  w.end_object();
+}
+
+void write_config(obs::JsonWriter& w, const FlowConfig& c) {
+  w.begin_object();
+  w.kv("layer", static_cast<long long>(c.layer));
+  w.kv("window_um", c.window_um);
+  w.kv("r", c.r);
+  w.kv("threads", c.threads);
+  w.kv("seed", static_cast<long long>(c.seed));
+  w.kv("objective",
+       c.objective == Objective::kWeighted ? "weighted" : "non-weighted");
+  w.kv("target_engine", to_string(c.target_engine));
+  w.kv("solver_slack_mode", fill::to_string(c.solver_mode));
+  w.kv("fill_style",
+       c.style == cap::FillStyle::kFloating ? "floating" : "grounded");
+  w.kv("switch_factor", c.switch_factor);
+  w.key("rules");
+  w.begin_object();
+  w.kv("feature_um", c.rules.feature_um);
+  w.kv("gap_um", c.rules.gap_um);
+  w.kv("buffer_um", c.rules.buffer_um);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_method_result_json(obs::JsonWriter& w, const MethodResult& mr) {
+  w.begin_object();
+  w.kv("method", to_string(mr.method));
+  w.kv("delay_ps", mr.impact.delay_ps);
+  w.kv("weighted_delay_ps", mr.impact.weighted_delay_ps);
+  w.kv("exact_sink_delay_ps", mr.impact.exact_sink_delay_ps);
+  w.kv("solve_seconds", mr.solve_seconds);
+  w.kv("eval_seconds", mr.eval_seconds);
+  w.kv("placed", mr.placed);
+  w.kv("shortfall", mr.shortfall);
+  w.kv("features_unmapped", mr.impact.unmapped);
+  w.kv("bb_nodes", mr.bb_nodes);
+  w.kv("lp_solves", mr.lp_solves);
+  w.kv("simplex_iterations", mr.simplex_iterations);
+  w.kv("tiles_node_limit", mr.tiles_node_limit);
+  w.kv("tiles_error", mr.tiles_error);
+  w.kv("max_ilp_gap", mr.max_ilp_gap);
+  w.key("density_after");
+  write_density_stats(w, mr.density_after);
+  w.end_object();
+}
+
+void write_run_report(std::ostream& os, const FlowConfig& config,
+                      const FlowResult& result,
+                      const RunReportOptions& options) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "pil.run_report.v1");
+  w.kv("tool", options.tool);
+  w.kv("version", kVersionString);
+  if (!options.input.empty()) w.kv("input", options.input);
+
+  w.key("config");
+  write_config(w, config);
+
+  w.key("prep");
+  w.begin_object();
+  w.kv("seconds", result.prep_seconds);
+  w.key("stages");
+  w.begin_object();
+  w.kv("dissection", result.prep_stages.dissection);
+  w.kv("density_map", result.prep_stages.density_map);
+  w.kv("rc_extraction", result.prep_stages.rc_extraction);
+  w.kv("slack_extraction", result.prep_stages.slack_extraction);
+  w.kv("targeting", result.prep_stages.targeting);
+  w.kv("instances", result.prep_stages.instances);
+  w.end_object();
+  w.end_object();
+
+  w.key("density_before");
+  write_density_stats(w, result.density_before);
+  w.kv("total_capacity", result.total_capacity);
+
+  w.key("target");
+  w.begin_object();
+  w.kv("total_features", result.target.total_features);
+  w.kv("lower_target_used", result.target.lower_target_used);
+  w.kv("upper_bound_used", result.target.upper_bound_used);
+  w.key("density_after_target");
+  write_density_stats(w, result.target.after);
+  w.end_object();
+
+  w.key("methods");
+  w.begin_array();
+  for (const MethodResult& mr : result.methods)
+    write_method_result_json(w, mr);
+  w.end_array();
+
+  if (options.include_metrics) {
+    const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+    if (!snap.empty()) {
+      w.key("metrics");
+      snap.write_json(w);
+    }
+  }
+  w.end_object();
+  os << '\n';
+}
+
+void write_run_report_file(const std::string& path, const FlowConfig& config,
+                           const FlowResult& result,
+                           const RunReportOptions& options) {
+  std::ofstream os(path);
+  PIL_REQUIRE(os.good(), "cannot open report file '" + path + "'");
+  write_run_report(os, config, result, options);
+  os.flush();
+  PIL_REQUIRE(os.good(), "failed writing report file '" + path + "'");
+}
+
+}  // namespace pil::pilfill

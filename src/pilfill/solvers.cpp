@@ -35,6 +35,22 @@ int budget(const TileInstance& inst) {
   return std::min(inst.required, inst.capacity());
 }
 
+/// An incumbent exists for kOptimal, and for kNodeLimit when the search
+/// found one before the budget ran out (x left empty otherwise).
+bool has_usable_solution(const ilp::IlpSolution& sol) {
+  return sol.status == ilp::IlpStatus::kOptimal ||
+         (sol.status == ilp::IlpStatus::kNodeLimit && !sol.x.empty());
+}
+
+void record_ilp_stats(const ilp::IlpSolution& sol, TileSolveResult& r) {
+  r.bb_nodes = sol.nodes_explored;
+  r.lp_solves = sol.lp_solves;
+  r.simplex_iterations = sol.lp_iterations;
+  r.ilp_status = sol.status;
+  if (sol.status == ilp::IlpStatus::kNodeLimit && !sol.x.empty())
+    r.ilp_gap = sol.gap();
+}
+
 }  // namespace
 
 std::vector<double> column_cost_table(const SolverContext& ctx, double d_um,
@@ -164,11 +180,14 @@ TileSolveResult solve_tile_ilp1(const TileInstance& inst,
 
   const std::vector<bool> integer(inst.cols.size(), true);
   const ilp::IlpSolution sol = ilp::solve_ilp(prob, integer, ctx.ilp);
-  PIL_REQUIRE(sol.status == ilp::IlpStatus::kOptimal,
-              std::string("ILP-I solve failed: ") + to_string(sol.status));
-  for (std::size_t k = 0; k < inst.cols.size(); ++k)
-    r.counts[k] = static_cast<int>(std::lround(sol.x[k]));
-  r.bb_nodes = sol.nodes_explored;
+  record_ilp_stats(sol, r);
+  if (has_usable_solution(sol)) {
+    for (std::size_t k = 0; k < inst.cols.size(); ++k)
+      r.counts[k] = static_cast<int>(std::lround(sol.x[k]));
+  } else {
+    PIL_WARN("ILP-I tile " << inst.tile_flat << " unsolved ("
+             << to_string(sol.status) << "); requirement becomes shortfall");
+  }
   finish(inst, r);
   return r;
 }
@@ -238,14 +257,17 @@ TileSolveResult solve_tile_ilp2(const TileInstance& inst,
 
   const std::vector<bool> integer(prob.num_vars(), true);
   const ilp::IlpSolution sol = ilp::solve_ilp(prob, integer, ctx.ilp);
-  PIL_REQUIRE(sol.status == ilp::IlpStatus::kOptimal,
-              std::string("ILP-II solve failed: ") + to_string(sol.status));
-  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
-    if (cv[k].first_var < 0) continue;
-    for (int n = 1; n <= inst.cols[k].num_sites; ++n)
-      if (sol.x[cv[k].first_var + n - 1] > 0.5) r.counts[k] = n;
+  record_ilp_stats(sol, r);
+  if (has_usable_solution(sol)) {
+    for (std::size_t k = 0; k < inst.cols.size(); ++k) {
+      if (cv[k].first_var < 0) continue;
+      for (int n = 1; n <= inst.cols[k].num_sites; ++n)
+        if (sol.x[cv[k].first_var + n - 1] > 0.5) r.counts[k] = n;
+    }
+  } else {
+    PIL_WARN("ILP-II tile " << inst.tile_flat << " unsolved ("
+             << to_string(sol.status) << "); requirement becomes shortfall");
   }
-  r.bb_nodes = sol.nodes_explored;
   finish(inst, r);
   return r;
 }

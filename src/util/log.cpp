@@ -1,17 +1,38 @@
 #include "pil/util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <mutex>
+
+#include "pil/util/error.hpp"
 
 namespace pil {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+// Serializes emission across the per-tile worker threads; the line is fully
+// formatted before the lock so the critical section is one stream write.
+std::mutex g_emit_mutex;
 }  // namespace
 
 LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
 
 void set_log_level(LogLevel level) noexcept {
   g_level.store(static_cast<int>(level));
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name)
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw Error("unknown log level '" + std::string(name) +
+              "' (expected debug|info|warn|error|off)");
 }
 
 namespace detail {
@@ -31,7 +52,11 @@ void log_line(LogLevel level, const std::string& msg) {
   std::ostream& os = (static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn))
                          ? std::cerr
                          : std::clog;
-  os << "[pil:" << level_name(level) << "] " << msg << '\n';
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line.append("[pil:").append(level_name(level)).append("] ").append(msg).push_back('\n');
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  os << line;
 }
 
 }  // namespace detail

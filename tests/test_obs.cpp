@@ -1,0 +1,422 @@
+// Tests for pil/obs (JSON writer/parser, metrics registry, trace spans) and
+// their integration: run-report round-trips and bit-identical flow results
+// with instrumentation on/off and across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "pil/layout/synthetic.hpp"
+#include "pil/obs/json.hpp"
+#include "pil/obs/metrics.hpp"
+#include "pil/obs/trace.hpp"
+#include "pil/pilfill/driver.hpp"
+#include "pil/pilfill/report.hpp"
+#include "pil/util/error.hpp"
+#include "pil/util/log.hpp"
+#include "pil/util/stopwatch.hpp"
+
+namespace pil {
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+using obs::parse_json;
+
+// ----------------------------------------------------------------- json ----
+
+TEST(Json, EscapeRoundTrip) {
+  const std::string nasty = "a\"b\\c\n\t\r\x01 \xE2\x82\xAC end";
+  const JsonValue v = parse_json(obs::json_escape(nasty));
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.str_v, nasty);
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(obs::json_number(0.0), "0");
+  EXPECT_EQ(obs::json_number(-3.0), "-3");
+  EXPECT_EQ(obs::json_number(std::nan("")), "null");
+  EXPECT_EQ(obs::json_number(HUGE_VAL), "null");
+  // Doubles must round-trip through the printed token.
+  for (const double d : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23}) {
+    EXPECT_EQ(std::stod(obs::json_number(d)), d);
+  }
+}
+
+TEST(Json, WriterParserRoundTrip) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("s", "hi \"there\"");
+  w.kv("i", 42);
+  w.kv("d", 2.5);
+  w.kv("t", true);
+  w.key("n");
+  w.null();
+  w.key("a");
+  w.begin_array();
+  w.value(1);
+  w.value("two");
+  w.begin_object();
+  w.kv("nested", 3);
+  w.end_object();
+  w.end_array();
+  w.key("raw");
+  w.raw("[1,2]");
+  w.end_object();
+
+  const JsonValue v = parse_json(os.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("s").str_v, "hi \"there\"");
+  EXPECT_EQ(v.at("i").num_v, 42);
+  EXPECT_EQ(v.at("d").num_v, 2.5);
+  EXPECT_TRUE(v.at("t").bool_v);
+  EXPECT_TRUE(v.at("n").is_null());
+  ASSERT_TRUE(v.at("a").is_array());
+  ASSERT_EQ(v.at("a").items.size(), 3u);
+  EXPECT_EQ(v.at("a").items[2].at("nested").num_v, 3);
+  ASSERT_EQ(v.at("raw").items.size(), 2u);
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), Error);
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("[1,]"), Error);
+  EXPECT_THROW(parse_json("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(parse_json("'single'"), Error);
+}
+
+TEST(Json, ParserHandlesUnicodeEscapes) {
+  const JsonValue v = parse_json("\"a\\u0041\\u20ac\"");
+  EXPECT_EQ(v.str_v, "aA\xE2\x82\xAC");
+}
+
+// -------------------------------------------------------------- metrics ----
+
+TEST(Metrics, CounterGaugeBasics) {
+  obs::Counter c;
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+
+  obs::Gauge g;
+  g.set(2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(Metrics, HistogramBucketsAndQuantiles) {
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1.0);  // bucket covering [1, 2)
+  h.observe(0.0);                                // underflow bucket 0
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 101);
+  EXPECT_DOUBLE_EQ(s.sum, 100.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  // The bucket containing 1.0 has lower edge exactly 1.
+  const int b = obs::Histogram::bucket_index(1.0);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bucket_lower(b), 1.0);
+  EXPECT_EQ(s.buckets[b], 100);
+  EXPECT_EQ(s.buckets[0], 1);
+  // Median within the sqrt(2) geometric-midpoint tolerance of 1.0.
+  EXPECT_GE(s.quantile(0.5), 1.0);
+  EXPECT_LE(s.quantile(0.5), std::sqrt(2.0));
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  // b >= 1 covers [2^(b-32), 2^(b-31)).
+  for (const double v : {1e-6, 0.001, 0.5, 1.0, 3.0, 1024.0}) {
+    const int b = obs::Histogram::bucket_index(v);
+    ASSERT_GE(b, 1);
+    EXPECT_GE(v, obs::Histogram::bucket_lower(b));
+    EXPECT_LT(v, obs::Histogram::bucket_lower(b + 1));
+  }
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(-1.0), 0);
+}
+
+TEST(Metrics, RegistryHandlesAreStable) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("a");
+  reg.counter("b");
+  reg.counter("c");
+  EXPECT_EQ(&a, &reg.counter("a"));  // same handle after more insertions
+  a.add(7);
+  reg.reset();  // zeroes but keeps registrations
+  EXPECT_EQ(&a, &reg.counter("a"));
+  EXPECT_EQ(a.value(), 0);
+}
+
+TEST(Metrics, SnapshotIsSortedByName) {
+  obs::MetricsRegistry reg;
+  reg.counter("zzz").add(1);
+  reg.counter("aaa").add(2);
+  reg.gauge("mid").set(3.0);
+  const obs::MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "aaa");
+  EXPECT_EQ(s.counters[1].first, "zzz");
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 3.0);
+}
+
+TEST(Metrics, ConcurrentRecordingLosesNothing) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("hits");
+  obs::Gauge& g = reg.gauge("sum");
+  obs::Histogram& h = reg.histogram("lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        g.add(1.0);
+        h.observe(0.5);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * kPerThread);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(s.sum, kThreads * kPerThread * 0.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 0.5);
+}
+
+TEST(Metrics, LabeledNameFormat) {
+  EXPECT_EQ(obs::labeled("base", {{"method", "ILP-II"}, {"thread", "0"}}),
+            "base{method=ILP-II,thread=0}");
+  EXPECT_EQ(obs::labeled("base", {}), "base");
+}
+
+TEST(Metrics, SnapshotJsonParsesBack) {
+  obs::MetricsRegistry reg;
+  reg.counter("pil.test.count").add(3);
+  reg.gauge("pil.test.gauge").set(1.25);
+  reg.histogram("pil.test.hist").observe(0.25);
+  std::ostringstream os;
+  JsonWriter w(os);
+  reg.snapshot().write_json(w);
+  const JsonValue v = parse_json(os.str());
+  EXPECT_EQ(v.at("counters").at("pil.test.count").num_v, 3);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("pil.test.gauge").num_v, 1.25);
+  const JsonValue& hist = v.at("histograms").at("pil.test.hist");
+  EXPECT_EQ(hist.at("count").num_v, 1);
+  EXPECT_DOUBLE_EQ(hist.at("sum").num_v, 0.25);
+  ASSERT_EQ(hist.at("buckets").items.size(), 1u);  // nonzero buckets only
+  EXPECT_DOUBLE_EQ(hist.at("buckets").items[0].items[0].num_v, 0.25);
+}
+
+TEST(Metrics, GlobalEnableSwitch) {
+  EXPECT_FALSE(obs::metrics_enabled());  // off by default
+  obs::set_metrics_enabled(true);
+  EXPECT_TRUE(obs::metrics_enabled());
+  obs::set_metrics_enabled(false);
+  EXPECT_FALSE(obs::metrics_enabled());
+}
+
+// ---------------------------------------------------------------- trace ----
+
+TEST(Trace, SpansAreNoOpsWithoutSession) {
+  ASSERT_EQ(obs::trace_session(), nullptr);
+  { obs::TraceSpan span("orphan"); }  // must not crash or allocate a session
+  EXPECT_EQ(obs::trace_session(), nullptr);
+}
+
+TEST(Trace, SessionCollectsAndSerializes) {
+  obs::TraceSession session;
+  obs::set_trace_session(&session);
+  {
+    obs::TraceSpan outer("outer");
+    obs::TraceSpan inner("inner", "{\"tile\":7}");
+  }
+  std::thread([] { obs::TraceSpan span("worker"); }).join();
+  obs::set_trace_session(nullptr);
+  EXPECT_EQ(session.num_events(), 3u);
+
+  std::ostringstream os;
+  session.write_json(os);
+  const JsonValue v = parse_json(os.str());
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.items.size(), 3u);
+  bool saw_inner = false;
+  for (const JsonValue& e : v.items) {
+    EXPECT_EQ(e.at("ph").str_v, "X");
+    EXPECT_EQ(e.at("cat").str_v, "pil");
+    EXPECT_GE(e.at("ts").num_v, 0.0);
+    EXPECT_GE(e.at("dur").num_v, 0.0);
+    EXPECT_EQ(e.at("pid").num_v, 1);
+    if (e.at("name").str_v == "inner") {
+      saw_inner = true;
+      EXPECT_EQ(e.at("args").at("tile").num_v, 7);
+    }
+  }
+  EXPECT_TRUE(saw_inner);
+}
+
+// ------------------------------------------------------- stopwatch / log ----
+
+TEST(Stopwatch, PauseFreezesElapsedTime) {
+  Stopwatch sw;
+  sw.pause();
+  EXPECT_TRUE(sw.paused());
+  const double frozen = sw.seconds();
+  // Burn a little wall clock; the paused reading must not move.
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sink, 0.0);
+  EXPECT_DOUBLE_EQ(sw.seconds(), frozen);
+  sw.pause();  // idempotent
+  sw.resume();
+  EXPECT_FALSE(sw.paused());
+  EXPECT_GE(sw.seconds(), frozen);
+  sw.resume();  // idempotent
+}
+
+TEST(Stopwatch, ScopedTimerAccumulates) {
+  double total = 0.0;
+  {
+    ScopedTimer t(total);
+    EXPECT_GE(t.seconds(), 0.0);
+  }
+  const double first = total;
+  EXPECT_GE(first, 0.0);
+  { ScopedTimer t(total); }
+  EXPECT_GE(total, first);  // += semantics, not overwrite
+}
+
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_THROW(parse_log_level("loud"), Error);
+}
+
+// ---------------------------------------------------- flow integration ----
+
+layout::Layout small_layout() {
+  layout::SyntheticLayoutConfig cfg;
+  cfg.die_um = 96;
+  cfg.num_nets = 40;
+  cfg.seed = 5;
+  return layout::generate_synthetic_layout(cfg);
+}
+
+pilfill::FlowConfig small_config(int threads = 1) {
+  pilfill::FlowConfig config;
+  config.window_um = 32;
+  config.r = 2;
+  config.threads = threads;
+  return config;
+}
+
+TEST(RunReport, RoundTripsThroughParser) {
+  const layout::Layout l = small_layout();
+  obs::metrics().clear();
+  obs::set_metrics_enabled(true);
+  const pilfill::FlowResult res = pilfill::run_pil_fill_flow(
+      l, small_config(), {pilfill::Method::kNormal, pilfill::Method::kIlp2});
+  obs::set_metrics_enabled(false);
+
+  std::ostringstream os;
+  pilfill::RunReportOptions options;
+  options.input = "synthetic:small";
+  write_run_report(os, small_config(), res, options);
+  const JsonValue v = parse_json(os.str());
+
+  EXPECT_EQ(v.at("schema").str_v, "pil.run_report.v1");
+  EXPECT_EQ(v.at("input").str_v, "synthetic:small");
+  EXPECT_EQ(v.at("config").at("threads").num_v, 1);
+  // Stage breakdown sums to the reported prep time.
+  const JsonValue& stages = v.at("prep").at("stages");
+  double stage_sum = 0;
+  for (const auto& [name, val] : stages.members) stage_sum += val.num_v;
+  EXPECT_NEAR(stage_sum, v.at("prep").at("seconds").num_v, 1e-9);
+
+  ASSERT_EQ(v.at("methods").items.size(), 2u);
+  const JsonValue& ilp2 = v.at("methods").items[1];
+  EXPECT_EQ(ilp2.at("method").str_v, "ILP-II");
+  EXPECT_EQ(ilp2.at("placed").num_v, res.methods[1].placed);
+  EXPECT_DOUBLE_EQ(ilp2.at("delay_ps").num_v, res.methods[1].impact.delay_ps);
+  EXPECT_GE(ilp2.at("bb_nodes").num_v, 0.0);
+  EXPECT_GE(ilp2.at("lp_solves").num_v, 0.0);
+  EXPECT_EQ(ilp2.at("tiles_error").num_v, res.methods[1].tiles_error);
+
+  // The metrics snapshot rode along and has the per-method counters.
+  const JsonValue& counters = v.at("metrics").at("counters");
+  EXPECT_NE(counters.find("pilfill.tiles_solved{method=ILP-II}"), nullptr);
+  obs::metrics().clear();
+}
+
+TEST(RunReport, SolverCountersMatchAggregates) {
+  const layout::Layout l = small_layout();
+  const pilfill::FlowResult res = pilfill::run_pil_fill_flow(
+      l, small_config(), {pilfill::Method::kIlp2});
+  const pilfill::MethodResult& mr = res.methods[0];
+  // ILP-II solves at least one LP relaxation per B&B node visited.
+  EXPECT_GT(mr.bb_nodes, 0);
+  EXPECT_GE(mr.lp_solves, mr.bb_nodes);
+  EXPECT_GT(mr.simplex_iterations, 0);
+  EXPECT_EQ(mr.tiles_error, 0);
+  EXPECT_EQ(mr.tiles_node_limit, 0);
+}
+
+// The acceptance bar for the whole subsystem: instrumentation must never
+// change results -- metrics/trace on vs off, 1 thread vs 4.
+TEST(FlowDeterminism, IdenticalWithInstrumentationAndThreads) {
+  const layout::Layout l = small_layout();
+  const std::vector<pilfill::Method> methods = {pilfill::Method::kNormal,
+                                                pilfill::Method::kIlp2,
+                                                pilfill::Method::kGreedy};
+
+  const pilfill::FlowResult base =
+      pilfill::run_pil_fill_flow(l, small_config(1), methods);
+
+  obs::metrics().clear();
+  obs::set_metrics_enabled(true);
+  obs::TraceSession session;
+  obs::set_trace_session(&session);
+  const pilfill::FlowResult instrumented =
+      pilfill::run_pil_fill_flow(l, small_config(4), methods);
+  obs::set_trace_session(nullptr);
+  obs::set_metrics_enabled(false);
+  EXPECT_GT(session.num_events(), 0u);
+
+  ASSERT_EQ(base.methods.size(), instrumented.methods.size());
+  for (std::size_t i = 0; i < base.methods.size(); ++i) {
+    const pilfill::MethodResult& a = base.methods[i];
+    const pilfill::MethodResult& b = instrumented.methods[i];
+    EXPECT_EQ(a.placed, b.placed);
+    EXPECT_EQ(a.shortfall, b.shortfall);
+    EXPECT_EQ(a.bb_nodes, b.bb_nodes);
+    EXPECT_EQ(a.lp_solves, b.lp_solves);
+    EXPECT_EQ(a.simplex_iterations, b.simplex_iterations);
+    EXPECT_EQ(a.impact.delay_ps, b.impact.delay_ps);  // bit-identical
+    EXPECT_EQ(a.impact.weighted_delay_ps, b.impact.weighted_delay_ps);
+    ASSERT_EQ(a.placement.features.size(), b.placement.features.size());
+    for (std::size_t f = 0; f < a.placement.features.size(); ++f) {
+      EXPECT_EQ(a.placement.features[f].xlo, b.placement.features[f].xlo);
+      EXPECT_EQ(a.placement.features[f].ylo, b.placement.features[f].ylo);
+    }
+  }
+  obs::metrics().clear();
+}
+
+}  // namespace
+}  // namespace pil

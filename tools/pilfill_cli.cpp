@@ -10,8 +10,14 @@
 ///                [--mode I|II|III] [--threads N]
 ///                [--out filled.pld] [--svg out.svg]
 ///   pilfill table layout.{pld,def} [--weighted]   # all 4 methods, one row
+///
+/// Observability (fill/table): --metrics-json <path> writes a structured
+/// run report (schema pil.run_report.v1), --trace-json <path> writes a
+/// Chrome/Perfetto trace of the pipeline stages and per-tile solves, and
+/// --log-level debug|info|warn|error|off sets the library log threshold.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -88,6 +94,57 @@ pilfill::FlowConfig flow_from_args(const Args& args) {
                                       : fill::SlackMode::kIII;
   return config;
 }
+
+/// Turns the observability layer on for the duration of one command when
+/// --metrics-json / --trace-json were given, and writes the trace file on
+/// finish(). The metrics report itself is written by the command (it needs
+/// the FlowResult).
+class ObsScope {
+ public:
+  explicit ObsScope(const Args& args)
+      : metrics_path_(args.get("metrics-json", "")),
+        trace_path_(args.get("trace-json", "")) {
+    if (!metrics_path_.empty()) {
+      obs::metrics().clear();
+      obs::set_metrics_enabled(true);
+    }
+    if (!trace_path_.empty()) {
+      session_.emplace();
+      obs::set_trace_session(&*session_);
+    }
+  }
+
+  ~ObsScope() {
+    obs::set_trace_session(nullptr);
+    obs::set_metrics_enabled(false);
+  }
+
+  bool metrics_requested() const { return !metrics_path_.empty(); }
+
+  /// Write the trace file (if requested) and the run report (if requested).
+  void finish(const pilfill::FlowConfig& config,
+              const pilfill::FlowResult& result, const std::string& input) {
+    if (session_) {
+      obs::set_trace_session(nullptr);
+      std::ofstream os(trace_path_);
+      if (!os.good()) throw Error("cannot open trace file '" + trace_path_ + "'");
+      session_->write_json(os);
+      std::cout << "wrote " << trace_path_ << " (" << session_->num_events()
+                << " trace events)\n";
+    }
+    if (!metrics_path_.empty()) {
+      pilfill::RunReportOptions options;
+      options.input = input;
+      pilfill::write_run_report_file(metrics_path_, config, result, options);
+      std::cout << "wrote " << metrics_path_ << "\n";
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::optional<obs::TraceSession> session_;
+};
 
 pilfill::Method method_from_name(const std::string& name) {
   if (name == "normal") return pilfill::Method::kNormal;
@@ -176,6 +233,7 @@ int cmd_fill(const Args& args) {
   const layout::Layout l = load_layout(args.positional[0], args);
   const pilfill::FlowConfig config = flow_from_args(args);
   const std::string method_name = args.get("method", "ilp2");
+  ObsScope obs_scope(args);
 
   // The two extension flows have their own drivers; adapt their results to
   // the common reporting shape.
@@ -234,6 +292,7 @@ int cmd_fill(const Args& args) {
             << res.density_before.max_density << "] -> ["
             << mr.density_after.min_density << ", "
             << mr.density_after.max_density << "]\n";
+  obs_scope.finish(config, res, args.positional[0]);
 
   if (args.flag("svg")) {
     layout::SvgOptions svg;
@@ -362,6 +421,7 @@ int cmd_table(const Args& args) {
   if (args.positional.empty()) throw Error("table: layout path required");
   const layout::Layout l = load_layout(args.positional[0], args);
   pilfill::FlowConfig config = flow_from_args(args);
+  ObsScope obs_scope(args);
 
   Table table({"method", "tau (ps)", "wtau (ps)", "cpu (s)"});
   const pilfill::FlowResult res = pilfill::run_pil_fill_flow(
@@ -373,6 +433,7 @@ int cmd_table(const Args& args) {
                    format_double(mr.impact.weighted_delay_ps, 4),
                    format_double(mr.solve_seconds, 4)});
   table.print(std::cout);
+  obs_scope.finish(config, res, args.positional[0]);
   return 0;
 }
 
@@ -388,7 +449,11 @@ int usage() {
       "                     [--lef tech.lef]\n"
       "  table <layout>     [--window W] [--r R] [--weighted]\n"
       "  check <filled.pld> [--max-density D] [--window W] [--r R]\n"
-      "  score <layout> <fill.gds> [--fill-layer N] [--max-density D]\n";
+      "  score <layout> <fill.gds> [--fill-layer N] [--max-density D]\n"
+      "observability (fill/table):\n"
+      "  --metrics-json <path>   write a pil.run_report.v1 JSON report\n"
+      "  --trace-json <path>     write a Chrome/Perfetto trace of the run\n"
+      "  --log-level <level>     debug|info|warn|error|off (any command)\n";
   return 2;
 }
 
@@ -399,6 +464,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args = parse_args(argc, argv);
+    if (args.flag("log-level"))
+      set_log_level(parse_log_level(args.get("log-level", "info")));
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "fill") return cmd_fill(args);
