@@ -1,0 +1,202 @@
+/// \file bench_incremental.cpp
+/// Incremental FillSession vs the one-shot flow: apply small wire edits to
+/// the T1 testcase and compare (apply_edit + re-solve) against a
+/// from-scratch run_pil_fill_flow on the same edited layout. Results must
+/// be bit-identical; only the time differs. The fill spec is pinned
+/// (required_per_tile from a probe run), so the dirty set is purely
+/// geometric -- the foundry-replay scenario an incremental engine exists
+/// for.
+///
+///   bench_incremental [--json out.json]
+///
+/// The JSON record (schema pil.bench.v1) carries top-level tiles_resolved /
+/// tiles_total so CI can assert the re-solve stayed incremental.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pil/pil.hpp"
+
+namespace {
+
+using namespace pil;
+using pilfill::Method;
+
+/// The net whose drawn footprint has the smallest bounding box: edits to it
+/// disturb the fewest slack columns (every column a net bounds is rescanned
+/// when the net's electrical state changes).
+layout::NetId smallest_net(const layout::Layout& l, layout::LayerId layer) {
+  layout::NetId best = layout::kInvalidNet;
+  double best_area = 0;
+  for (std::size_t n = 0; n < l.num_nets(); ++n) {
+    geom::Rect bbox;
+    bool any = false, has_trunk = false;
+    for (const layout::SegmentId sid : l.net(static_cast<layout::NetId>(n))
+             .segments) {
+      const layout::WireSegment& seg = l.segment(sid);
+      if (seg.layer != layer) continue;
+      if (seg.orientation() == layout::Orientation::kHorizontal &&
+          seg.length() >= 6.0)
+        has_trunk = true;
+      const geom::Rect r = seg.rect();
+      bbox = any ? geom::Rect{std::min(bbox.xlo, r.xlo),
+                              std::min(bbox.ylo, r.ylo),
+                              std::max(bbox.xhi, r.xhi),
+                              std::max(bbox.yhi, r.yhi)}
+                 : r;
+      any = true;
+    }
+    if (!any || !has_trunk) continue;
+    const double area = bbox.area();
+    if (best == layout::kInvalidNet || area < best_area) {
+      best = static_cast<layout::NetId>(n);
+      best_area = area;
+    }
+  }
+  PIL_REQUIRE(best != layout::kInvalidNet, "no editable net found");
+  return best;
+}
+
+struct EditRecord {
+  int tiles_dirty = 0;
+  int columns_rescanned = 0;
+  double incremental_seconds = 0;  ///< apply_edit + re-solve
+  double full_seconds = 0;         ///< from-scratch flow on the same layout
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+
+  const layout::Layout t1 = layout::make_testcase_t1();
+  pilfill::FlowConfig config;
+  config.window_um = 32;
+  config.r = 2;
+  config.threads = 1;
+
+  // Pin the fill spec from a probe run, as a foundry replay would: edits
+  // must then honor the prescribed counts, and no edit re-targets a tile.
+  const pilfill::FlowResult probe = run_pil_fill_flow(t1, config, {});
+  config.required_per_tile = probe.target.features_per_tile;
+
+  pilfill::FillSession session(t1, config);
+  session.solve({Method::kIlp2});  // warm: fills the per-tile cache
+  const int tiles_total = session.tiles_total();
+  const long long warm_resolved = session.stats().tiles_resolved;
+
+  const layout::NetId net = smallest_net(session.layout(), config.layer);
+  // The longest horizontal segment of that net is the stub's parent. Copy
+  // it by value: apply_edit grows the segment store and would invalidate a
+  // pointer into it.
+  layout::WireSegment parent;
+  bool have_parent = false;
+  for (const layout::SegmentId sid : session.layout().net(net).segments) {
+    const layout::WireSegment& seg = session.layout().segment(sid);
+    if (seg.removed() || seg.layer != config.layer ||
+        seg.orientation() != layout::Orientation::kHorizontal)
+      continue;
+    if (!have_parent || seg.length() > parent.length()) {
+      parent = seg;
+      have_parent = true;
+    }
+  }
+  PIL_REQUIRE(have_parent, "edit net has no horizontal segment");
+
+  std::cout << "bench_incremental: T1, W=32 r=2, ILP-II, net " << net
+            << " (" << tiles_total << " tiles)\n\n"
+            << "  edit   dirty  columns   incremental      full   speedup  "
+               "identical\n";
+
+  std::vector<EditRecord> records;
+  const int kEdits = 5;
+  for (int i = 0; i < kEdits; ++i) {
+    const double frac = 0.15 + 0.14 * i;
+    const double tap = parent.a.x + frac * (parent.b.x - parent.a.x);
+    const double up = session.layout().die().yhi - parent.a.y > 4.0
+                          ? parent.a.y + 2.5
+                          : parent.a.y - 2.5;
+    const pilfill::WireEdit edit = pilfill::WireEdit::add_segment(
+        net, {tap, parent.a.y}, {tap, up}, 0.4);
+
+    EditRecord rec;
+    Stopwatch inc_watch;
+    const pilfill::EditStats es = session.apply_edit(edit);
+    const pilfill::FlowResult incremental = session.solve({Method::kIlp2});
+    rec.incremental_seconds = inc_watch.seconds();
+    rec.tiles_dirty = es.tiles_dirty;
+    rec.columns_rescanned = es.columns_rescanned;
+
+    Stopwatch full_watch;
+    const pilfill::FlowResult full =
+        run_pil_fill_flow(session.layout(), config, {Method::kIlp2});
+    rec.full_seconds = full_watch.seconds();
+    rec.identical = pilfill::flow_results_equivalent(incremental, full);
+
+    std::printf("  %4d %7d %8d %10.2f ms %7.1f ms %8.1fx  %s\n", i,
+                rec.tiles_dirty, rec.columns_rescanned,
+                rec.incremental_seconds * 1e3, rec.full_seconds * 1e3,
+                rec.full_seconds / rec.incremental_seconds,
+                rec.identical ? "yes" : "NO");
+    records.push_back(rec);
+  }
+
+  const long long tiles_resolved =
+      session.stats().tiles_resolved - warm_resolved;
+  double inc_total = 0, full_total = 0;
+  bool all_identical = true;
+  for (const EditRecord& r : records) {
+    inc_total += r.incremental_seconds;
+    full_total += r.full_seconds;
+    all_identical = all_identical && r.identical;
+  }
+  std::cout << "\n  " << tiles_resolved << " tile solve(s) across " << kEdits
+            << " edits (" << tiles_total << " tiles; one-shot solves all of "
+            << "them every run); overall speedup "
+            << format_double(full_total / inc_total, 1) << "x\n";
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    PIL_REQUIRE(os.good(), "cannot open '" + json_path + "'");
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "pil.bench.v1");
+    w.kv("bench", "incremental_session");
+    w.kv("version", kVersionString);
+    w.kv("testcase", "T1");
+    w.kv("window_um", 32);
+    w.kv("r", 2);
+    w.kv("method", "ILP-II");
+    w.kv("tiles_total", tiles_total);
+    w.kv("tiles_resolved", tiles_resolved);
+    w.kv("speedup", full_total / inc_total);
+    w.kv("all_identical", all_identical);
+    w.key("edits");
+    w.begin_array();
+    for (const EditRecord& r : records) {
+      w.begin_object();
+      w.kv("tiles_dirty", r.tiles_dirty);
+      w.kv("columns_rescanned", r.columns_rescanned);
+      w.kv("incremental_seconds", r.incremental_seconds);
+      w.kv("full_seconds", r.full_seconds);
+      w.kv("identical", r.identical);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  if (!all_identical) {
+    std::cerr << "FAIL: incremental result diverged from the one-shot flow\n";
+    return 1;
+  }
+  return 0;
+}

@@ -19,6 +19,7 @@
 /// (conservative -- the parallel-plate model cannot price a conductor inside
 /// the gap).
 
+#include <memory>
 #include <vector>
 
 #include "pil/fill/rules.hpp"
@@ -119,6 +120,72 @@ SlackColumns extract_slack_columns(const layout::Layout& layout,
                                    const std::vector<rctree::WirePiece>& pieces,
                                    layout::LayerId layer,
                                    const FillRules& rules, SlackMode mode);
+
+/// Incremental SlackColumn-III scanner. The mode-III scan decomposes
+/// exactly per x-site-column: the state machine that walks up one column
+/// depends only on the pieces whose (buffer-inflated) footprint overlaps
+/// that column. This class keeps the per-column scan results and can
+/// re-scan just the columns overlapping a set of changed rectangles,
+/// producing snapshots that are value-identical to a from-scratch
+/// extraction of the same layout (extract_slack_columns mode kIII is
+/// itself implemented as build() + snapshot(), so there is one code path).
+///
+/// Column order in snapshots is canonical: ascending x column, then
+/// ascending span within the column -- independent of piece insertion
+/// order, which is what makes incremental and full extraction comparable
+/// bit-for-bit.
+///
+/// Blockages are cached at construction (the incremental edit model covers
+/// wires only); the layout and dissection must outlive the scanner.
+class GlobalSlackScan {
+ public:
+  GlobalSlackScan(const layout::Layout& layout,
+                  const grid::Dissection& dissection, layout::LayerId layer,
+                  const FillRules& rules);
+  ~GlobalSlackScan();
+  GlobalSlackScan(GlobalSlackScan&&) noexcept;
+  GlobalSlackScan& operator=(GlobalSlackScan&&) noexcept;
+
+  /// Scan every column from scratch.
+  void build(const std::vector<rctree::WirePiece>& pieces);
+
+  struct RescanResult {
+    int xcols_rescanned = 0;
+    /// Real (dissection-frame) flat tile ids whose column parts existed in
+    /// a rescanned column before or after the rescan; sorted, unique.
+    std::vector<int> touched_tiles;
+    /// Maps flat column indices of the previous snapshot to the current
+    /// one; -1 for columns that belonged to a rescanned x-column (their
+    /// replacements are new entries). Indices of untouched columns only
+    /// shift by their x-column group offset, so remapped columns are
+    /// value-identical to their old selves apart from piece-index shifts
+    /// applied via shift_piece_indices().
+    std::vector<int> column_remap;
+  };
+
+  /// Re-scan only the x-columns whose footprint (buffer-inflated, same
+  /// criterion the scan itself uses) overlaps one of `changed_real`
+  /// (given in real layout coordinates). `pieces` is the post-edit piece
+  /// array; callers must pass the union of pre- and post-edit footprints
+  /// of every piece whose geometry or electrical values changed.
+  RescanResult rescan(const std::vector<rctree::WirePiece>& pieces,
+                      const std::vector<geom::Rect>& changed_real);
+
+  /// Shift stored below/above piece indices >= `first_old_index` by
+  /// `delta`: call before rescan() when an edit renumbered the flattened
+  /// piece array (pieces of nets after the edited one move by a constant).
+  void shift_piece_indices(int first_old_index, int delta);
+
+  /// Flat canonical snapshot of the current state.
+  SlackColumns snapshot() const;
+
+  /// Columns in the current state (size of the snapshot's columns()).
+  int num_columns() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Flatten per-net RC trees into one global piece array (the index space
 /// used by SlackColumn::below_piece/above_piece).

@@ -41,6 +41,15 @@ class DensityMap {
   /// Accumulate one rectangle of feature area (wire or fill).
   void add_rect(const geom::Rect& r);
 
+  /// Recompute the wire + metal-blockage area of a subset of tiles from
+  /// scratch, leaving every other tile untouched. The affected tiles are
+  /// re-accumulated in the exact order add_layer_wires +
+  /// add_layer_metal_blockages uses, so the result is bit-identical to a
+  /// fresh map of the (edited) layout -- floating-point accumulation order
+  /// matters, which is why this re-adds rather than subtracting deltas.
+  void recompute_tiles(const layout::Layout& layout, layout::LayerId layer,
+                       const std::vector<int>& tiles_flat);
+
   /// Directly add `area` um^2 to one tile (used when fill features are
   /// accounted per tile rather than per rectangle).
   void add_area(TileIndex t, double area);

@@ -57,6 +57,11 @@ struct WireSegment {
   geom::Point b;       ///< high endpoint of centerline
   double width_um = 0.5;
 
+  /// True for tombstones left by Layout::remove_segment. Removed segments
+  /// stay in the pool (ids are stable) but belong to no net or layer, so
+  /// every layer-filtered consumer skips them automatically.
+  bool removed() const { return net == kInvalidNet; }
+
   Orientation orientation() const {
     return geom::nearly_equal(a.y, b.y) ? Orientation::kHorizontal
                                         : Orientation::kVertical;
@@ -136,6 +141,21 @@ class Layout {
   const WireSegment& segment(SegmentId id) const;
   std::size_t num_segments() const { return segments_.size(); }
   const std::vector<WireSegment>& segments() const { return segments_; }
+
+  /// Remove a segment: it becomes an inert tombstone (id stays valid,
+  /// WireSegment::removed() turns true) and is dropped from its net's
+  /// segment list. Supports incremental editors that must keep segment ids
+  /// stable across edits.
+  void remove_segment(SegmentId id);
+
+  /// Translate a segment's centerline by (dx, dy); endpoints must stay
+  /// inside the die. Net membership, layer, and width are unchanged.
+  void move_segment(SegmentId id, double dx, double dy);
+
+  /// Mutable segment access for editors that need to roll an edit back
+  /// (e.g. restore a removed segment after a failed connectivity rebuild).
+  /// Callers are responsible for keeping the net's segment list consistent.
+  WireSegment& mutable_segment(SegmentId id);
 
   /// All segments on `layer` with the given orientation.
   std::vector<SegmentId> segments_on_layer(LayerId layer) const;

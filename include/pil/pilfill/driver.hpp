@@ -43,7 +43,8 @@ struct FlowConfig {
   std::uint64_t seed = 11;
   ilp::IlpOptions ilp;
   /// Fill electrical style (floating = the paper's assumption). Grounded
-  /// fill is supported by Normal/ILP-II/Greedy only.
+  /// fill is supported by Normal/Greedy only; ILP-I/ILP-II/Convex require
+  /// the convex floating model (validate() rejects the combination).
   cap::FillStyle style = cap::FillStyle::kFloating;
   /// Miller switch factor applied to all coupling increments.
   double switch_factor = 1.0;
@@ -58,6 +59,17 @@ struct FlowConfig {
   /// Worker threads for the per-tile solves (tiles are independent);
   /// results are deterministic regardless of the thread count.
   int threads = 1;
+
+  /// Check the layout-independent parts of the config (positive window,
+  /// r >= 1, fill rules, switch factor, criticality range, non-negative
+  /// requirements); throws pil::Error describing the first violation.
+  void validate() const;
+
+  /// Full check against a layout and the methods about to run: everything
+  /// above plus layer range, required_per_tile size vs the dissection, and
+  /// the grounded-fill + ILP-I/ILP-II/Convex combination.
+  void validate(const layout::Layout& layout,
+                const std::vector<Method>& methods = {}) const;
 };
 
 /// One fill placement: feature rectangles plus per-tile counts.

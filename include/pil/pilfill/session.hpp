@@ -1,0 +1,168 @@
+#pragma once
+/// \file session.hpp
+/// Incremental fill engine: a FillSession owns every prep artifact of the
+/// PIL-Fill flow (dissection, density map, RC trees/pieces, slack columns,
+/// per-tile instances, evaluator) for one (layout, layer, config) and keeps
+/// them alive across calls, so that
+///
+///   * repeated method/objective sweeps (`solve`) reuse the prep and every
+///     per-tile solve already cached, and
+///   * small wire edits (`apply_edit`) invalidate -- and re-solve -- only
+///     the tiles whose geometry, density window, or slack columns the edit
+///     actually touches.
+///
+/// Results are bit-identical to a from-scratch run_pil_fill_flow on the
+/// edited layout. Three properties of the flow make that feasible:
+///
+///   1. per-tile RNG streams: a tile's solve depends only on its instance
+///      and (config.seed, method, tile id) -- never on which other tiles
+///      are solved, or on threads;
+///   2. the mode-III slack scan decomposes exactly per x-site-column with a
+///      canonical output order (fill::GlobalSlackScan), so re-scanning the
+///      columns an edit overlaps splices into a snapshot value-identical to
+///      full extraction;
+///   3. density accumulation is re-run per affected tile in original
+///      layout order (grid::DensityMap::recompute_tiles), sidestepping
+///      floating-point non-associativity.
+///
+/// Dirty propagation (what one edit invalidates):
+///
+///   * density: tiles overlapping the old/new drawn rect of the edited
+///     segment are re-accumulated; if the session computes its own targets
+///     (required_per_tile empty), the global targeter re-runs -- tiles whose
+///     requirement changes are re-solved even when their geometry did not
+///     change (window-overlap propagation, including re-targeting).
+///   * slack: every x-column overlapping (buffer-inflated) any pre- or
+///     post-edit piece of the edited net is re-scanned. This includes
+///     pieces far from the edit: an edit changes upstream resistance /
+///     sink weights of the whole net, so every column the net bounds gets
+///     fresh resistance factors.
+///   * instances: rebuilt for tiles touched by re-scanned columns or
+///     requirement changes; a rebuilt instance that is solver-equivalent
+///     to its predecessor keeps its cached per-method solve results.
+///
+/// The one-shot flows (run_pil_fill_flow & friends) are thin wrappers over
+/// a FillSession: construct, solve, discard.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "pil/pilfill/driver.hpp"
+
+namespace pil::pilfill {
+
+/// One incremental wire edit on the session's fill layer.
+struct WireEdit {
+  enum class Kind { kAddSegment, kRemoveSegment, kMoveSegment };
+
+  Kind kind = Kind::kAddSegment;
+  layout::NetId net = layout::kInvalidNet;  ///< kAddSegment: owning net
+  geom::Point a, b;       ///< kAddSegment: centerline endpoints
+  double width_um = 0.0;  ///< kAddSegment: drawn width
+  layout::SegmentId segment = layout::kInvalidSegment;  ///< kRemove/kMove
+  double dx = 0.0, dy = 0.0;  ///< kMoveSegment: translation
+
+  static WireEdit add_segment(layout::NetId net, geom::Point a, geom::Point b,
+                              double width_um) {
+    WireEdit e;
+    e.kind = Kind::kAddSegment;
+    e.net = net;
+    e.a = a;
+    e.b = b;
+    e.width_um = width_um;
+    return e;
+  }
+  static WireEdit remove_segment(layout::SegmentId segment) {
+    WireEdit e;
+    e.kind = Kind::kRemoveSegment;
+    e.segment = segment;
+    return e;
+  }
+  static WireEdit move_segment(layout::SegmentId segment, double dx,
+                               double dy) {
+    WireEdit e;
+    e.kind = Kind::kMoveSegment;
+    e.segment = segment;
+    e.dx = dx;
+    e.dy = dy;
+    return e;
+  }
+};
+
+/// What one apply_edit invalidated, and what it cost.
+struct EditStats {
+  layout::SegmentId segment = layout::kInvalidSegment;  ///< edited segment id
+  int columns_rescanned = 0;  ///< x-site-columns re-scanned
+  int tiles_retargeted = 0;   ///< tiles whose fill requirement changed
+  int tiles_dirty = 0;        ///< tiles whose cached solves were invalidated
+  double seconds = 0.0;
+};
+
+/// Session lifetime counters (also published as pilfill.session.* metrics).
+struct SessionStats {
+  long long edits = 0;
+  long long columns_rescanned = 0;
+  long long tiles_dirty = 0;
+  /// Per-tile solves actually executed / served from cache, summed over
+  /// all solve() calls and methods.
+  long long tiles_resolved = 0;
+  long long tiles_reused = 0;
+};
+
+/// Stateful incremental fill engine. Construction runs the full prep once
+/// (same stages, spans, and metrics as the one-shot flow); solve() and
+/// apply_edit() then work against the cached state. The session owns a
+/// copy of the layout; apply_edit mutates that copy, and layout() exposes
+/// it (e.g. to compare against a fresh run on the same geometry).
+class FillSession {
+ public:
+  /// Validates `config` against `layout` (FlowConfig::validate) and runs
+  /// the shared prep. Throws pil::Error on invalid input.
+  FillSession(const layout::Layout& layout, const FlowConfig& config);
+  ~FillSession();
+  FillSession(FillSession&&) noexcept;
+  FillSession& operator=(FillSession&&) noexcept;
+
+  /// Solve every required tile with each method, reusing cached per-tile
+  /// results where the instance is unchanged since the last solve of that
+  /// method. The returned FlowResult is bit-identical (timings aside) to
+  /// run_pil_fill_flow on the session's current layout.
+  FlowResult solve(const std::vector<Method>& methods);
+
+  /// Apply one wire edit to the owned layout and incrementally refresh the
+  /// prep state. Throws pil::Error (leaving the session on its pre-edit
+  /// state) when the edit is invalid -- e.g. it disconnects the net's
+  /// routing tree. A failed kAddSegment leaves an inert tombstone segment.
+  EditStats apply_edit(const WireEdit& edit);
+
+  const layout::Layout& layout() const;
+  const FlowConfig& config() const;
+  const grid::Dissection& dissection() const;
+  int tiles_total() const;
+  const SessionStats& stats() const;
+
+  // Prep-state accessors (read-only views of the cached artifacts; used by
+  // the one-shot wrappers and the budgeted flow).
+  const grid::DensityMap& wires() const;
+  const density::FillTargetResult& target() const;
+  const fill::SlackColumns& global_slack() const;
+  const fill::SlackColumns& solver_slack() const;
+  const std::vector<rctree::WirePiece>& pieces() const;
+  /// Instances of all tiles with a non-zero requirement, in tile order.
+  std::vector<TileInstance> instances_snapshot() const;
+  double prep_seconds() const;
+  const StageSeconds& prep_stages() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// True when two flow results agree on everything except timing fields
+/// (prep/solve/eval seconds and stage breakdowns): densities, targets,
+/// capacities, per-method impacts, placements, and solver statistics all
+/// compare bitwise-equal.
+bool flow_results_equivalent(const FlowResult& a, const FlowResult& b);
+
+}  // namespace pil::pilfill

@@ -62,10 +62,49 @@ struct ColumnState {
   int piece = -1;
 };
 
+/// Emit the gap between `below` and the boundary starting at `above_bottom`
+/// as zero or more slack columns of site column `c` (one per free sub-run
+/// left by the blockage intervals). Shared by the per-tile region scan and
+/// the per-column global scan so both produce identical columns.
+void emit_gap(const ColumnGrid& grid, int c, const ColumnState& below,
+              BoundKind above_kind, int above_piece, double above_bottom,
+              const geom::IntervalSet& blocked, const FillRules& rules,
+              SlackMode mode, std::vector<SlackColumn>& out) {
+  // Mode I keeps only gaps bounded by two active lines.
+  if (mode == SlackMode::kI &&
+      (below.kind != BoundKind::kLine || above_kind != BoundKind::kLine))
+    return;
+  const double b = rules.buffer_um;
+  SlackColumn col;
+  col.col_index = c;
+  col.x_lo = grid.x_lo(c);
+  col.x_center = grid.x_center(c);
+  col.below = below.kind;
+  col.below_piece = below.piece;
+  col.above = above_kind;
+  col.above_piece = above_piece;
+  col.gap_um = above_bottom - below.start;
+  const double usable_lo =
+      below.start + (below.kind == BoundKind::kLine ? b : rules.gap_um / 2);
+  const double usable_hi =
+      above_bottom - (above_kind == BoundKind::kLine ? b : rules.gap_um / 2);
+  if (usable_hi - usable_lo < rules.feature_um) return;
+  // Vertical wires pierce the gap into sub-runs. Each sub-run becomes its
+  // own column sharing the bounding lines and line distance (the series
+  // parallel-plate model only sees the feature count in the gap).
+  for (const Interval& free : blocked.gaps(Interval{usable_lo, usable_hi})) {
+    col.span_lo = free.lo;
+    col.span_hi = free.hi;
+    col.capacity = rules.capacity_in_span(free.length());
+    if (col.capacity > 0) out.push_back(col);
+  }
+}
+
 /// Scan one rectangular region and append the slack columns found. Piece
 /// rects are clipped to the region. `edge_kind` labels the region's own
 /// y-boundaries. `blocked` holds, per global column, the y-intervals made
-/// unusable by vertical wires (already buffer-inflated).
+/// unusable by vertical wires (already buffer-inflated). Used by modes
+/// I/II (per-tile regions); mode III goes through GlobalSlackScan.
 void scan_region(const Rect& region, const ColumnGrid& grid,
                  const std::vector<std::pair<int, Rect>>& hpieces_sorted,
                  const std::vector<geom::IntervalSet>& blocked,
@@ -84,38 +123,6 @@ void scan_region(const Rect& region, const ColumnGrid& grid,
 
   const double b = rules.buffer_um;
 
-  auto emit = [&](int c, const ColumnState& below, BoundKind above_kind,
-                  int above_piece, double above_bottom) {
-    // Mode I keeps only gaps bounded by two active lines.
-    if (mode == SlackMode::kI &&
-        (below.kind != BoundKind::kLine || above_kind != BoundKind::kLine))
-      return;
-    SlackColumn col;
-    col.col_index = c;
-    col.x_lo = grid.x_lo(c);
-    col.x_center = grid.x_center(c);
-    col.below = below.kind;
-    col.below_piece = below.piece;
-    col.above = above_kind;
-    col.above_piece = above_piece;
-    col.gap_um = above_bottom - below.start;
-    const double usable_lo =
-        below.start + (below.kind == BoundKind::kLine ? b : rules.gap_um / 2);
-    const double usable_hi =
-        above_bottom - (above_kind == BoundKind::kLine ? b : rules.gap_um / 2);
-    if (usable_hi - usable_lo < rules.feature_um) return;
-    // Vertical wires pierce the gap into sub-runs. Each sub-run becomes its
-    // own column sharing the bounding lines and line distance (the series
-    // parallel-plate model only sees the feature count in the gap).
-    for (const Interval& free :
-         blocked[c].gaps(Interval{usable_lo, usable_hi})) {
-      col.span_lo = free.lo;
-      col.span_hi = free.hi;
-      col.capacity = rules.capacity_in_span(free.length());
-      if (col.capacity > 0) out.push_back(col);
-    }
-  };
-
   for (const auto& [piece_idx, rect] : hpieces_sorted) {
     const Rect clipped = geom::intersect(rect, region);
     if (clipped.empty() || clipped.width() <= 0) continue;
@@ -126,7 +133,8 @@ void scan_region(const Rect& region, const ColumnGrid& grid,
     for (int c = c0; c <= c1; ++c) {
       ColumnState& s = state[c - c_begin];
       if (clipped.ylo > s.start + geom::kEps)
-        emit(c, s, BoundKind::kLine, piece_idx, clipped.ylo);
+        emit_gap(grid, c, s, BoundKind::kLine, piece_idx, clipped.ylo,
+                 blocked[c], rules, mode, out);
       if (clipped.yhi > s.start) {
         s.start = clipped.yhi;
         s.kind = BoundKind::kLine;
@@ -137,7 +145,8 @@ void scan_region(const Rect& region, const ColumnGrid& grid,
   for (int c = c_begin; c <= c_end; ++c) {
     const ColumnState& s = state[c - c_begin];
     if (region.yhi > s.start + geom::kEps)
-      emit(c, s, edge_kind, -1, region.yhi);
+      emit_gap(grid, c, s, edge_kind, -1, region.yhi, blocked[c], rules, mode,
+               out);
   }
 }
 
@@ -207,12 +216,314 @@ std::vector<rctree::WirePiece> flatten_pieces(
   return out;
 }
 
+/// One x-site-column's scan state: its columns in ascending-y order plus
+/// the tile split of every column. Column references inside parts are
+/// ordinals into `cols`; flat indices are assigned at snapshot time.
+struct GlobalSlackScan::Impl {
+  struct Part {
+    int tile_flat;  ///< real (dissection-frame) flat tile id
+    int col_ordinal;
+    int first_site;
+    int num_sites;
+  };
+  struct XcolGroup {
+    std::vector<SlackColumn> cols;
+    std::vector<Part> parts;
+  };
+
+  const grid::Dissection* dissection;  // real frame
+  layout::LayerId layer;
+  FillRules rules;
+  bool transposed = false;
+  Rect die;                  // scan frame
+  grid::Dissection scan_dis; // scan frame
+  ColumnGrid grid;
+  int c_begin = 0, c_end = -1;  // site columns fully inside the die
+  Orientation routing_dir = Orientation::kHorizontal;
+  /// Blockage-only intervals per global column (blockages are not part of
+  /// the edit model, so these never change after construction).
+  std::vector<geom::IntervalSet> blocked_static;
+  std::vector<XcolGroup> groups;  // index g = column - c_begin
+  std::vector<int> offsets;       // flat column offset per group (+1 total)
+
+  Impl(const layout::Layout& layout, const grid::Dissection& dis,
+       layout::LayerId layer_in, const FillRules& rules_in)
+      : dissection(&dis),
+        layer(layer_in),
+        rules(rules_in),
+        transposed(layout.layer(layer_in).preferred_direction ==
+                   Orientation::kVertical),
+        die(xf(layout.die())),
+        scan_dis(transposed
+                     ? grid::Dissection(die, dis.window_um(), dis.r())
+                     : dis),
+        grid(die, rules_in) {
+    rules.validate();
+    routing_dir = transposed ? Orientation::kVertical
+                             : Orientation::kHorizontal;
+    grid.inside(die.xlo, die.xhi, c_begin, c_end);
+    const int n = num_xcols();
+    blocked_static.assign(grid.count, {});
+    const double b = rules.buffer_um;
+    for (const Rect& v0 : layout.blockages_on_layer(layer)) {
+      const Rect v = xf(v0);
+      int c0, c1;
+      grid.overlapping(v.xlo - b, v.xhi + b, c0, c1);
+      for (int c = c0; c <= c1; ++c)
+        blocked_static[c].insert(v.ylo - b, v.yhi + b);
+    }
+    groups.assign(n, {});
+    offsets.assign(n + 1, 0);
+  }
+
+  Rect xf(const Rect& r) const {
+    return transposed ? Rect{r.ylo, r.xlo, r.yhi, r.xhi} : r;
+  }
+  int num_xcols() const { return c_begin > c_end ? 0 : c_end - c_begin + 1; }
+
+  int real_flat(int scan_flat) const {
+    if (!transposed) return scan_flat;
+    const grid::TileIndex t = scan_dis.tile_unflat(scan_flat);
+    return dissection->tile_flat(grid::TileIndex{t.iy, t.ix});
+  }
+
+  /// Sort key of a routing-direction piece: (scan-frame ylo, net, index).
+  /// The net/index tie-break keeps the processing order -- and therefore
+  /// which of two co-track pieces bounds a gap -- stable when edits to one
+  /// net renumber the flattened piece array of the others.
+  static bool piece_before(double ylo_a, const WirePiece& a, int ia,
+                           double ylo_b, const WirePiece& b, int ib) {
+    if (ylo_a != ylo_b) return ylo_a < ylo_b;
+    if (a.net != b.net) return a.net < b.net;
+    return ia < ib;
+  }
+
+  /// Run the column state machine for site column `c` over `pidx` (piece
+  /// indices sorted by piece_before) and recompute the group's tile parts.
+  void scan_one_column(int c, const std::vector<int>& pidx,
+                       const std::vector<WirePiece>& pieces,
+                       const geom::IntervalSet& blocked, XcolGroup& out) {
+    out.cols.clear();
+    out.parts.clear();
+    const double b = rules.buffer_um;
+    ColumnState s;
+    s.start = die.ylo;
+    s.kind = BoundKind::kDieEdge;
+    s.piece = -1;
+    for (const int idx : pidx) {
+      const Rect clipped = geom::intersect(xf(pieces[idx].rect()), die);
+      if (clipped.empty() || clipped.width() <= 0) continue;
+      int c0, c1;
+      grid.overlapping(clipped.xlo - b, clipped.xhi + b, c0, c1);
+      if (c < c0 || c > c1) continue;
+      if (clipped.ylo > s.start + geom::kEps)
+        emit_gap(grid, c, s, BoundKind::kLine, idx, clipped.ylo, blocked,
+                 rules, SlackMode::kIII, out.cols);
+      if (clipped.yhi > s.start) {
+        s.start = clipped.yhi;
+        s.kind = BoundKind::kLine;
+        s.piece = idx;
+      }
+    }
+    if (die.yhi > s.start + geom::kEps)
+      emit_gap(grid, c, s, BoundKind::kDieEdge, -1, die.yhi, blocked, rules,
+               SlackMode::kIII, out.cols);
+
+    // Split each column's site stack across the tile rows it crosses.
+    for (std::size_t ci = 0; ci < out.cols.size(); ++ci) {
+      const SlackColumn& col = out.cols[ci];
+      int run_first = 0;
+      int run_tile = -1;
+      for (int i = 0; i < col.capacity; ++i) {
+        const double cy = col.site_y(i, rules) + rules.feature_um / 2;
+        const grid::TileIndex t =
+            scan_dis.tile_at(geom::Point{col.x_center, cy});
+        const int flat = real_flat(scan_dis.tile_flat(t));
+        if (flat != run_tile) {
+          if (run_tile >= 0)
+            out.parts.push_back(Part{run_tile, static_cast<int>(ci),
+                                     run_first, i - run_first});
+          run_tile = flat;
+          run_first = i;
+        }
+      }
+      if (run_tile >= 0)
+        out.parts.push_back(Part{run_tile, static_cast<int>(ci), run_first,
+                                 col.capacity - run_first});
+    }
+  }
+
+  /// Bucket routing-direction pieces into the marked columns (all when
+  /// `mark` is null) and collect blockage intervals from cross-direction
+  /// pieces. Buckets come out sorted by piece_before.
+  void bucket_pieces(const std::vector<WirePiece>& pieces,
+                     const std::vector<char>* mark,
+                     std::vector<std::vector<int>>& hbucket,
+                     std::vector<geom::IntervalSet>& blocked) {
+    const double b = rules.buffer_um;
+    std::vector<double> key_ylo(pieces.size(), 0.0);
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      if (pieces[i].layer != layer) continue;
+      const Rect r = xf(pieces[i].rect());
+      key_ylo[i] = r.ylo;
+      int c0, c1;
+      if (pieces[i].orientation == routing_dir) {
+        const Rect clipped = geom::intersect(r, die);
+        if (clipped.empty() || clipped.width() <= 0) continue;
+        grid.overlapping(clipped.xlo - b, clipped.xhi + b, c0, c1);
+        c0 = std::max(c0, c_begin);
+        c1 = std::min(c1, c_end);
+        for (int c = c0; c <= c1; ++c) {
+          const int g = c - c_begin;
+          if (!mark || (*mark)[g]) hbucket[g].push_back(static_cast<int>(i));
+        }
+      } else {
+        grid.overlapping(r.xlo - b, r.xhi + b, c0, c1);
+        for (int c = std::max(c0, c_begin); c <= std::min(c1, c_end); ++c) {
+          const int g = c - c_begin;
+          if (!mark || (*mark)[g])
+            blocked[g].insert(r.ylo - b, r.yhi + b);
+        }
+      }
+    }
+    auto cmp = [&](int a, int b2) {
+      return piece_before(key_ylo[a], pieces[a], a, key_ylo[b2], pieces[b2],
+                          b2);
+    };
+    for (int g = 0; g < num_xcols(); ++g)
+      if (!mark || (*mark)[g])
+        std::sort(hbucket[g].begin(), hbucket[g].end(), cmp);
+  }
+
+  void refresh_offsets() {
+    offsets.assign(num_xcols() + 1, 0);
+    for (int g = 0; g < num_xcols(); ++g)
+      offsets[g + 1] = offsets[g] + static_cast<int>(groups[g].cols.size());
+  }
+};
+
+GlobalSlackScan::GlobalSlackScan(const layout::Layout& layout,
+                                 const grid::Dissection& dissection,
+                                 layout::LayerId layer, const FillRules& rules)
+    : impl_(std::make_unique<Impl>(layout, dissection, layer, rules)) {}
+
+GlobalSlackScan::~GlobalSlackScan() = default;
+GlobalSlackScan::GlobalSlackScan(GlobalSlackScan&&) noexcept = default;
+GlobalSlackScan& GlobalSlackScan::operator=(GlobalSlackScan&&) noexcept =
+    default;
+
+void GlobalSlackScan::build(const std::vector<rctree::WirePiece>& pieces) {
+  Impl& im = *impl_;
+  const int n = im.num_xcols();
+  std::vector<std::vector<int>> hbucket(n);
+  std::vector<geom::IntervalSet> blocked(n);
+  for (int g = 0; g < n; ++g) blocked[g] = im.blocked_static[im.c_begin + g];
+  im.bucket_pieces(pieces, nullptr, hbucket, blocked);
+  for (int g = 0; g < n; ++g)
+    im.scan_one_column(im.c_begin + g, hbucket[g], pieces, blocked[g],
+                       im.groups[g]);
+  im.refresh_offsets();
+}
+
+GlobalSlackScan::RescanResult GlobalSlackScan::rescan(
+    const std::vector<rctree::WirePiece>& pieces,
+    const std::vector<geom::Rect>& changed_real) {
+  Impl& im = *impl_;
+  const int n = im.num_xcols();
+  const double b = im.rules.buffer_um;
+  RescanResult res;
+
+  std::vector<char> mark(n, 0);
+  for (const Rect& r0 : changed_real) {
+    const Rect r = im.xf(r0);
+    int c0, c1;
+    im.grid.overlapping(r.xlo - b, r.xhi + b, c0, c1);
+    for (int c = std::max(c0, im.c_begin); c <= std::min(c1, im.c_end); ++c)
+      mark[c - im.c_begin] = 1;
+  }
+
+  std::vector<int> touched;
+  std::vector<std::vector<int>> hbucket(n);
+  std::vector<geom::IntervalSet> blocked(n);
+  for (int g = 0; g < n; ++g) {
+    if (!mark[g]) continue;
+    ++res.xcols_rescanned;
+    blocked[g] = im.blocked_static[im.c_begin + g];
+    for (const Impl::Part& p : im.groups[g].parts)
+      touched.push_back(p.tile_flat);
+  }
+  im.bucket_pieces(pieces, &mark, hbucket, blocked);
+
+  const std::vector<int> old_offsets = im.offsets;
+  for (int g = 0; g < n; ++g) {
+    if (!mark[g]) continue;
+    im.scan_one_column(im.c_begin + g, hbucket[g], pieces, blocked[g],
+                       im.groups[g]);
+    for (const Impl::Part& p : im.groups[g].parts)
+      touched.push_back(p.tile_flat);
+  }
+  im.refresh_offsets();
+
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  res.touched_tiles = std::move(touched);
+
+  res.column_remap.assign(old_offsets.back(), -1);
+  for (int g = 0; g < n; ++g) {
+    if (mark[g]) continue;
+    const int delta = im.offsets[g] - old_offsets[g];
+    for (int f = old_offsets[g]; f < old_offsets[g + 1]; ++f)
+      res.column_remap[f] = f + delta;
+  }
+  return res;
+}
+
+void GlobalSlackScan::shift_piece_indices(int first_old_index, int delta) {
+  if (delta == 0) return;
+  for (auto& g : impl_->groups)
+    for (SlackColumn& col : g.cols) {
+      if (col.below_piece >= first_old_index) col.below_piece += delta;
+      if (col.above_piece >= first_old_index) col.above_piece += delta;
+    }
+}
+
+SlackColumns GlobalSlackScan::snapshot() const {
+  const Impl& im = *impl_;
+  std::vector<SlackColumn> columns;
+  columns.reserve(im.offsets.empty() ? 0 : im.offsets.back());
+  std::vector<std::vector<TileColumnPart>> tile_parts(
+      im.dissection->num_tiles());
+  for (int g = 0; g < im.num_xcols(); ++g) {
+    const Impl::XcolGroup& grp = im.groups[g];
+    columns.insert(columns.end(), grp.cols.begin(), grp.cols.end());
+    for (const Impl::Part& p : grp.parts)
+      tile_parts[p.tile_flat].push_back(TileColumnPart{
+          im.offsets[g] + p.col_ordinal, p.first_site, p.num_sites});
+  }
+  return SlackColumns(std::move(columns), std::move(tile_parts),
+                      im.transposed);
+}
+
+int GlobalSlackScan::num_columns() const {
+  return impl_->offsets.empty() ? 0 : impl_->offsets.back();
+}
+
 SlackColumns extract_slack_columns(const layout::Layout& layout,
                                    const grid::Dissection& dissection,
                                    const std::vector<WirePiece>& pieces,
                                    layout::LayerId layer,
                                    const FillRules& rules, SlackMode mode) {
   rules.validate();
+  if (mode == SlackMode::kIII) {
+    // Mode III is the per-column scan; going through GlobalSlackScan keeps
+    // full and incremental extraction on one code path (bit-identical).
+    GlobalSlackScan scan(layout, dissection, layer, rules);
+    scan.build(pieces);
+    SlackColumns out = scan.snapshot();
+    PIL_INFO(to_string(mode) << ": " << out.columns().size()
+                             << " slack columns");
+    return out;
+  }
   // Vertical-preference layers are scanned in a transposed frame where the
   // routing direction is horizontal; only geometry is swapped -- tile part
   // indices are mapped back to the real dissection at the end.
@@ -249,9 +560,15 @@ SlackColumns extract_slack_columns(const layout::Layout& layout,
     else
       vpieces.push_back(xf(pieces[i].rect()));
   }
+  // Tie-break equal scan positions by (net, index) so the processing order
+  // is invariant under piece renumbering (see GlobalSlackScan::piece_before).
   std::sort(hpieces.begin(), hpieces.end(),
-            [](const auto& a, const auto& b2) {
-              return a.second.ylo < b2.second.ylo;
+            [&](const auto& a, const auto& b2) {
+              if (a.second.ylo != b2.second.ylo)
+                return a.second.ylo < b2.second.ylo;
+              if (pieces[a.first].net != pieces[b2.first].net)
+                return pieces[a.first].net < pieces[b2.first].net;
+              return a.first < b2.first;
             });
 
   // Per-column blockage intervals (buffer-inflated in both directions):
@@ -268,48 +585,21 @@ SlackColumns extract_slack_columns(const layout::Layout& layout,
   std::vector<SlackColumn> columns;
   std::vector<std::vector<TileColumnPart>> tile_parts(dissection.num_tiles());
 
-  if (mode == SlackMode::kIII) {
-    scan_region(die, grid, hpieces, blocked, rules, mode, BoundKind::kDieEdge,
-                columns);
-    // Split each column's site stack across the tile rows it crosses.
-    for (std::size_t ci = 0; ci < columns.size(); ++ci) {
-      const SlackColumn& col = columns[ci];
-      int run_first = 0;
-      int run_tile = -1;
-      for (int i = 0; i < col.capacity; ++i) {
-        const double cy = col.site_y(i, rules) + rules.feature_um / 2;
-        const grid::TileIndex t =
-            scan_dis.tile_at(geom::Point{col.x_center, cy});
-        const int flat = real_flat(scan_dis.tile_flat(t));
-        if (flat != run_tile) {
-          if (run_tile >= 0)
-            tile_parts[run_tile].push_back(
-                TileColumnPart{static_cast<int>(ci), run_first, i - run_first});
-          run_tile = flat;
-          run_first = i;
-        }
-      }
-      if (run_tile >= 0)
-        tile_parts[run_tile].push_back(TileColumnPart{
-            static_cast<int>(ci), run_first, col.capacity - run_first});
-    }
-  } else {
-    // Modes I/II: independent scan per tile; each column is one part.
-    for (int scan_flat = 0; scan_flat < scan_dis.num_tiles(); ++scan_flat) {
-      const Rect tile = scan_dis.tile_rect(scan_dis.tile_unflat(scan_flat));
-      const std::size_t before = columns.size();
-      // Clip the piece set to those overlapping the tile (x-inflated so a
-      // line just outside the tile in x does not bound columns -- per the
-      // paper, only lines *intersecting* the tile are scanned).
-      std::vector<std::pair<int, Rect>> local;
-      for (const auto& [idx, rect] : hpieces)
-        if (geom::overlaps_strictly(rect, tile)) local.emplace_back(idx, rect);
-      scan_region(tile, grid, local, blocked, rules, mode,
-                  BoundKind::kTileEdge, columns);
-      for (std::size_t ci = before; ci < columns.size(); ++ci)
-        tile_parts[real_flat(scan_flat)].push_back(TileColumnPart{
-            static_cast<int>(ci), 0, columns[ci].capacity});
-    }
+  // Modes I/II: independent scan per tile; each column is one part.
+  for (int scan_flat = 0; scan_flat < scan_dis.num_tiles(); ++scan_flat) {
+    const Rect tile = scan_dis.tile_rect(scan_dis.tile_unflat(scan_flat));
+    const std::size_t before = columns.size();
+    // Clip the piece set to those overlapping the tile (x-inflated so a
+    // line just outside the tile in x does not bound columns -- per the
+    // paper, only lines *intersecting* the tile are scanned).
+    std::vector<std::pair<int, Rect>> local;
+    for (const auto& [idx, rect] : hpieces)
+      if (geom::overlaps_strictly(rect, tile)) local.emplace_back(idx, rect);
+    scan_region(tile, grid, local, blocked, rules, mode,
+                BoundKind::kTileEdge, columns);
+    for (std::size_t ci = before; ci < columns.size(); ++ci)
+      tile_parts[real_flat(scan_flat)].push_back(TileColumnPart{
+          static_cast<int>(ci), 0, columns[ci].capacity});
   }
 
   PIL_INFO(to_string(mode) << ": " << columns.size() << " slack columns");

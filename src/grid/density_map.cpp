@@ -32,6 +32,41 @@ void DensityMap::add_rect(const geom::Rect& r) {
   }
 }
 
+void DensityMap::recompute_tiles(const layout::Layout& layout,
+                                 layout::LayerId layer,
+                                 const std::vector<int>& tiles_flat) {
+  std::vector<char> affected(tile_area_.size(), 0);
+  for (const int f : tiles_flat) {
+    PIL_REQUIRE(f >= 0 && f < static_cast<int>(tile_area_.size()),
+                "tile index out of range");
+    affected[f] = 1;
+    tile_area_[f] = 0.0;
+  }
+  // Mirror of add_rect restricted to the affected tiles; the per-tile
+  // accumulation sequence matches a full rebuild exactly.
+  auto add_masked = [&](const geom::Rect& r) {
+    TileIndex lo, hi;
+    if (!dis_->tiles_overlapping(r, lo, hi)) return;
+    for (int iy = lo.iy; iy <= hi.iy; ++iy) {
+      for (int ix = lo.ix; ix <= hi.ix; ++ix) {
+        const TileIndex t{ix, iy};
+        const int flat = dis_->tile_flat(t);
+        if (!affected[flat]) continue;
+        const double a = geom::overlap_area(r, dis_->tile_rect(t));
+        if (a > 0) tile_area_[flat] += a;
+      }
+    }
+  };
+  for (const auto& seg : layout.segments()) {
+    if (seg.layer != layer) continue;
+    add_masked(seg.rect());
+  }
+  for (const auto& b : layout.blockages()) {
+    if (b.layer != layer || !b.is_metal) continue;
+    add_masked(b.rect);
+  }
+}
+
 void DensityMap::add_area(TileIndex t, double area) {
   PIL_REQUIRE(area >= 0, "negative feature area");
   tile_area_[dis_->tile_flat(t)] += area;

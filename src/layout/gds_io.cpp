@@ -219,8 +219,9 @@ void write_gds(const Layout& layout,
   emit_ascii(out, kStrName, options.cell_name);
 
   for (const WireSegment& seg : layout.segments())
-    emit_boundary(out, gds_layer(seg.layer), options.wire_datatype, seg.rect(),
-                  options.dbu_per_um);
+    if (!seg.removed())
+      emit_boundary(out, gds_layer(seg.layer), options.wire_datatype,
+                    seg.rect(), options.dbu_per_um);
   for (const geom::Rect& r : fill_features)
     emit_boundary(out, options.fill_layer, options.fill_datatype, r,
                   options.dbu_per_um);

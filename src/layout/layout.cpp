@@ -86,6 +86,34 @@ const WireSegment& Layout::segment(SegmentId id) const {
   return segments_[id];
 }
 
+WireSegment& Layout::mutable_segment(SegmentId id) {
+  PIL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < segments_.size(),
+              "segment id out of range");
+  return segments_[id];
+}
+
+void Layout::remove_segment(SegmentId id) {
+  WireSegment& seg = mutable_segment(id);
+  PIL_REQUIRE(!seg.removed(), "segment already removed");
+  auto& list = nets_[seg.net].segments;
+  const auto it = std::find(list.begin(), list.end(), id);
+  PIL_REQUIRE(it != list.end(), "segment missing from its net's list");
+  list.erase(it);
+  seg.net = kInvalidNet;
+  seg.layer = kInvalidLayer;
+}
+
+void Layout::move_segment(SegmentId id, double dx, double dy) {
+  WireSegment& seg = mutable_segment(id);
+  PIL_REQUIRE(!seg.removed(), "cannot move a removed segment");
+  const geom::Point a{seg.a.x + dx, seg.a.y + dy};
+  const geom::Point b{seg.b.x + dx, seg.b.y + dy};
+  PIL_REQUIRE(die_.contains(a) && die_.contains(b),
+              "segment endpoint outside die");
+  seg.a = a;
+  seg.b = b;
+}
+
 std::vector<SegmentId> Layout::segments_on_layer(LayerId layerid) const {
   std::vector<SegmentId> out;
   for (const auto& s : segments_)
@@ -119,6 +147,7 @@ std::vector<geom::Rect> Layout::blockages_on_layer(LayerId layerid) const {
 void Layout::validate() const {
   PIL_REQUIRE(!die_.empty(), "empty die");
   for (const auto& s : segments_) {
+    if (s.removed()) continue;
     PIL_REQUIRE(s.net >= 0 && static_cast<std::size_t>(s.net) < nets_.size(),
                 "segment with dangling net id");
     PIL_REQUIRE(s.layer >= 0 &&

@@ -52,6 +52,7 @@ void write_svg(const Layout& layout,
 
   out << "  <g opacity=\"" << options.wire_opacity << "\">\n";
   for (const WireSegment& seg : layout.segments()) {
+    if (seg.removed()) continue;
     const geom::Rect r = seg.rect();
     out << "    <rect x=\"" << px(r.xlo) << "\" y=\"" << py(r.yhi)
         << "\" width=\"" << r.width() * options.scale << "\" height=\""

@@ -1,244 +1,14 @@
 #include "pil/pilfill/driver.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <optional>
-#include <string>
-#include <thread>
+#include <cmath>
 
-#include "pil/obs/metrics.hpp"
+#include "flow_common.hpp"
 #include "pil/obs/trace.hpp"
 #include "pil/pilfill/budgeted.hpp"
-#include "pil/util/log.hpp"
+#include "pil/pilfill/session.hpp"
 #include "pil/util/stopwatch.hpp"
 
 namespace pil::pilfill {
-
-namespace {
-
-using fill::SlackColumn;
-using fill::SlackColumns;
-using fill::SlackMode;
-
-grid::Dissection timed_dissection(const layout::Layout& layout,
-                                  const FlowConfig& config, double& accum) {
-  obs::TraceSpan span("prep.dissection");
-  ScopedTimer timer(accum);
-  return grid::Dissection(layout.die(), config.window_um, config.r);
-}
-
-std::vector<rctree::RcTree> timed_trees(const layout::Layout& layout,
-                                        double& accum) {
-  obs::TraceSpan span("prep.rc_trees");
-  ScopedTimer timer(accum);
-  return rctree::build_all_trees(layout);
-}
-
-std::vector<rctree::WirePiece> timed_pieces(
-    const std::vector<rctree::RcTree>& trees, double& accum) {
-  ScopedTimer timer(accum);
-  return fill::flatten_pieces(trees);
-}
-
-SlackColumns timed_slack(const layout::Layout& layout,
-                         const grid::Dissection& dissection,
-                         const std::vector<rctree::WirePiece>& pieces,
-                         const FlowConfig& config, SlackMode mode,
-                         double& accum) {
-  obs::TraceSpan span("prep.slack_columns");
-  ScopedTimer timer(accum);
-  return fill::extract_slack_columns(layout, dissection, pieces, config.layer,
-                                     config.rules, mode);
-}
-
-/// Everything the flow computes before any method-specific solving:
-/// dissection, wire density, RC pieces, slack columns, fill requirements,
-/// and the per-tile instances. Shared by the per-tile and budgeted flows.
-/// Every stage is individually timed into `stages` (and traced when a
-/// trace session is attached).
-struct FlowPrep {
-  StageSeconds stages;  // declared first: the timed initializers below fill it
-  grid::Dissection dissection;
-  grid::DensityMap wires;
-  std::vector<rctree::RcTree> trees;
-  std::vector<rctree::WirePiece> pieces;
-  SlackColumns global;               // SlackColumn-III, always present
-  std::optional<SlackColumns> alt;   // solver-facing columns if mode != III
-  density::FillTargetResult target;
-  std::vector<TileInstance> instances;
-  double prep_seconds = 0.0;
-
-  const SlackColumns& solver_slack() const { return alt ? *alt : global; }
-
-  FlowPrep(const layout::Layout& layout, const FlowConfig& config)
-      : dissection(timed_dissection(layout, config, stages.dissection)),
-        wires(dissection),
-        trees(timed_trees(layout, stages.rc_extraction)),
-        pieces(timed_pieces(trees, stages.rc_extraction)),
-        global(timed_slack(layout, dissection, pieces, config, SlackMode::kIII,
-                           stages.slack_extraction)) {
-    {
-      obs::TraceSpan span("prep.density_map");
-      ScopedTimer timer(stages.density_map);
-      wires.add_layer_wires(layout, config.layer);
-      wires.add_layer_metal_blockages(layout, config.layer);
-    }
-    if (config.solver_mode != SlackMode::kIII)
-      alt = timed_slack(layout, dissection, pieces, config, config.solver_mode,
-                        stages.slack_extraction);
-
-    // Per-tile fill requirements from the global capacity inventory (or a
-    // caller-provided spec).
-    {
-      obs::TraceSpan span("prep.targeting");
-      ScopedTimer timer(stages.targeting);
-      std::vector<int> capacity(dissection.num_tiles());
-      for (int t = 0; t < dissection.num_tiles(); ++t)
-        capacity[t] = global.tile_capacity(t);
-      if (config.required_per_tile.empty()) {
-        switch (config.target_engine) {
-          case TargetEngine::kMonteCarlo:
-            target = density::compute_fill_amounts_mc(wires, capacity,
-                                                      config.rules,
-                                                      config.target);
-            break;
-          case TargetEngine::kMinVarLp:
-            target = density::compute_fill_amounts_lp(wires, capacity,
-                                                      config.rules,
-                                                      config.target);
-            break;
-          case TargetEngine::kMinFillLp:
-            target = density::compute_fill_amounts_min_fill_lp(
-                wires, capacity, config.rules, config.target);
-            break;
-        }
-      } else {
-        PIL_REQUIRE(static_cast<int>(config.required_per_tile.size()) ==
-                        dissection.num_tiles(),
-                    "required_per_tile size must match the dissection");
-        target.features_per_tile = config.required_per_tile;
-        target.before = wires.stats();
-        grid::DensityMap after = wires;
-        for (int t = 0; t < dissection.num_tiles(); ++t) {
-          PIL_REQUIRE(config.required_per_tile[t] >= 0,
-                      "negative fill requirement");
-          target.total_features += config.required_per_tile[t];
-          after.add_area(dissection.tile_unflat(t),
-                         config.required_per_tile[t] *
-                             config.rules.feature_area());
-        }
-        target.after = after.stats();
-      }
-    }
-
-    {
-      obs::TraceSpan span("prep.instances");
-      ScopedTimer timer(stages.instances);
-      instances.reserve(dissection.num_tiles());
-      for (int t = 0; t < dissection.num_tiles(); ++t) {
-        const int required = target.features_per_tile[t];
-        if (required == 0) continue;
-        instances.push_back(build_tile_instance(t, required, solver_slack(),
-                                                pieces,
-                                                config.net_criticality));
-      }
-    }
-    prep_seconds = stages.total();
-
-    if (obs::metrics_enabled()) {
-      auto& reg = obs::metrics();
-      reg.gauge("pilfill.prep.dissection_seconds").add(stages.dissection);
-      reg.gauge("pilfill.prep.density_map_seconds").add(stages.density_map);
-      reg.gauge("pilfill.prep.rc_extraction_seconds").add(stages.rc_extraction);
-      reg.gauge("pilfill.prep.slack_extraction_seconds")
-          .add(stages.slack_extraction);
-      reg.gauge("pilfill.prep.targeting_seconds").add(stages.targeting);
-      reg.gauge("pilfill.prep.instances_seconds").add(stages.instances);
-      reg.counter("pilfill.prep.tiles").add(dissection.num_tiles());
-      reg.counter("pilfill.prep.instances").add(
-          static_cast<long long>(instances.size()));
-    }
-  }
-};
-
-SolverContext make_context(const FlowConfig& config,
-                           const cap::CouplingModel& model,
-                           cap::ColumnCapLut& lut) {
-  SolverContext ctx;
-  ctx.model = &model;
-  ctx.lut = &lut;
-  ctx.rules = config.rules;
-  ctx.objective = config.objective;
-  ctx.ilp = config.ilp;
-  ctx.style = config.style;
-  ctx.switch_factor = config.switch_factor;
-  return ctx;
-}
-
-EvaluatorOptions make_eval_options(const FlowConfig& config) {
-  EvaluatorOptions options;
-  options.style = config.style;
-  options.switch_factor = config.switch_factor;
-  return options;
-}
-
-/// Turn per-instance-column counts into feature rectangles. All methods
-/// stack deterministically from the bottom of each part; Normal's random
-/// *site choice within a column* is electrically irrelevant (the
-/// series-plate model sees only the count), so bottom-stacking keeps the
-/// geometry simple without biasing any metric.
-void append_rects(const TileInstance& inst, const std::vector<int>& counts,
-                  const SlackColumns& slack, const fill::FillRules& rules,
-                  std::vector<geom::Rect>& out) {
-  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
-    const int m = counts[k];
-    if (m == 0) continue;
-    const InstanceColumn& ic = inst.cols[k];
-    const SlackColumn& col = slack.columns()[ic.column];
-    for (int i = 0; i < m; ++i)
-      out.push_back(slack.site_rect(col, ic.first_site + i, rules));
-  }
-}
-
-/// Fold one tile's solver internals into the method aggregate.
-void accumulate_tile_stats(const TileSolveResult& tile, MethodResult& mr) {
-  mr.placed += tile.placed;
-  mr.shortfall += tile.shortfall;
-  mr.bb_nodes += tile.bb_nodes;
-  mr.lp_solves += tile.lp_solves;
-  mr.simplex_iterations += tile.simplex_iterations;
-  switch (tile.ilp_status) {
-    case ilp::IlpStatus::kOptimal:
-      break;
-    case ilp::IlpStatus::kNodeLimit:
-      ++mr.tiles_node_limit;
-      mr.max_ilp_gap = std::max(mr.max_ilp_gap, tile.ilp_gap);
-      break;
-    default:
-      ++mr.tiles_error;
-      break;
-  }
-}
-
-/// Publish one solved method's aggregates into the global registry.
-void publish_method_metrics(const MethodResult& mr, std::size_t instances) {
-  if (!obs::metrics_enabled()) return;
-  auto& reg = obs::metrics();
-  const char* m = to_string(mr.method);
-  auto name = [&](const char* base) { return obs::labeled(base, {{"method", m}}); };
-  reg.counter(name("pilfill.tiles_solved")).add(static_cast<long long>(instances));
-  reg.counter(name("pilfill.features_placed")).add(mr.placed);
-  reg.counter(name("pilfill.shortfall")).add(mr.shortfall);
-  reg.counter(name("pil.ilp.bb_nodes")).add(mr.bb_nodes);
-  reg.counter(name("pil.ilp.lp_solves")).add(mr.lp_solves);
-  reg.counter(name("pil.lp.simplex_iterations")).add(mr.simplex_iterations);
-  reg.counter(name("pilfill.tiles_node_limit")).add(mr.tiles_node_limit);
-  reg.counter(name("pilfill.tiles_error")).add(mr.tiles_error);
-  reg.gauge(name("pilfill.solve_seconds")).add(mr.solve_seconds);
-  reg.gauge(name("pilfill.eval_seconds")).add(mr.eval_seconds);
-}
-
-}  // namespace
 
 const char* to_string(TargetEngine e) {
   switch (e) {
@@ -249,128 +19,43 @@ const char* to_string(TargetEngine e) {
   return "?";
 }
 
+void FlowConfig::validate() const {
+  PIL_REQUIRE(std::isfinite(window_um) && window_um > 0,
+              "window_um must be positive and finite");
+  PIL_REQUIRE(r >= 1, "dissection factor r must be >= 1");
+  rules.validate();
+  PIL_REQUIRE(std::isfinite(switch_factor) && switch_factor > 0,
+              "switch_factor must be positive and finite");
+  for (const double c : net_criticality)
+    PIL_REQUIRE(std::isfinite(c) && c >= 0,
+                "net_criticality values must be finite and non-negative");
+  for (const int f : required_per_tile)
+    PIL_REQUIRE(f >= 0, "negative fill requirement");
+}
+
+void FlowConfig::validate(const layout::Layout& layout,
+                          const std::vector<Method>& methods) const {
+  validate();
+  PIL_REQUIRE(layer != layout::kInvalidLayer && layer >= 0 &&
+                  static_cast<std::size_t>(layer) < layout.num_layers(),
+              "config.layer is not a layer of the layout");
+  if (!required_per_tile.empty()) {
+    const grid::Dissection dis(layout.die(), window_um, r);
+    PIL_REQUIRE(static_cast<int>(required_per_tile.size()) ==
+                    dis.num_tiles(),
+                "required_per_tile size must match the dissection");
+  }
+  flow_detail::require_methods_supported(*this, methods);
+}
+
 FlowResult run_pil_fill_flow(const layout::Layout& layout,
                              const FlowConfig& config,
                              const std::vector<Method>& methods) {
-  config.rules.validate();
-  const layout::Layer& layer = layout.layer(config.layer);
-
-  const FlowPrep prep(layout, config);
-  FlowResult result;
-  result.density_before = prep.wires.stats();
-  result.total_capacity = prep.global.total_capacity();
-  result.target = prep.target;
-  result.prep_seconds = prep.prep_seconds;
-  result.prep_stages = prep.stages;
-
-  const cap::CouplingModel model(layer.eps_r, layer.thickness_um);
-  cap::ColumnCapLut lut(model, config.rules.feature_um);
-  const DelayImpactEvaluator evaluator(prep.global, prep.pieces, model,
-                                       config.rules,
-                                       make_eval_options(config));
-  const SolverContext ctx = make_context(config, model, lut);
-
-  for (const Method method : methods) {
-    obs::TraceSpan method_span(
-        "method", std::string("{\"method\":\"") + to_string(method) + "\"}");
-    MethodResult mr;
-    mr.method = method;
-    mr.placement.features_per_tile.assign(prep.dissection.num_tiles(), 0);
-    // Per-tile RNG streams keep Normal's placement identical no matter how
-    // tiles are distributed over threads.
-    const std::uint64_t method_salt =
-        config.seed ^ (0x9e37u + static_cast<unsigned>(method) * 0x85ebu);
-
-    Stopwatch solve_watch;
-    std::vector<TileSolveResult> solved(prep.instances.size());
-    const int threads =
-        std::clamp(config.threads, 1,
-                   static_cast<int>(prep.instances.size()) + 1);
-    auto solve_range = [&](SolverContext local_ctx, std::atomic<size_t>& next,
-                           int worker) {
-      // Hot-path handles resolved once per worker: recording a tile's solve
-      // time is then one lock-free histogram update. With no sinks attached
-      // the loop body is exactly the uninstrumented solve.
-      obs::Histogram* hist = nullptr;
-      if (obs::metrics_enabled())
-        hist = &obs::metrics().histogram(obs::labeled(
-            "pilfill.tile_solve_seconds",
-            {{"method", to_string(method)},
-             {"thread", std::to_string(worker)}}));
-      const bool tracing = obs::trace_session() != nullptr;
-      for (std::size_t i = next.fetch_add(1); i < prep.instances.size();
-           i = next.fetch_add(1)) {
-        Rng rng(method_salt ^
-                (static_cast<std::uint64_t>(prep.instances[i].tile_flat) *
-                 0x9E3779B97F4A7C15ull));
-        if (hist || tracing) {
-          obs::TraceSpan span(
-              "tile_solve",
-              tracing ? "{\"tile\":" +
-                            std::to_string(prep.instances[i].tile_flat) +
-                            ",\"method\":\"" + to_string(method) + "\"}"
-                      : std::string());
-          Stopwatch tile_watch;
-          solved[i] = solve_tile(method, prep.instances[i], local_ctx, rng);
-          if (hist) hist->observe(tile_watch.seconds());
-        } else {
-          solved[i] = solve_tile(method, prep.instances[i], local_ctx, rng);
-        }
-      }
-    };
-    if (threads <= 1) {
-      std::atomic<size_t> next{0};
-      solve_range(ctx, next, 0);
-    } else {
-      // The LUT cache is not thread-safe; each worker owns one.
-      std::atomic<size_t> next{0};
-      std::vector<cap::ColumnCapLut> luts(
-          threads, cap::ColumnCapLut(model, config.rules.feature_um));
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (int w = 0; w < threads; ++w) {
-        SolverContext local_ctx = ctx;
-        local_ctx.lut = &luts[w];
-        pool.emplace_back(solve_range, local_ctx, std::ref(next), w);
-      }
-      for (auto& t : pool) t.join();
-    }
-    mr.solve_seconds = solve_watch.seconds();
-
-    for (std::size_t i = 0; i < prep.instances.size(); ++i) {
-      const TileInstance& inst = prep.instances[i];
-      accumulate_tile_stats(solved[i], mr);
-      mr.placement.features_per_tile[inst.tile_flat] = solved[i].placed;
-      append_rects(inst, solved[i].counts, prep.solver_slack(), config.rules,
-                   mr.placement.features);
-    }
-
-    {
-      obs::TraceSpan eval_span(
-          "evaluate",
-          std::string("{\"method\":\"") + to_string(method) + "\"}");
-      ScopedTimer eval_timer(mr.eval_seconds);
-      mr.impact = evaluator.evaluate_rects(mr.placement.features);
-    }
-
-    grid::DensityMap after = prep.wires;
-    for (const auto& rect : mr.placement.features) after.add_rect(rect);
-    mr.density_after = after.stats();
-
-    publish_method_metrics(mr, prep.instances.size());
-    if (mr.tiles_node_limit > 0 || mr.tiles_error > 0)
-      PIL_WARN(to_string(method)
-               << ": " << mr.tiles_node_limit << " tile(s) hit the B&B node "
-               << "budget (worst gap " << mr.max_ilp_gap << "), "
-               << mr.tiles_error << " tile(s) failed outright");
-    PIL_INFO(to_string(method)
-             << ": placed " << mr.placed << " (shortfall " << mr.shortfall
-             << "), delay +" << mr.impact.delay_ps << " ps, weighted +"
-             << mr.impact.weighted_delay_ps << " ps, "
-             << mr.solve_seconds << " s");
-    result.methods.push_back(std::move(mr));
-  }
-  return result;
+  // A one-shot run is a fresh session solved once and discarded: every
+  // instance is solved (the cache starts empty), so results and metrics
+  // match the historical monolithic driver exactly.
+  FillSession session(layout, config);
+  return session.solve(methods);
 }
 
 std::vector<FlowResult> run_multi_layer_pil_fill_flow(
@@ -392,33 +77,34 @@ std::vector<FlowResult> run_multi_layer_pil_fill_flow(
 BudgetedFlowResult run_budgeted_pil_fill_flow(const layout::Layout& layout,
                                               const FlowConfig& config,
                                               const BudgetedConfig& budgets) {
-  config.rules.validate();
   const layout::Layer& layer = layout.layer(config.layer);
 
-  const FlowPrep prep(layout, config);
+  FillSession session(layout, config);
   BudgetedFlowResult result;
-  result.density_before = prep.wires.stats();
-  result.target = prep.target;
+  result.density_before = session.wires().stats();
+  result.target = session.target();
 
   const cap::CouplingModel model(layer.eps_r, layer.thickness_um);
   cap::ColumnCapLut lut(model, config.rules.feature_um);
-  const SolverContext ctx = make_context(config, model, lut);
+  const SolverContext ctx = flow_detail::make_context(config, model, lut);
+  const std::vector<TileInstance> instances = session.instances_snapshot();
 
   Stopwatch watch;
   {
     obs::TraceSpan span("budgeted_solve");
-    result.allocation = solve_budgeted(prep.instances, ctx, budgets,
+    result.allocation = solve_budgeted(instances, ctx, budgets,
                                        static_cast<int>(layout.num_nets()));
   }
   result.solve_seconds = watch.seconds();
 
-  for (std::size_t i = 0; i < prep.instances.size(); ++i)
-    append_rects(prep.instances[i], result.allocation.counts[i],
-                 prep.solver_slack(), config.rules, result.features);
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    flow_detail::append_rects(instances[i], result.allocation.counts[i],
+                              session.solver_slack(), config.rules,
+                              result.features);
 
-  const DelayImpactEvaluator evaluator(prep.global, prep.pieces, model,
-                                       config.rules,
-                                       make_eval_options(config));
+  const DelayImpactEvaluator evaluator(session.global_slack(),
+                                       session.pieces(), model, config.rules,
+                                       flow_detail::make_eval_options(config));
   result.impact = evaluator.evaluate_rects(result.features);
   return result;
 }

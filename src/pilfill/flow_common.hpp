@@ -1,0 +1,191 @@
+#pragma once
+/// \file flow_common.hpp
+/// Internal helpers shared by the FillSession engine (session.cpp) and the
+/// budgeted driver (driver.cpp): solver-context construction, placement
+/// assembly, metric publication, and the deterministic worker pool that
+/// runs per-tile solves. Not installed; include with a quoted path only.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pil/obs/metrics.hpp"
+#include "pil/obs/trace.hpp"
+#include "pil/pilfill/driver.hpp"
+#include "pil/util/rng.hpp"
+#include "pil/util/stopwatch.hpp"
+
+namespace pil::pilfill::flow_detail {
+
+/// Reject method/style combinations the solvers cannot model: ILP-I,
+/// ILP-II, and Convex price fill through the convex floating-fill charge
+/// model, so grounded fill is limited to Normal and Greedy.
+inline void require_methods_supported(const FlowConfig& config,
+                                      const std::vector<Method>& methods) {
+  if (config.style != cap::FillStyle::kGrounded) return;
+  for (const Method m : methods)
+    PIL_REQUIRE(
+        m != Method::kIlp1 && m != Method::kIlp2 && m != Method::kConvex,
+        std::string("grounded fill supports the Normal and Greedy methods "
+                    "only; ") +
+            to_string(m) + " requires the floating-fill model");
+}
+
+inline SolverContext make_context(const FlowConfig& config,
+                                  const cap::CouplingModel& model,
+                                  cap::ColumnCapLut& lut) {
+  SolverContext ctx;
+  ctx.model = &model;
+  ctx.lut = &lut;
+  ctx.rules = config.rules;
+  ctx.objective = config.objective;
+  ctx.ilp = config.ilp;
+  ctx.style = config.style;
+  ctx.switch_factor = config.switch_factor;
+  return ctx;
+}
+
+inline EvaluatorOptions make_eval_options(const FlowConfig& config) {
+  EvaluatorOptions options;
+  options.style = config.style;
+  options.switch_factor = config.switch_factor;
+  return options;
+}
+
+/// Turn per-instance-column counts into feature rectangles. All methods
+/// stack deterministically from the bottom of each part; Normal's random
+/// *site choice within a column* is electrically irrelevant (the
+/// series-plate model sees only the count), so bottom-stacking keeps the
+/// geometry simple without biasing any metric.
+inline void append_rects(const TileInstance& inst,
+                         const std::vector<int>& counts,
+                         const fill::SlackColumns& slack,
+                         const fill::FillRules& rules,
+                         std::vector<geom::Rect>& out) {
+  for (std::size_t k = 0; k < inst.cols.size(); ++k) {
+    const int m = counts[k];
+    if (m == 0) continue;
+    const InstanceColumn& ic = inst.cols[k];
+    const fill::SlackColumn& col = slack.columns()[ic.column];
+    for (int i = 0; i < m; ++i)
+      out.push_back(slack.site_rect(col, ic.first_site + i, rules));
+  }
+}
+
+/// Fold one tile's solver internals into the method aggregate.
+inline void accumulate_tile_stats(const TileSolveResult& tile,
+                                  MethodResult& mr) {
+  mr.placed += tile.placed;
+  mr.shortfall += tile.shortfall;
+  mr.bb_nodes += tile.bb_nodes;
+  mr.lp_solves += tile.lp_solves;
+  mr.simplex_iterations += tile.simplex_iterations;
+  switch (tile.ilp_status) {
+    case ilp::IlpStatus::kOptimal:
+      break;
+    case ilp::IlpStatus::kNodeLimit:
+      ++mr.tiles_node_limit;
+      mr.max_ilp_gap = std::max(mr.max_ilp_gap, tile.ilp_gap);
+      break;
+    default:
+      ++mr.tiles_error;
+      break;
+  }
+}
+
+/// Publish one solved method's aggregates into the global registry.
+/// `tiles_solved` is the number of per-tile solves actually executed (in a
+/// one-shot run: every instance; in an incremental re-solve: the dirty set).
+inline void publish_method_metrics(const MethodResult& mr,
+                                   std::size_t tiles_solved) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::metrics();
+  const char* m = to_string(mr.method);
+  auto name = [&](const char* base) {
+    return obs::labeled(base, {{"method", m}});
+  };
+  reg.counter(name("pilfill.tiles_solved"))
+      .add(static_cast<long long>(tiles_solved));
+  reg.counter(name("pilfill.features_placed")).add(mr.placed);
+  reg.counter(name("pilfill.shortfall")).add(mr.shortfall);
+  reg.counter(name("pil.ilp.bb_nodes")).add(mr.bb_nodes);
+  reg.counter(name("pil.ilp.lp_solves")).add(mr.lp_solves);
+  reg.counter(name("pil.lp.simplex_iterations")).add(mr.simplex_iterations);
+  reg.counter(name("pilfill.tiles_node_limit")).add(mr.tiles_node_limit);
+  reg.counter(name("pilfill.tiles_error")).add(mr.tiles_error);
+  reg.gauge(name("pilfill.solve_seconds")).add(mr.solve_seconds);
+  reg.gauge(name("pilfill.eval_seconds")).add(mr.eval_seconds);
+}
+
+/// Solve `todo` tiles with `method` on the shared worker pool. Per-tile RNG
+/// streams depend only on (config.seed, method, tile id), so results are
+/// deterministic regardless of the thread count and of which tiles are in
+/// `todo`. The thread count is clamped to the work size; with more than one
+/// worker each owns a private ColumnCapLut (the cache is not thread-safe),
+/// while the single-thread path reuses the caller's shared LUT via `ctx`.
+inline std::vector<TileSolveResult> solve_instances_parallel(
+    Method method, const std::vector<const TileInstance*>& todo,
+    const SolverContext& ctx, const cap::CouplingModel& model,
+    const FlowConfig& config) {
+  // Per-tile RNG streams keep Normal's placement identical no matter how
+  // tiles are distributed over threads.
+  const std::uint64_t method_salt =
+      config.seed ^ (0x9e37u + static_cast<unsigned>(method) * 0x85ebu);
+  std::vector<TileSolveResult> solved(todo.size());
+  const int threads = std::clamp(
+      config.threads, 1, std::max(1, static_cast<int>(todo.size())));
+  auto solve_range = [&](SolverContext local_ctx, std::atomic<size_t>& next,
+                         int worker) {
+    // Hot-path handles resolved once per worker: recording a tile's solve
+    // time is then one lock-free histogram update. With no sinks attached
+    // the loop body is exactly the uninstrumented solve.
+    obs::Histogram* hist = nullptr;
+    if (obs::metrics_enabled())
+      hist = &obs::metrics().histogram(
+          obs::labeled("pilfill.tile_solve_seconds",
+                       {{"method", to_string(method)},
+                        {"thread", std::to_string(worker)}}));
+    const bool tracing = obs::trace_session() != nullptr;
+    for (std::size_t i = next.fetch_add(1); i < todo.size();
+         i = next.fetch_add(1)) {
+      Rng rng(method_salt ^
+              (static_cast<std::uint64_t>(todo[i]->tile_flat) *
+               0x9E3779B97F4A7C15ull));
+      if (hist || tracing) {
+        obs::TraceSpan span(
+            "tile_solve",
+            tracing ? "{\"tile\":" + std::to_string(todo[i]->tile_flat) +
+                          ",\"method\":\"" + to_string(method) + "\"}"
+                    : std::string());
+        Stopwatch tile_watch;
+        solved[i] = solve_tile(method, *todo[i], local_ctx, rng);
+        if (hist) hist->observe(tile_watch.seconds());
+      } else {
+        solved[i] = solve_tile(method, *todo[i], local_ctx, rng);
+      }
+    }
+  };
+  if (threads <= 1) {
+    std::atomic<size_t> next{0};
+    solve_range(ctx, next, 0);
+  } else {
+    // The LUT cache is not thread-safe; each worker owns one.
+    std::atomic<size_t> next{0};
+    std::vector<cap::ColumnCapLut> luts(
+        threads, cap::ColumnCapLut(model, config.rules.feature_um));
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int w = 0; w < threads; ++w) {
+      SolverContext local_ctx = ctx;
+      local_ctx.lut = &luts[w];
+      pool.emplace_back(solve_range, local_ctx, std::ref(next), w);
+    }
+    for (auto& t : pool) t.join();
+  }
+  return solved;
+}
+
+}  // namespace pil::pilfill::flow_detail

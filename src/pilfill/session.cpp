@@ -1,0 +1,630 @@
+#include "pil/pilfill/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "flow_common.hpp"
+#include "pil/obs/metrics.hpp"
+#include "pil/obs/trace.hpp"
+#include "pil/util/log.hpp"
+#include "pil/util/stopwatch.hpp"
+
+namespace pil::pilfill {
+
+namespace {
+
+using fill::SlackColumns;
+using fill::SlackMode;
+
+/// Bitwise double comparison: distinguishes -0.0 from +0.0 (and any NaN
+/// payloads), which is what "reusing this cached solve is provably safe"
+/// requires -- equal bits in, equal bits out.
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+/// Two instances are interchangeable as *solver inputs* when everything a
+/// solver reads matches bitwise. InstanceColumn::column -- the snapshot-flat
+/// column index -- is deliberately excluded: untouched columns keep their
+/// values across an edit but may shift position in the snapshot, and no
+/// solver reads the index (placement rectangles are generated from the
+/// current snapshot at assembly time, cached counts in hand).
+bool solver_equivalent(const TileInstance& a, const TileInstance& b) {
+  if (a.tile_flat != b.tile_flat || a.required != b.required ||
+      a.cols.size() != b.cols.size())
+    return false;
+  for (std::size_t k = 0; k < a.cols.size(); ++k) {
+    const InstanceColumn& ca = a.cols[k];
+    const InstanceColumn& cb = b.cols[k];
+    if (ca.first_site != cb.first_site || ca.num_sites != cb.num_sites ||
+        ca.two_sided != cb.two_sided || ca.below_net != cb.below_net ||
+        ca.above_net != cb.above_net || !bits_equal(ca.x, cb.x) ||
+        !bits_equal(ca.d, cb.d) ||
+        !bits_equal(ca.res_nonweighted, cb.res_nonweighted) ||
+        !bits_equal(ca.res_weighted, cb.res_weighted) ||
+        !bits_equal(ca.res_exact, cb.res_exact))
+      return false;
+  }
+  return true;
+}
+
+bool stats_equal(const grid::DensityStats& a, const grid::DensityStats& b) {
+  return a.min_density == b.min_density && a.max_density == b.max_density &&
+         a.mean_density == b.mean_density;
+}
+
+bool rects_equal(const std::vector<geom::Rect>& a,
+                 const std::vector<geom::Rect>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].xlo != b[i].xlo || a[i].ylo != b[i].ylo ||
+        a[i].xhi != b[i].xhi || a[i].yhi != b[i].yhi)
+      return false;
+  return true;
+}
+
+bool impacts_equal(const DelayImpact& a, const DelayImpact& b) {
+  return a.delay_ps == b.delay_ps &&
+         a.weighted_delay_ps == b.weighted_delay_ps &&
+         a.exact_sink_delay_ps == b.exact_sink_delay_ps &&
+         a.features == b.features && a.unmapped == b.unmapped;
+}
+
+bool targets_equal(const density::FillTargetResult& a,
+                   const density::FillTargetResult& b) {
+  return a.features_per_tile == b.features_per_tile &&
+         a.total_features == b.total_features &&
+         stats_equal(a.before, b.before) && stats_equal(a.after, b.after) &&
+         a.lower_target_used == b.lower_target_used &&
+         a.upper_bound_used == b.upper_bound_used;
+}
+
+bool methods_equal(const MethodResult& a, const MethodResult& b) {
+  return a.method == b.method && impacts_equal(a.impact, b.impact) &&
+         a.placed == b.placed && a.shortfall == b.shortfall &&
+         a.bb_nodes == b.bb_nodes && a.lp_solves == b.lp_solves &&
+         a.simplex_iterations == b.simplex_iterations &&
+         a.tiles_node_limit == b.tiles_node_limit &&
+         a.tiles_error == b.tiles_error && a.max_ilp_gap == b.max_ilp_gap &&
+         stats_equal(a.density_after, b.density_after) &&
+         a.placement.features_per_tile == b.placement.features_per_tile &&
+         rects_equal(a.placement.features, b.placement.features);
+}
+
+}  // namespace
+
+bool flow_results_equivalent(const FlowResult& a, const FlowResult& b) {
+  if (!stats_equal(a.density_before, b.density_before) ||
+      !targets_equal(a.target, b.target) ||
+      a.total_capacity != b.total_capacity ||
+      a.methods.size() != b.methods.size())
+    return false;
+  for (std::size_t i = 0; i < a.methods.size(); ++i)
+    if (!methods_equal(a.methods[i], b.methods[i])) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+
+struct FillSession::Impl {
+  layout::Layout layout;  ///< owned, mutated by apply_edit
+  FlowConfig config;
+
+  StageSeconds stages;
+  double prep_seconds = 0.0;
+
+  std::optional<grid::Dissection> dissection;
+  std::optional<grid::DensityMap> wires;
+  std::vector<rctree::RcTree> trees;  ///< one per net, net-id order
+  std::vector<int> piece_offsets;     ///< net n's pieces: [off[n], off[n+1])
+  std::vector<rctree::WirePiece> pieces;
+  std::optional<fill::GlobalSlackScan> scan;
+  std::optional<SlackColumns> global;  ///< current mode-III snapshot
+  std::optional<SlackColumns> alt;     ///< solver columns when mode != kIII
+  density::FillTargetResult target;
+  std::map<int, TileInstance> instances;  ///< tile_flat -> instance (req > 0)
+  std::optional<cap::CouplingModel> model;
+  std::optional<cap::ColumnCapLut> lut;  ///< shared single-thread LUT cache
+  std::unique_ptr<DelayImpactEvaluator> evaluator;
+  /// Per-method, per-tile solve results; entries dropped when an edit
+  /// changes the tile's solver inputs.
+  std::map<Method, std::map<int, TileSolveResult>> cache;
+  SessionStats stats;
+  bool edited = false;  ///< gates pilfill.session.* publication in solve()
+
+  const SlackColumns& solver_slack() const { return alt ? *alt : *global; }
+
+  void reflatten() {
+    pieces = fill::flatten_pieces(trees);
+    piece_offsets.assign(trees.size() + 1, 0);
+    for (std::size_t n = 0; n < trees.size(); ++n)
+      piece_offsets[n + 1] =
+          piece_offsets[n] + static_cast<int>(trees[n].pieces().size());
+  }
+
+  void rebuild_evaluator() {
+    evaluator = std::make_unique<DelayImpactEvaluator>(
+        *global, pieces, *model, config.rules,
+        flow_detail::make_eval_options(config));
+  }
+
+  /// Per-tile fill requirements from the current density map and capacity
+  /// inventory -- the same computation for prep and re-targeting after an
+  /// edit (the MC targeter is global and sequential, so it re-runs whole).
+  density::FillTargetResult compute_target() const {
+    std::vector<int> capacity(dissection->num_tiles());
+    for (int t = 0; t < dissection->num_tiles(); ++t)
+      capacity[t] = global->tile_capacity(t);
+    if (config.required_per_tile.empty()) {
+      switch (config.target_engine) {
+        case TargetEngine::kMonteCarlo:
+          return density::compute_fill_amounts_mc(*wires, capacity,
+                                                  config.rules, config.target);
+        case TargetEngine::kMinVarLp:
+          return density::compute_fill_amounts_lp(*wires, capacity,
+                                                  config.rules, config.target);
+        case TargetEngine::kMinFillLp:
+          return density::compute_fill_amounts_min_fill_lp(
+              *wires, capacity, config.rules, config.target);
+      }
+    }
+    density::FillTargetResult out;
+    PIL_REQUIRE(static_cast<int>(config.required_per_tile.size()) ==
+                    dissection->num_tiles(),
+                "required_per_tile size must match the dissection");
+    out.features_per_tile = config.required_per_tile;
+    out.before = wires->stats();
+    grid::DensityMap after = *wires;
+    for (int t = 0; t < dissection->num_tiles(); ++t) {
+      PIL_REQUIRE(config.required_per_tile[t] >= 0,
+                  "negative fill requirement");
+      out.total_features += config.required_per_tile[t];
+      after.add_area(dissection->tile_unflat(t),
+                     config.required_per_tile[t] *
+                         config.rules.feature_area());
+    }
+    out.after = after.stats();
+    return out;
+  }
+
+  Impl(const layout::Layout& src, const FlowConfig& cfg)
+      : layout(src), config(cfg) {
+    config.validate(layout);
+    {
+      obs::TraceSpan span("prep.dissection");
+      ScopedTimer timer(stages.dissection);
+      dissection.emplace(layout.die(), config.window_um, config.r);
+    }
+    wires.emplace(*dissection);
+    {
+      obs::TraceSpan span("prep.rc_trees");
+      ScopedTimer timer(stages.rc_extraction);
+      trees = rctree::build_all_trees(layout);
+    }
+    {
+      ScopedTimer timer(stages.rc_extraction);
+      reflatten();
+    }
+    {
+      obs::TraceSpan span("prep.slack_columns");
+      ScopedTimer timer(stages.slack_extraction);
+      scan.emplace(layout, *dissection, config.layer, config.rules);
+      scan->build(pieces);
+      global = scan->snapshot();
+    }
+    {
+      obs::TraceSpan span("prep.density_map");
+      ScopedTimer timer(stages.density_map);
+      wires->add_layer_wires(layout, config.layer);
+      wires->add_layer_metal_blockages(layout, config.layer);
+    }
+    if (config.solver_mode != SlackMode::kIII) {
+      obs::TraceSpan span("prep.slack_columns");
+      ScopedTimer timer(stages.slack_extraction);
+      alt = fill::extract_slack_columns(layout, *dissection, pieces,
+                                        config.layer, config.rules,
+                                        config.solver_mode);
+    }
+    {
+      obs::TraceSpan span("prep.targeting");
+      ScopedTimer timer(stages.targeting);
+      target = compute_target();
+    }
+    {
+      obs::TraceSpan span("prep.instances");
+      ScopedTimer timer(stages.instances);
+      for (int t = 0; t < dissection->num_tiles(); ++t) {
+        const int required = target.features_per_tile[t];
+        if (required == 0) continue;
+        instances.emplace(t,
+                          build_tile_instance(t, required, solver_slack(),
+                                              pieces, config.net_criticality));
+      }
+    }
+    prep_seconds = stages.total();
+
+    const layout::Layer& layer = layout.layer(config.layer);
+    model.emplace(layer.eps_r, layer.thickness_um);
+    lut.emplace(*model, config.rules.feature_um);
+    rebuild_evaluator();
+
+    if (obs::metrics_enabled()) {
+      auto& reg = obs::metrics();
+      reg.gauge("pilfill.prep.dissection_seconds").add(stages.dissection);
+      reg.gauge("pilfill.prep.density_map_seconds").add(stages.density_map);
+      reg.gauge("pilfill.prep.rc_extraction_seconds")
+          .add(stages.rc_extraction);
+      reg.gauge("pilfill.prep.slack_extraction_seconds")
+          .add(stages.slack_extraction);
+      reg.gauge("pilfill.prep.targeting_seconds").add(stages.targeting);
+      reg.gauge("pilfill.prep.instances_seconds").add(stages.instances);
+      reg.counter("pilfill.prep.tiles").add(dissection->num_tiles());
+      reg.counter("pilfill.prep.instances")
+          .add(static_cast<long long>(instances.size()));
+    }
+  }
+
+  FlowResult solve(const std::vector<Method>& methods) {
+    flow_detail::require_methods_supported(config, methods);
+    FlowResult result;
+    result.density_before = wires->stats();
+    result.total_capacity = global->total_capacity();
+    result.target = target;
+    result.prep_seconds = prep_seconds;
+    result.prep_stages = stages;
+
+    const SolverContext ctx = flow_detail::make_context(config, *model, *lut);
+
+    for (const Method method : methods) {
+      obs::TraceSpan method_span(
+          "method", std::string("{\"method\":\"") + to_string(method) + "\"}");
+      MethodResult mr;
+      mr.method = method;
+      mr.placement.features_per_tile.assign(dissection->num_tiles(), 0);
+
+      std::map<int, TileSolveResult>& mcache = cache[method];
+      Stopwatch solve_watch;
+      std::vector<const TileInstance*> todo;
+      std::vector<int> todo_tiles;
+      todo.reserve(instances.size());
+      for (const auto& [tile, inst] : instances) {
+        if (mcache.count(tile)) continue;
+        todo.push_back(&inst);
+        todo_tiles.push_back(tile);
+      }
+      std::vector<TileSolveResult> solved =
+          flow_detail::solve_instances_parallel(method, todo, ctx, *model,
+                                                config);
+      for (std::size_t i = 0; i < todo.size(); ++i)
+        mcache[todo_tiles[i]] = std::move(solved[i]);
+      mr.solve_seconds = solve_watch.seconds();
+
+      const long long reused =
+          static_cast<long long>(instances.size() - todo.size());
+      stats.tiles_resolved += static_cast<long long>(todo.size());
+      stats.tiles_reused += reused;
+
+      for (const auto& [tile, inst] : instances) {
+        const TileSolveResult& tsr = mcache.at(tile);
+        flow_detail::accumulate_tile_stats(tsr, mr);
+        mr.placement.features_per_tile[tile] = tsr.placed;
+        flow_detail::append_rects(inst, tsr.counts, solver_slack(),
+                                  config.rules, mr.placement.features);
+      }
+
+      {
+        obs::TraceSpan eval_span(
+            "evaluate",
+            std::string("{\"method\":\"") + to_string(method) + "\"}");
+        ScopedTimer eval_timer(mr.eval_seconds);
+        mr.impact = evaluator->evaluate_rects(mr.placement.features);
+      }
+
+      grid::DensityMap after = *wires;
+      for (const auto& rect : mr.placement.features) after.add_rect(rect);
+      mr.density_after = after.stats();
+
+      flow_detail::publish_method_metrics(mr, todo.size());
+      // Session counters are only published once the session is used as a
+      // session (an edit happened or a solve hit the cache), so a pristine
+      // one-shot run emits exactly the metric set it always has.
+      if ((edited || reused > 0) && obs::metrics_enabled()) {
+        auto& reg = obs::metrics();
+        const char* m = to_string(method);
+        reg.counter(obs::labeled("pilfill.session.tiles_resolved",
+                                 {{"method", m}}))
+            .add(static_cast<long long>(todo.size()));
+        reg.counter(
+               obs::labeled("pilfill.session.tiles_reused", {{"method", m}}))
+            .add(reused);
+      }
+      if (mr.tiles_node_limit > 0 || mr.tiles_error > 0)
+        PIL_WARN(to_string(method)
+                 << ": " << mr.tiles_node_limit << " tile(s) hit the B&B node "
+                 << "budget (worst gap " << mr.max_ilp_gap << "), "
+                 << mr.tiles_error << " tile(s) failed outright");
+      PIL_INFO(to_string(method)
+               << ": placed " << mr.placed << " (shortfall " << mr.shortfall
+               << "), delay +" << mr.impact.delay_ps << " ps, weighted +"
+               << mr.impact.weighted_delay_ps << " ps, "
+               << mr.solve_seconds << " s");
+      result.methods.push_back(std::move(mr));
+    }
+    return result;
+  }
+
+  EditStats apply_edit(const WireEdit& edit) {
+    obs::TraceSpan span("session.apply_edit");
+    Stopwatch watch;
+
+    // -- 1. Resolve the edited net and validate the request. --------------
+    layout::NetId net = layout::kInvalidNet;
+    switch (edit.kind) {
+      case WireEdit::Kind::kAddSegment:
+        PIL_REQUIRE(edit.net != layout::kInvalidNet &&
+                        static_cast<std::size_t>(edit.net) < layout.num_nets(),
+                    "edit references an unknown net");
+        PIL_REQUIRE(edit.width_um > 0,
+                    "added segment needs a positive width");
+        net = edit.net;
+        break;
+      case WireEdit::Kind::kRemoveSegment:
+      case WireEdit::Kind::kMoveSegment: {
+        PIL_REQUIRE(edit.segment >= 0 &&
+                        static_cast<std::size_t>(edit.segment) <
+                            layout.num_segments(),
+                    "edit references an unknown segment");
+        const layout::WireSegment& seg = layout.segment(edit.segment);
+        PIL_REQUIRE(!seg.removed(), "segment was already removed");
+        PIL_REQUIRE(seg.layer == config.layer,
+                    "edits must stay on the session's fill layer");
+        net = seg.net;
+        break;
+      }
+    }
+
+    // Footprints of the edited net's pieces *before* the edit. Every column
+    // any of them bounds must be rescanned: the edit changes upstream
+    // resistances and sink weights across the whole net, not just near the
+    // edited segment.
+    std::vector<geom::Rect> changed;
+    for (int p = piece_offsets[net]; p < piece_offsets[net + 1]; ++p)
+      changed.push_back(pieces[p].rect());
+
+    // -- 2. Mutate the layout, remembering how to roll back. ---------------
+    layout::SegmentId sid = layout::kInvalidSegment;
+    std::vector<geom::Rect> drawn;  // density-relevant drawn rects (old+new)
+    std::function<void()> rollback;
+    switch (edit.kind) {
+      case WireEdit::Kind::kAddSegment: {
+        sid = layout.add_segment(net, config.layer, edit.a, edit.b,
+                                 edit.width_um);
+        drawn.push_back(layout.segment(sid).rect());
+        // A rolled-back add leaves an inert tombstone (ids stay stable).
+        rollback = [this, sid] { layout.remove_segment(sid); };
+        break;
+      }
+      case WireEdit::Kind::kRemoveSegment: {
+        sid = edit.segment;
+        const layout::WireSegment saved = layout.segment(sid);
+        drawn.push_back(saved.rect());
+        const std::vector<layout::SegmentId>& segs = layout.net(net).segments;
+        const std::size_t pos =
+            std::find(segs.begin(), segs.end(), sid) - segs.begin();
+        layout.remove_segment(sid);
+        rollback = [this, sid, saved, pos] {
+          layout.mutable_segment(sid) = saved;
+          std::vector<layout::SegmentId>& list =
+              layout.mutable_net(saved.net).segments;
+          list.insert(list.begin() + static_cast<std::ptrdiff_t>(pos), sid);
+        };
+        break;
+      }
+      case WireEdit::Kind::kMoveSegment: {
+        sid = edit.segment;
+        const layout::WireSegment saved = layout.segment(sid);
+        drawn.push_back(saved.rect());
+        layout.move_segment(sid, edit.dx, edit.dy);  // atomic: throws first
+        drawn.push_back(layout.segment(sid).rect());
+        rollback = [this, sid, saved] {
+          layout::WireSegment& seg = layout.mutable_segment(sid);
+          // Restore the exact doubles: (a + dx) - dx may differ from a.
+          seg.a = saved.a;
+          seg.b = saved.b;
+        };
+        break;
+      }
+    }
+
+    // -- 3. Rebuild the edited net's RC tree (the connectivity gate). ------
+    try {
+      rctree::RcTree fresh = rctree::RcTree::build(layout, net);
+      trees[net] = std::move(fresh);
+    } catch (...) {
+      rollback();
+      throw;
+    }
+    edited = true;
+
+    // -- 4. Renumber the flattened piece array; pieces of nets after the
+    //       edited one shift by a constant. ------------------------------
+    const int old_net_end = piece_offsets[net + 1];
+    reflatten();
+    const int delta = piece_offsets[net + 1] - old_net_end;
+    if (delta != 0) scan->shift_piece_indices(old_net_end, delta);
+
+    // Post-edit footprints of the net, plus the drawn rects for safety.
+    for (int p = piece_offsets[net]; p < piece_offsets[net + 1]; ++p)
+      changed.push_back(pieces[p].rect());
+    changed.insert(changed.end(), drawn.begin(), drawn.end());
+
+    // -- 5. Density: re-accumulate the tiles under the drawn change, in
+    //       original layout order (bit-identical to a fresh map). ---------
+    std::vector<int> density_tiles;
+    for (const geom::Rect& r : drawn) {
+      grid::TileIndex lo, hi;
+      if (!dissection->tiles_overlapping(r, lo, hi)) continue;
+      for (int iy = lo.iy; iy <= hi.iy; ++iy)
+        for (int ix = lo.ix; ix <= hi.ix; ++ix)
+          density_tiles.push_back(dissection->tile_flat({ix, iy}));
+    }
+    std::sort(density_tiles.begin(), density_tiles.end());
+    density_tiles.erase(
+        std::unique(density_tiles.begin(), density_tiles.end()),
+        density_tiles.end());
+    if (!density_tiles.empty())
+      wires->recompute_tiles(layout, config.layer, density_tiles);
+
+    // -- 6. Re-scan the slack columns the edit can see. -------------------
+    const fill::GlobalSlackScan::RescanResult rr =
+        scan->rescan(pieces, changed);
+    std::set<int> candidates(rr.touched_tiles.begin(),
+                             rr.touched_tiles.end());
+
+    if (!alt) {
+      // Untouched tiles keep their instances; only the stored snapshot-flat
+      // column indices shift with the rescanned groups.
+      for (auto& [tile, inst] : instances) {
+        if (candidates.count(tile)) continue;  // rebuilt below
+        for (InstanceColumn& ic : inst.cols) {
+          PIL_ASSERT(rr.column_remap[ic.column] >= 0,
+                     "untouched tile references a rescanned column");
+          ic.column = rr.column_remap[ic.column];
+        }
+      }
+    }
+    global = scan->snapshot();
+    if (alt)
+      // Modes I/II have no incremental scanner; re-extract and rebuild all
+      // instances (cached solves still survive via solver-equivalence).
+      alt = fill::extract_slack_columns(layout, *dissection, pieces,
+                                        config.layer, config.rules,
+                                        config.solver_mode);
+
+    // -- 7. Re-target: requirement changes dirty tiles whose geometry the
+    //       edit never touched (window-overlap propagation). --------------
+    const std::vector<int> old_required = target.features_per_tile;
+    target = compute_target();
+    int retargeted = 0;
+    for (int t = 0; t < dissection->num_tiles(); ++t) {
+      if (target.features_per_tile[t] == old_required[t]) continue;
+      candidates.insert(t);
+      ++retargeted;
+    }
+    if (alt) {
+      for (const auto& [tile, inst] : instances) candidates.insert(tile);
+      for (int t = 0; t < dissection->num_tiles(); ++t)
+        if (target.features_per_tile[t] > 0) candidates.insert(t);
+    }
+
+    // -- 8. Rebuild candidate instances; drop cached solves only when the
+    //       solver inputs actually changed. ------------------------------
+    int dirty = 0;
+    for (const int t : candidates) {
+      const int required = target.features_per_tile[t];
+      auto it = instances.find(t);
+      if (required == 0) {
+        if (it != instances.end()) {
+          instances.erase(it);
+          for (auto& [m, mcache] : cache) mcache.erase(t);
+          ++dirty;
+        }
+        continue;
+      }
+      TileInstance fresh = build_tile_instance(
+          t, required, solver_slack(), pieces, config.net_criticality);
+      const bool reusable =
+          it != instances.end() && solver_equivalent(it->second, fresh);
+      if (it == instances.end())
+        instances.emplace(t, std::move(fresh));
+      else
+        it->second = std::move(fresh);
+      if (!reusable) {
+        for (auto& [m, mcache] : cache) mcache.erase(t);
+        ++dirty;
+      }
+    }
+
+    // -- 9. The evaluator binds the snapshot and pieces; rebuild it. ------
+    rebuild_evaluator();
+
+    ++stats.edits;
+    stats.columns_rescanned += rr.xcols_rescanned;
+    stats.tiles_dirty += dirty;
+
+    EditStats es;
+    es.segment = sid;
+    es.columns_rescanned = rr.xcols_rescanned;
+    es.tiles_retargeted = retargeted;
+    es.tiles_dirty = dirty;
+    es.seconds = watch.seconds();
+
+    if (obs::metrics_enabled()) {
+      auto& reg = obs::metrics();
+      reg.counter("pilfill.session.edits").add(1);
+      reg.counter("pilfill.session.columns_rescanned")
+          .add(rr.xcols_rescanned);
+      reg.counter("pilfill.session.tiles_dirty").add(dirty);
+      reg.gauge("pilfill.session.edit_seconds").add(es.seconds);
+    }
+    PIL_INFO("apply_edit: segment " << sid << ", " << rr.xcols_rescanned
+             << " column(s) rescanned, " << retargeted
+             << " tile(s) retargeted, " << dirty << " tile(s) dirty ("
+             << es.seconds << " s)");
+    return es;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+FillSession::FillSession(const layout::Layout& layout,
+                         const FlowConfig& config)
+    : impl_(std::make_unique<Impl>(layout, config)) {}
+FillSession::~FillSession() = default;
+FillSession::FillSession(FillSession&&) noexcept = default;
+FillSession& FillSession::operator=(FillSession&&) noexcept = default;
+
+FlowResult FillSession::solve(const std::vector<Method>& methods) {
+  return impl_->solve(methods);
+}
+
+EditStats FillSession::apply_edit(const WireEdit& edit) {
+  return impl_->apply_edit(edit);
+}
+
+const layout::Layout& FillSession::layout() const { return impl_->layout; }
+const FlowConfig& FillSession::config() const { return impl_->config; }
+const grid::Dissection& FillSession::dissection() const {
+  return *impl_->dissection;
+}
+int FillSession::tiles_total() const { return impl_->dissection->num_tiles(); }
+const SessionStats& FillSession::stats() const { return impl_->stats; }
+const grid::DensityMap& FillSession::wires() const { return *impl_->wires; }
+const density::FillTargetResult& FillSession::target() const {
+  return impl_->target;
+}
+const fill::SlackColumns& FillSession::global_slack() const {
+  return *impl_->global;
+}
+const fill::SlackColumns& FillSession::solver_slack() const {
+  return impl_->solver_slack();
+}
+const std::vector<rctree::WirePiece>& FillSession::pieces() const {
+  return impl_->pieces;
+}
+std::vector<TileInstance> FillSession::instances_snapshot() const {
+  std::vector<TileInstance> out;
+  out.reserve(impl_->instances.size());
+  for (const auto& [tile, inst] : impl_->instances) out.push_back(inst);
+  return out;
+}
+double FillSession::prep_seconds() const { return impl_->prep_seconds; }
+const StageSeconds& FillSession::prep_stages() const { return impl_->stages; }
+
+}  // namespace pil::pilfill

@@ -1,0 +1,338 @@
+// Tests for the incremental FillSession engine: edit-equivalence against
+// the one-shot flow (bit-identical results after every edit), cache reuse
+// across solves, dirty-set accounting, config validation, and rollback on
+// invalid edits. The property tests sweep threads x metrics because both
+// must be invisible to results.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "pil/pil.hpp"
+
+namespace pil::pilfill {
+namespace {
+
+using layout::Layout;
+
+Layout small_layout() {
+  layout::SyntheticLayoutConfig cfg;
+  cfg.die_um = 96;
+  cfg.num_nets = 40;
+  cfg.seed = 5;
+  return layout::generate_synthetic_layout(cfg);
+}
+
+FlowConfig small_config(int threads = 1) {
+  FlowConfig config;
+  config.window_um = 32;
+  config.r = 2;
+  config.threads = threads;
+  return config;
+}
+
+/// Random valid edits against a session: perpendicular stubs tapping the
+/// centerline of pre-existing segments on the fill layer (T-junctions are
+/// split by the RC extractor, so connectivity holds), removals of
+/// previously added stubs (leaves: nothing taps them), and moves of added
+/// stubs along the parent's axis (the tap point stays on the centerline).
+class EditScript {
+ public:
+  EditScript(const Layout& l, layout::LayerId layer, std::uint64_t seed)
+      : rng_(seed) {
+    const bool vertical =
+        l.layer(layer).preferred_direction == layout::Orientation::kVertical;
+    for (const auto& seg : l.segments()) {
+      if (seg.layer != layer || seg.removed()) continue;
+      const bool seg_vertical =
+          seg.orientation() == layout::Orientation::kVertical;
+      if (seg_vertical != vertical) continue;
+      if (seg.length() < 6.0) continue;
+      parents_.push_back(seg);
+    }
+    die_ = l.die();
+  }
+
+  bool can_add() const { return !parents_.empty(); }
+
+  WireEdit next(int step) {
+    if (!stubs_.empty() && step % 5 == 3) {
+      const std::size_t i = pick(stubs_.size());
+      const Stub s = stubs_[i];
+      stubs_.erase(stubs_.begin() + static_cast<std::ptrdiff_t>(i));
+      return WireEdit::remove_segment(s.sid);
+    }
+    if (!stubs_.empty() && step % 5 == 4) {
+      Stub& s = stubs_[pick(stubs_.size())];
+      const double lo = s.tap_lo - s.tap, hi = s.tap_hi - s.tap;
+      const double d = uniform(lo, hi);
+      s.tap += d;
+      return s.along_x ? WireEdit::move_segment(s.sid, d, 0.0)
+                       : WireEdit::move_segment(s.sid, 0.0, d);
+    }
+    const layout::WireSegment& parent = parents_[pick(parents_.size())];
+    const bool along_x =
+        parent.orientation() == layout::Orientation::kHorizontal;
+    Stub s;
+    s.along_x = along_x;
+    s.tap_lo = (along_x ? parent.a.x : parent.a.y) + 1.0;
+    s.tap_hi = (along_x ? parent.b.x : parent.b.y) - 1.0;
+    s.tap = uniform(s.tap_lo, s.tap_hi);
+    pending_ = s;
+    const double len = uniform(1.5, 4.0);
+    const double cross = along_x ? parent.a.y : parent.a.x;
+    const double lim = along_x ? die_.yhi : die_.xhi;
+    const double tip =
+        cross + len + 1.0 < lim ? cross + len : cross - len;
+    const geom::Point a =
+        along_x ? geom::Point{s.tap, cross} : geom::Point{cross, s.tap};
+    const geom::Point b =
+        along_x ? geom::Point{s.tap, tip} : geom::Point{tip, s.tap};
+    return WireEdit::add_segment(parent.net, a, b, 0.4);
+  }
+
+  /// Record the id of the stub created by the last kAddSegment edit.
+  void stub_added(layout::SegmentId sid) {
+    pending_.sid = sid;
+    stubs_.push_back(pending_);
+  }
+
+ private:
+  struct Stub {
+    layout::SegmentId sid = layout::kInvalidSegment;
+    bool along_x = true;
+    double tap = 0.0;           ///< current tap coordinate on the parent
+    double tap_lo = 0.0, tap_hi = 0.0;  ///< valid tap range
+  };
+
+  std::size_t pick(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng_);
+  }
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng_);
+  }
+
+  std::mt19937_64 rng_;
+  std::vector<layout::WireSegment> parents_;
+  std::vector<Stub> stubs_;
+  Stub pending_;
+  geom::Rect die_;
+};
+
+/// The tentpole property: after every edit the session's solve() is
+/// bit-identical (timings aside) to a from-scratch flow on the same
+/// (edited) layout.
+void check_edit_equivalence(const Layout& l, const FlowConfig& config,
+                            const std::vector<Method>& methods, int num_edits,
+                            std::uint64_t seed) {
+  FillSession session(l, config);
+  EditScript script(session.layout(), config.layer, seed);
+  ASSERT_TRUE(script.can_add());
+
+  FlowResult incremental = session.solve(methods);
+  FlowResult fresh = run_pil_fill_flow(session.layout(), config, methods);
+  ASSERT_TRUE(flow_results_equivalent(incremental, fresh))
+      << "pristine session diverges from one-shot flow";
+
+  for (int step = 0; step < num_edits; ++step) {
+    const WireEdit edit = script.next(step);
+    const EditStats es = session.apply_edit(edit);
+    if (edit.kind == WireEdit::Kind::kAddSegment) script.stub_added(es.segment);
+    EXPECT_LE(es.tiles_dirty, session.tiles_total());
+
+    incremental = session.solve(methods);
+    fresh = run_pil_fill_flow(session.layout(), config, methods);
+    ASSERT_TRUE(flow_results_equivalent(incremental, fresh))
+        << "divergence after edit " << step << " (kind "
+        << static_cast<int>(edit.kind) << ", segment " << es.segment << ")";
+  }
+}
+
+class SessionProperty
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(SessionProperty, TwentyRandomEditsMatchFreshFlow) {
+  const auto [threads, metrics] = GetParam();
+  obs::metrics().clear();
+  obs::set_metrics_enabled(metrics);
+  check_edit_equivalence(small_layout(), small_config(threads),
+                         {Method::kNormal, Method::kIlp2}, 20, 123);
+  obs::set_metrics_enabled(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsAndMetrics, SessionProperty,
+                         ::testing::Combine(::testing::Values(1, 4),
+                                            ::testing::Bool()));
+
+TEST(Session, VerticalLayerEditsMatchFreshFlow) {
+  layout::SyntheticLayoutConfig cfg;
+  cfg.die_um = 96;
+  cfg.num_nets = 30;
+  cfg.seed = 9;
+  cfg.separate_branch_layer = true;
+  const Layout l = layout::generate_synthetic_layout(cfg);
+  FlowConfig config = small_config(2);
+  config.layer = l.find_layer("m4");
+  ASSERT_NE(config.layer, layout::kInvalidLayer);
+  check_edit_equivalence(l, config, {Method::kNormal}, 8, 77);
+}
+
+TEST(Session, SolverModeTwoEditsMatchFreshFlow) {
+  FlowConfig config = small_config(1);
+  config.solver_mode = fill::SlackMode::kII;
+  check_edit_equivalence(small_layout(), config, {Method::kGreedy}, 6, 41);
+}
+
+TEST(Session, PinnedRequirementsSkipRetargeting) {
+  const Layout l = small_layout();
+  FlowConfig config = small_config(1);
+  const FlowResult probe = run_pil_fill_flow(l, config, {});
+  config.required_per_tile = probe.target.features_per_tile;
+
+  FillSession session(l, config);
+  EditScript script(session.layout(), config.layer, 3);
+  ASSERT_TRUE(script.can_add());
+  for (int step = 0; step < 5; ++step) {
+    const WireEdit edit = script.next(step);
+    const EditStats es = session.apply_edit(edit);
+    if (edit.kind == WireEdit::Kind::kAddSegment) script.stub_added(es.segment);
+    // The fill spec is pinned, so an edit can never re-target a tile; the
+    // dirty set is purely geometric.
+    EXPECT_EQ(es.tiles_retargeted, 0);
+  }
+  const FlowResult incremental = session.solve({Method::kIlp2});
+  const FlowResult fresh =
+      run_pil_fill_flow(session.layout(), config, {Method::kIlp2});
+  EXPECT_TRUE(flow_results_equivalent(incremental, fresh));
+}
+
+TEST(Session, RepeatedSolvesServeFromCache) {
+  FillSession session(small_layout(), small_config(1));
+  const FlowResult first = session.solve({Method::kIlp2});
+  const long long resolved_once = session.stats().tiles_resolved;
+  EXPECT_GT(resolved_once, 0);
+  const FlowResult second = session.solve({Method::kIlp2});
+  EXPECT_TRUE(flow_results_equivalent(first, second));
+  EXPECT_EQ(session.stats().tiles_resolved, resolved_once);  // all cached
+  EXPECT_EQ(session.stats().tiles_reused, resolved_once);
+  // A different method has its own cache.
+  session.solve({Method::kNormal});
+  EXPECT_EQ(session.stats().tiles_resolved, 2 * resolved_once);
+}
+
+TEST(Session, EditResolvesOnlyDirtyTiles) {
+  FillSession session(small_layout(), small_config(1));
+  session.solve({Method::kNormal});
+  const long long before = session.stats().tiles_resolved;
+  EditScript script(session.layout(), session.config().layer, 11);
+  const WireEdit edit = script.next(0);
+  ASSERT_EQ(edit.kind, WireEdit::Kind::kAddSegment);
+  session.apply_edit(edit);
+  session.solve({Method::kNormal});
+  const long long delta = session.stats().tiles_resolved - before;
+  EXPECT_GT(delta, 0);  // something was invalidated
+  EXPECT_LT(delta, session.tiles_total());  // ...but not everything
+}
+
+TEST(Session, PublishesSessionMetrics) {
+  obs::metrics().clear();
+  obs::set_metrics_enabled(true);
+  FillSession session(small_layout(), small_config(1));
+  session.solve({Method::kNormal});
+  EditScript script(session.layout(), session.config().layer, 13);
+  session.apply_edit(script.next(0));
+  session.solve({Method::kNormal});
+  auto& reg = obs::metrics();
+  EXPECT_EQ(reg.counter("pilfill.session.edits").value(), 1);
+  EXPECT_GT(reg.counter(obs::labeled("pilfill.session.tiles_reused",
+                                     {{"method", "Normal"}}))
+                .value(),
+            0);
+  EXPECT_GT(reg.counter(obs::labeled("pilfill.session.tiles_resolved",
+                                     {{"method", "Normal"}}))
+                .value(),
+            0);
+  obs::set_metrics_enabled(false);
+  obs::metrics().clear();
+}
+
+TEST(Session, InvalidEditsRollBack) {
+  const Layout l = small_layout();
+  const FlowConfig config = small_config(1);
+  FillSession session(l, config);
+
+  // Unknown net / unknown segment / off-layer segment are rejected.
+  EXPECT_THROW(session.apply_edit(WireEdit::add_segment(
+                   static_cast<layout::NetId>(l.num_nets() + 7), {1, 1},
+                   {1, 3}, 0.4)),
+               Error);
+  EXPECT_THROW(session.apply_edit(WireEdit::remove_segment(
+                   static_cast<layout::SegmentId>(l.num_segments() + 7))),
+               Error);
+  // A move that leaves the die is rejected atomically.
+  EXPECT_THROW(session.apply_edit(WireEdit::move_segment(0, 1e6, 0)), Error);
+
+  // The session is untouched: it still matches a fresh flow on the
+  // original layout.
+  const FlowResult incremental = session.solve({Method::kNormal});
+  const FlowResult fresh =
+      run_pil_fill_flow(session.layout(), config, {Method::kNormal});
+  EXPECT_TRUE(flow_results_equivalent(incremental, fresh));
+}
+
+TEST(SessionValidate, RejectsBadConfigs) {
+  const Layout l = small_layout();
+  {
+    FlowConfig c = small_config();
+    c.window_um = 0;
+    EXPECT_THROW(c.validate(), Error);
+    EXPECT_THROW(FillSession(l, c), Error);
+  }
+  {
+    FlowConfig c = small_config();
+    c.r = 0;
+    EXPECT_THROW(c.validate(), Error);
+  }
+  {
+    FlowConfig c = small_config();
+    c.switch_factor = 0;
+    EXPECT_THROW(c.validate(), Error);
+  }
+  {
+    FlowConfig c = small_config();
+    c.net_criticality = {1.0, -0.5};
+    EXPECT_THROW(c.validate(), Error);
+  }
+  {
+    FlowConfig c = small_config();
+    c.required_per_tile = {1, -2};
+    EXPECT_THROW(c.validate(), Error);
+  }
+  {
+    FlowConfig c = small_config();
+    c.required_per_tile = {1, 2, 3};  // wrong size for the dissection
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_THROW(c.validate(l), Error);
+    EXPECT_THROW(FillSession(l, c), Error);
+  }
+  {
+    FlowConfig c = small_config();
+    c.layer = 42;
+    EXPECT_THROW(c.validate(l), Error);
+  }
+  {
+    FlowConfig c = small_config();
+    c.style = cap::FillStyle::kGrounded;
+    EXPECT_NO_THROW(c.validate(l, {Method::kNormal, Method::kGreedy}));
+    EXPECT_THROW(c.validate(l, {Method::kIlp1}), Error);
+    EXPECT_THROW(c.validate(l, {Method::kIlp2}), Error);
+    EXPECT_THROW(c.validate(l, {Method::kConvex}), Error);
+    FillSession session(l, c);
+    EXPECT_THROW(session.solve({Method::kIlp2}), Error);
+    EXPECT_THROW(run_pil_fill_flow(l, c, {Method::kConvex}), Error);
+  }
+}
+
+}  // namespace
+}  // namespace pil::pilfill

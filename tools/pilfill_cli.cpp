@@ -21,6 +21,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "pil/pil.hpp"
@@ -156,6 +157,76 @@ pilfill::Method method_from_name(const std::string& name) {
 }
 
 
+/// Replay a wire-edit script against a FillSession, re-solving after each
+/// `solve` line and once more at the end. Line grammar (\# = comment):
+///   add <net> <x1> <y1> <x2> <y2> <width>
+///   remove <segment-id>
+///   move <segment-id> <dx> <dy>
+///   solve
+pilfill::FlowResult run_edit_script(const layout::Layout& l,
+                                    const pilfill::FlowConfig& config,
+                                    pilfill::Method method,
+                                    const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) throw Error("cannot open edit script '" + path + "'");
+  pilfill::FillSession session(l, config);
+  pilfill::FlowResult res = session.solve({method});
+
+  std::string line;
+  int lineno = 0, edits = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op) || op[0] == '#') continue;
+    try {
+      pilfill::WireEdit edit;
+      if (op == "add") {
+        long long net;
+        double x1, y1, x2, y2, w;
+        if (!(ls >> net >> x1 >> y1 >> x2 >> y2 >> w))
+          throw Error("add needs: <net> <x1> <y1> <x2> <y2> <width>");
+        edit = pilfill::WireEdit::add_segment(
+            static_cast<layout::NetId>(net), {x1, y1}, {x2, y2}, w);
+      } else if (op == "remove") {
+        long long sid;
+        if (!(ls >> sid)) throw Error("remove needs: <segment-id>");
+        edit = pilfill::WireEdit::remove_segment(
+            static_cast<layout::SegmentId>(sid));
+      } else if (op == "move") {
+        long long sid;
+        double dx, dy;
+        if (!(ls >> sid >> dx >> dy))
+          throw Error("move needs: <segment-id> <dx> <dy>");
+        edit = pilfill::WireEdit::move_segment(
+            static_cast<layout::SegmentId>(sid), dx, dy);
+      } else if (op == "solve") {
+        res = session.solve({method});
+        std::cout << "solve: placed " << res.methods[0].placed << ", delay +"
+                  << res.methods[0].impact.delay_ps << " ps\n";
+        continue;
+      } else {
+        throw Error("unknown edit op '" + op + "'");
+      }
+      const pilfill::EditStats es = session.apply_edit(edit);
+      ++edits;
+      std::cout << op << ": segment " << es.segment << ", "
+                << es.columns_rescanned << " column(s) rescanned, "
+                << es.tiles_dirty << " tile(s) dirty ("
+                << format_double(es.seconds * 1e3, 3) << " ms)\n";
+    } catch (const Error& e) {
+      throw Error(path + ":" + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  res = session.solve({method});
+  const pilfill::SessionStats& st = session.stats();
+  std::cout << "edit script: " << edits << " edit(s), " << st.tiles_resolved
+            << " tile solve(s), " << st.tiles_reused
+            << " served from cache (" << session.tiles_total()
+            << " tiles total)\n";
+  return res;
+}
+
 // Window-density stats of wires + a given fill placement.
 grid::DensityStats density_with_fill(const layout::Layout& l,
                                      const pilfill::FlowConfig& config,
@@ -188,6 +259,7 @@ int cmd_analyze(const Args& args) {
   if (args.positional.empty()) throw Error("analyze: layout path required");
   const layout::Layout l = load_layout(args.positional[0], args);
   const pilfill::FlowConfig config = flow_from_args(args);
+  config.validate(l);
 
   const grid::Dissection dis(l.die(), config.window_um, config.r);
   grid::DensityMap wires(dis);
@@ -232,6 +304,7 @@ int cmd_fill(const Args& args) {
   if (args.positional.empty()) throw Error("fill: layout path required");
   const layout::Layout l = load_layout(args.positional[0], args);
   const pilfill::FlowConfig config = flow_from_args(args);
+  config.validate(l);  // fail fast, before any prep work
   const std::string method_name = args.get("method", "ilp2");
   ObsScope obs_scope(args);
 
@@ -278,6 +351,9 @@ int cmd_fill(const Args& args) {
     std::cout << "budgeted: max utilization "
               << format_double(b.allocation.max_budget_utilization, 3)
               << "\n";
+  } else if (args.flag("edit-script")) {
+    res = run_edit_script(l, config, method_from_name(method_name),
+                          args.get("edit-script", ""));
   } else {
     res = pilfill::run_pil_fill_flow(l, config,
                                      {method_from_name(method_name)});
@@ -446,7 +522,9 @@ int usage() {
       "                     [--weighted] [--mode I|II|III] [--threads N]\n"
       "                     [--out filled.pld] [--svg out.svg] [--gds out.gds]\n"
       "                     [--allowance-ps X] (budgeted) | --method anneal\n"
-      "                     [--lef tech.lef]\n"
+      "                     [--lef tech.lef] [--edit-script FILE]\n"
+      "  (edit script ops: add <net> <x1> <y1> <x2> <y2> <w> | remove <sid>\n"
+      "   | move <sid> <dx> <dy> | solve; '#' starts a comment)\n"
       "  table <layout>     [--window W] [--r R] [--weighted]\n"
       "  check <filled.pld> [--max-density D] [--window W] [--r R]\n"
       "  score <layout> <fill.gds> [--fill-layer N] [--max-density D]\n"
