@@ -7,58 +7,30 @@
 /// geometric -- the foundry-replay scenario an incremental engine exists
 /// for.
 ///
-///   bench_incremental [--json out.json]
+///   bench_incremental [--json [out.json]]
 ///
-/// The JSON record (schema pil.bench.v1) carries top-level tiles_resolved /
-/// tiles_total so CI can assert the re-solve stayed incremental.
+/// The JSON document (schema pil.bench.v2, default BENCH_incremental.json)
+/// carries two scenarios -- "incremental_session.edit" (the per-edit
+/// incremental times as repetition samples) and "incremental_session.full"
+/// (the from-scratch runs) -- with tiles_resolved / tiles_total / speedup
+/// under the edit scenario's "extra" so CI can assert the re-solve stayed
+/// incremental.
 
-#include <cstring>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hpp"
+#include "bench/workloads.hpp"
 #include "pil/pil.hpp"
 
 namespace {
 
 using namespace pil;
 using pilfill::Method;
-
-/// The net whose drawn footprint has the smallest bounding box: edits to it
-/// disturb the fewest slack columns (every column a net bounds is rescanned
-/// when the net's electrical state changes).
-layout::NetId smallest_net(const layout::Layout& l, layout::LayerId layer) {
-  layout::NetId best = layout::kInvalidNet;
-  double best_area = 0;
-  for (std::size_t n = 0; n < l.num_nets(); ++n) {
-    geom::Rect bbox;
-    bool any = false, has_trunk = false;
-    for (const layout::SegmentId sid : l.net(static_cast<layout::NetId>(n))
-             .segments) {
-      const layout::WireSegment& seg = l.segment(sid);
-      if (seg.layer != layer) continue;
-      if (seg.orientation() == layout::Orientation::kHorizontal &&
-          seg.length() >= 6.0)
-        has_trunk = true;
-      const geom::Rect r = seg.rect();
-      bbox = any ? geom::Rect{std::min(bbox.xlo, r.xlo),
-                              std::min(bbox.ylo, r.ylo),
-                              std::max(bbox.xhi, r.xhi),
-                              std::max(bbox.yhi, r.yhi)}
-                 : r;
-      any = true;
-    }
-    if (!any || !has_trunk) continue;
-    const double area = bbox.area();
-    if (best == layout::kInvalidNet || area < best_area) {
-      best = static_cast<layout::NetId>(n);
-      best_area = area;
-    }
-  }
-  PIL_REQUIRE(best != layout::kInvalidNet, "no editable net found");
-  return best;
-}
 
 struct EditRecord {
   int tiles_dirty = 0;
@@ -71,10 +43,8 @@ struct EditRecord {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
-      json_path = argv[++i];
+  const std::string json_path =
+      bench::parse_bench_json_path(argc, argv, "BENCH_incremental.json");
 
   const layout::Layout t1 = layout::make_testcase_t1();
   pilfill::FlowConfig config;
@@ -92,23 +62,10 @@ int main(int argc, char** argv) {
   const int tiles_total = session.tiles_total();
   const long long warm_resolved = session.stats().tiles_resolved;
 
-  const layout::NetId net = smallest_net(session.layout(), config.layer);
-  // The longest horizontal segment of that net is the stub's parent. Copy
-  // it by value: apply_edit grows the segment store and would invalidate a
-  // pointer into it.
-  layout::WireSegment parent;
-  bool have_parent = false;
-  for (const layout::SegmentId sid : session.layout().net(net).segments) {
-    const layout::WireSegment& seg = session.layout().segment(sid);
-    if (seg.removed() || seg.layer != config.layer ||
-        seg.orientation() != layout::Orientation::kHorizontal)
-      continue;
-    if (!have_parent || seg.length() > parent.length()) {
-      parent = seg;
-      have_parent = true;
-    }
-  }
-  PIL_REQUIRE(have_parent, "edit net has no horizontal segment");
+  const layout::NetId net =
+      bench::smallest_editable_net(session.layout(), config.layer);
+  const layout::WireSegment parent =
+      bench::longest_horizontal_segment(session.layout(), net, config.layer);
 
   std::cout << "bench_incremental: T1, W=32 r=2, ILP-II, net " << net
             << " (" << tiles_total << " tiles)\n\n"
@@ -118,13 +75,8 @@ int main(int argc, char** argv) {
   std::vector<EditRecord> records;
   const int kEdits = 5;
   for (int i = 0; i < kEdits; ++i) {
-    const double frac = 0.15 + 0.14 * i;
-    const double tap = parent.a.x + frac * (parent.b.x - parent.a.x);
-    const double up = session.layout().die().yhi - parent.a.y > 4.0
-                          ? parent.a.y + 2.5
-                          : parent.a.y - 2.5;
-    const pilfill::WireEdit edit = pilfill::WireEdit::add_segment(
-        net, {tap, parent.a.y}, {tap, up}, 0.4);
+    const pilfill::WireEdit edit = bench::make_stub_edit(
+        session.layout(), net, parent, 0.15 + 0.14 * i);
 
     EditRecord rec;
     Stopwatch inc_watch;
@@ -150,13 +102,16 @@ int main(int argc, char** argv) {
 
   const long long tiles_resolved =
       session.stats().tiles_resolved - warm_resolved;
-  double inc_total = 0, full_total = 0;
+  std::vector<double> inc_samples, full_samples;
   bool all_identical = true;
   for (const EditRecord& r : records) {
-    inc_total += r.incremental_seconds;
-    full_total += r.full_seconds;
+    inc_samples.push_back(r.incremental_seconds);
+    full_samples.push_back(r.full_seconds);
     all_identical = all_identical && r.identical;
   }
+  double inc_total = 0, full_total = 0;
+  for (const double s : inc_samples) inc_total += s;
+  for (const double s : full_samples) full_total += s;
   std::cout << "\n  " << tiles_resolved << " tile solve(s) across " << kEdits
             << " edits (" << tiles_total << " tiles; one-shot solves all of "
             << "them every run); overall speedup "
@@ -165,32 +120,49 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     std::ofstream os(json_path);
     PIL_REQUIRE(os.good(), "cannot open '" + json_path + "'");
-    obs::JsonWriter w(os);
-    w.begin_object();
-    w.kv("schema", "pil.bench.v1");
-    w.kv("bench", "incremental_session");
-    w.kv("version", kVersionString);
-    w.kv("testcase", "T1");
-    w.kv("window_um", 32);
-    w.kv("r", 2);
-    w.kv("method", "ILP-II");
-    w.kv("tiles_total", tiles_total);
-    w.kv("tiles_resolved", tiles_resolved);
-    w.kv("speedup", full_total / inc_total);
-    w.kv("all_identical", all_identical);
-    w.key("edits");
-    w.begin_array();
+    bench::BenchWriter out(os, "incremental_session");
+
+    bench::ScenarioResult inc;
+    inc.name = "incremental_session.edit";
+    inc.repetitions = kEdits;
+    inc.wall_seconds = bench::Stats::from_samples(inc_samples);
+    std::ostringstream extra;
+    obs::JsonWriter ew(extra, /*pretty=*/false);
+    ew.begin_object();
+    ew.kv("testcase", "T1");
+    ew.kv("window_um", 32);
+    ew.kv("r", 2);
+    ew.kv("method", "ILP-II");
+    ew.kv("tiles_total", tiles_total);
+    ew.kv("tiles_resolved", tiles_resolved);
+    ew.kv("speedup", full_total / inc_total);
+    ew.kv("all_identical", all_identical);
+    ew.key("edits");
+    ew.begin_array();
     for (const EditRecord& r : records) {
-      w.begin_object();
-      w.kv("tiles_dirty", r.tiles_dirty);
-      w.kv("columns_rescanned", r.columns_rescanned);
-      w.kv("incremental_seconds", r.incremental_seconds);
-      w.kv("full_seconds", r.full_seconds);
-      w.kv("identical", r.identical);
-      w.end_object();
+      ew.begin_object();
+      ew.kv("tiles_dirty", r.tiles_dirty);
+      ew.kv("columns_rescanned", r.columns_rescanned);
+      ew.kv("incremental_seconds", r.incremental_seconds);
+      ew.kv("full_seconds", r.full_seconds);
+      ew.kv("identical", r.identical);
+      ew.end_object();
     }
-    w.end_array();
-    w.end_object();
+    ew.end_array();
+    ew.end_object();
+    inc.extra_json = extra.str();
+    out.add(inc);
+
+    bench::ScenarioResult full;
+    full.name = "incremental_session.full";
+    full.repetitions = kEdits;
+    full.wall_seconds = bench::Stats::from_samples(full_samples);
+    out.add(full);
+
+    out.finish();
+    os << '\n';
+    os.flush();
+    PIL_REQUIRE(os.good(), "failed writing '" + json_path + "'");
     std::cout << "wrote " << json_path << "\n";
   }
 

@@ -7,7 +7,7 @@
 /// reduction at coarse dissections, the win shrinking as r grows, Greedy
 /// between Normal and ILP-II, and ILP-II the slowest-but-practical solver.
 ///
-/// `bench_table1 --json [path]` also emits a pil.bench.v1 JSON record
+/// `bench_table1 --json [path]` also emits a pil.bench.v2 JSON document
 /// (default BENCH_table1.json).
 
 #include "table_common.hpp"
@@ -15,7 +15,7 @@
 int main(int argc, char** argv) {
   return pil::bench::run_table_main(
       argc, argv, "=== Table 1: non-weighted PIL-Fill synthesis ===",
-      pil::pilfill::Objective::kNonWeighted,
+      "table1", pil::pilfill::Objective::kNonWeighted,
       +[](const pil::pilfill::DelayImpact& i) { return i.delay_ps; },
       "BENCH_table1.json");
 }

@@ -4,7 +4,7 @@
 /// sinks, Section 4) for the same 12 configurations as Table 1. The solvers
 /// optimize the weighted objective here, exactly as in the paper.
 ///
-/// `bench_table2 --json [path]` also emits a pil.bench.v1 JSON record
+/// `bench_table2 --json [path]` also emits a pil.bench.v2 JSON document
 /// (default BENCH_table2.json).
 
 #include "table_common.hpp"
@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   return pil::bench::run_table_main(
       argc, argv, "=== Table 2: weighted PIL-Fill synthesis ===",
-      pil::pilfill::Objective::kWeighted,
+      "table2", pil::pilfill::Objective::kWeighted,
       +[](const pil::pilfill::DelayImpact& i) { return i.weighted_delay_ps; },
       "BENCH_table2.json");
 }

@@ -1,0 +1,409 @@
+#include "bench/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "pil/util/error.hpp"
+#include "pil/version.hpp"
+
+namespace pil::bench {
+
+// -------------------------------------------------------------- registry ----
+
+void Registry::add(Scenario s) {
+  PIL_REQUIRE(!s.name.empty(), "scenario name must be non-empty");
+  PIL_REQUIRE(static_cast<bool>(s.setup),
+              "scenario '" + s.name + "' has no setup function");
+  const auto [it, inserted] = scenarios_.try_emplace(s.name, std::move(s));
+  PIL_REQUIRE(inserted, "duplicate scenario '" + it->first + "'");
+}
+
+const Scenario* Registry::find(std::string_view name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario*> Registry::match(std::string_view filter) const {
+  std::vector<const Scenario*> out;
+  for (const auto& [name, s] : scenarios_)
+    if (filter.empty() || name.find(filter) != std::string::npos)
+      out.push_back(&s);
+  return out;  // map order == sorted by name
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+// ----------------------------------------------------------------- stats ----
+
+namespace {
+
+double median_of_sorted(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+long long median_ll(std::vector<long long> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n == 0) return 0;
+  return n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2;
+}
+
+}  // namespace
+
+Stats Stats::from_samples(std::vector<double> xs) {
+  Stats s;
+  s.samples = xs;
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.median = median_of_sorted(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (const double x : xs) dev.push_back(std::abs(x - s.median));
+  std::sort(dev.begin(), dev.end());
+  s.mad = median_of_sorted(dev);  // raw MAD, no normal-consistency scaling
+  return s;
+}
+
+ScenarioResult run_scenario(const Scenario& s, int repetitions, int warmup) {
+  PIL_REQUIRE(repetitions >= 1, "repetitions must be >= 1");
+  PIL_REQUIRE(warmup >= 0, "warmup must be >= 0");
+  ScenarioResult r;
+  r.name = s.name;
+  r.repetitions = repetitions;
+  r.warmup = warmup;
+
+  const std::function<void()> body = s.setup();
+  PIL_REQUIRE(static_cast<bool>(body),
+              "scenario '" + s.name + "' setup returned no body");
+  for (int i = 0; i < warmup; ++i) body();
+
+  std::vector<double> wall, cpu;
+  std::vector<long long> cycles, instructions, branch_misses, cache_misses;
+  for (int i = 0; i < repetitions; ++i) {
+    obs::ProfScope prof;
+    body();
+    const obs::ProfSample sample = prof.stop();
+    wall.push_back(sample.wall_seconds);
+    cpu.push_back(sample.cpu_seconds);
+    r.peak_rss_bytes = std::max(r.peak_rss_bytes, sample.peak_rss_bytes);
+    if (sample.counters.cycles) cycles.push_back(*sample.counters.cycles);
+    if (sample.counters.instructions)
+      instructions.push_back(*sample.counters.instructions);
+    if (sample.counters.branch_misses)
+      branch_misses.push_back(*sample.counters.branch_misses);
+    if (sample.counters.cache_misses)
+      cache_misses.push_back(*sample.counters.cache_misses);
+  }
+  r.wall_seconds = Stats::from_samples(std::move(wall));
+  r.cpu_seconds = Stats::from_samples(std::move(cpu));
+  // A counter is reported when every repetition delivered it; partial
+  // availability would skew the median.
+  const auto all = [&](const std::vector<long long>& xs) {
+    return static_cast<int>(xs.size()) == repetitions;
+  };
+  if (all(cycles)) r.cycles = median_ll(std::move(cycles));
+  if (all(instructions)) r.instructions = median_ll(std::move(instructions));
+  if (all(branch_misses))
+    r.branch_misses = median_ll(std::move(branch_misses));
+  if (all(cache_misses)) r.cache_misses = median_ll(std::move(cache_misses));
+  return r;
+}
+
+// ------------------------------------------------------------ v2 emission ----
+
+namespace {
+
+void write_stats(obs::JsonWriter& w, const Stats& s) {
+  w.begin_object();
+  w.kv("min", s.min);
+  w.kv("median", s.median);
+  w.kv("mad", s.mad);
+  w.key("samples");
+  w.begin_array();
+  for (const double x : s.samples) w.value(x);
+  w.end_array();
+  w.end_object();
+}
+
+void write_counter(obs::JsonWriter& w, std::string_view key,
+                   const std::optional<long long>& v) {
+  w.key(key);
+  if (v)
+    w.value(*v);
+  else
+    w.null();
+}
+
+}  // namespace
+
+BenchWriter::BenchWriter(std::ostream& os, std::string_view bench_name)
+    : w_(os) {
+  w_.begin_object();
+  w_.kv("schema", "pil.bench.v2");
+  w_.kv("bench", bench_name);
+  w_.kv("version", kVersionString);
+  w_.key("env");
+  obs::capture_env().write_json(w_);
+  w_.key("scenarios");
+  w_.begin_array();
+}
+
+BenchWriter::~BenchWriter() { finish(); }
+
+void BenchWriter::add(const ScenarioResult& r) {
+  PIL_REQUIRE(!finished_, "BenchWriter: add() after finish()");
+  w_.begin_object();
+  w_.kv("name", r.name);
+  w_.kv("repetitions", r.repetitions);
+  w_.kv("warmup", r.warmup);
+  w_.key("wall_seconds");
+  write_stats(w_, r.wall_seconds);
+  w_.key("cpu_seconds");
+  write_stats(w_, r.cpu_seconds);
+  w_.key("counters");
+  w_.begin_object();
+  write_counter(w_, "cycles", r.cycles);
+  write_counter(w_, "instructions", r.instructions);
+  write_counter(w_, "branch_misses", r.branch_misses);
+  write_counter(w_, "cache_misses", r.cache_misses);
+  w_.key("ipc");
+  if (r.cycles && r.instructions && *r.cycles > 0)
+    w_.value(static_cast<double>(*r.instructions) /
+             static_cast<double>(*r.cycles));
+  else
+    w_.null();
+  w_.end_object();
+  w_.kv("peak_rss_bytes", r.peak_rss_bytes);
+  if (!r.extra_json.empty()) {
+    w_.key("extra");
+    w_.raw(r.extra_json);
+  }
+  w_.end_object();
+}
+
+void BenchWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  w_.end_array();
+  w_.end_object();
+}
+
+// -------------------------------------------------------- document reader ----
+
+namespace {
+
+std::vector<ScenarioStats> read_v2(const obs::JsonValue& doc) {
+  std::vector<ScenarioStats> out;
+  for (const obs::JsonValue& s : doc.at("scenarios").items) {
+    ScenarioStats stats;
+    stats.name = s.at("name").str_v;
+    const obs::JsonValue& wall = s.at("wall_seconds");
+    stats.median = wall.at("median").num_v;
+    stats.mad = wall.at("mad").num_v;
+    stats.repetitions = static_cast<int>(s.at("repetitions").num_v);
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+/// Legacy table documents: one run per paper configuration, each embedding
+/// per-method results. Every (configuration, method) pair becomes one
+/// single-sample scenario keyed on its solve time.
+std::vector<ScenarioStats> read_v1_table(const obs::JsonValue& doc) {
+  std::vector<ScenarioStats> out;
+  const std::string bench =
+      doc.find("bench") != nullptr ? doc.at("bench").str_v : "bench";
+  for (const obs::JsonValue& run : doc.at("runs").items) {
+    const std::string prefix =
+        bench + "." + run.at("testcase").str_v + ".w" +
+        std::to_string(std::llround(run.at("window_um").num_v)) + ".r" +
+        std::to_string(std::llround(run.at("r").num_v));
+    for (const obs::JsonValue& m : run.at("methods").items) {
+      ScenarioStats stats;
+      stats.name = prefix + "." + m.at("method").str_v;
+      stats.median = m.at("solve_seconds").num_v;
+      out.push_back(std::move(stats));
+    }
+  }
+  return out;
+}
+
+/// Legacy incremental documents: the per-edit incremental times are the
+/// repetition samples of one scenario.
+std::vector<ScenarioStats> read_v1_incremental(const obs::JsonValue& doc) {
+  std::vector<double> samples;
+  for (const obs::JsonValue& e : doc.at("edits").items)
+    samples.push_back(e.at("incremental_seconds").num_v);
+  const Stats s = Stats::from_samples(std::move(samples));
+  ScenarioStats stats;
+  stats.name = doc.at("bench").str_v;
+  stats.median = s.median;
+  stats.mad = s.mad;
+  stats.repetitions = static_cast<int>(s.samples.size());
+  return {std::move(stats)};
+}
+
+}  // namespace
+
+std::vector<ScenarioStats> read_bench_document(const obs::JsonValue& doc) {
+  PIL_REQUIRE(doc.is_object(), "bench document is not a JSON object");
+  const std::string& schema = doc.at("schema").str_v;
+  if (schema == "pil.bench.v2") return read_v2(doc);
+  if (schema == "pil.bench.v1") {
+    if (doc.find("runs") != nullptr) return read_v1_table(doc);
+    if (doc.find("edits") != nullptr) return read_v1_incremental(doc);
+    throw Error("pil.bench.v1 document has neither 'runs' nor 'edits'");
+  }
+  throw Error("unsupported bench schema '" + schema + "'");
+}
+
+std::vector<ScenarioStats> read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  PIL_REQUIRE(in.good(), "cannot open bench file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_bench_document(obs::parse_json(buf.str()));
+}
+
+// ------------------------------------------------------- compare sentinel ----
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kRegression: return "REGRESSION";
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kWithinNoise: return "within noise";
+    case Verdict::kOnlyBaseline: return "only in baseline";
+    case Verdict::kOnlyCandidate: return "only in candidate";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Noise scale for one baseline scenario: its MAD, floored at 1% of the
+/// median and at 50 microseconds so zero-variance (or single-sample)
+/// baselines do not turn scheduler jitter into verdicts.
+double noise_scale(const ScenarioStats& base) {
+  return std::max({base.mad, 0.01 * base.median, 50e-6});
+}
+
+std::string format_seconds(double s) {
+  char buf[32];
+  if (s >= 1.0)
+    std::snprintf(buf, sizeof buf, "%.3f s", s);
+  else if (s >= 1e-3)
+    std::snprintf(buf, sizeof buf, "%.3f ms", s * 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.1f us", s * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+CompareReport compare_benchmarks(const std::vector<ScenarioStats>& baseline,
+                                 const std::vector<ScenarioStats>& candidate,
+                                 const CompareOptions& options) {
+  std::map<std::string, const ScenarioStats*> base_by_name, cand_by_name;
+  for (const ScenarioStats& s : baseline) base_by_name[s.name] = &s;
+  for (const ScenarioStats& s : candidate) cand_by_name[s.name] = &s;
+
+  CompareReport report;
+  for (const auto& [name, base] : base_by_name) {
+    ComparedScenario row;
+    row.name = name;
+    row.baseline_median = base->median;
+    const auto it = cand_by_name.find(name);
+    if (it == cand_by_name.end()) {
+      row.verdict = Verdict::kOnlyBaseline;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+    const ScenarioStats& cand = *it->second;
+    row.candidate_median = cand.median;
+    row.ratio = base->median > 0 ? cand.median / base->median : 0.0;
+    const double gate = options.threshold_mad * noise_scale(*base);
+    if (cand.median > base->median + gate &&
+        cand.median > base->median * options.min_ratio) {
+      row.verdict = Verdict::kRegression;
+      ++report.regressions;
+    } else if (cand.median < base->median - gate &&
+               cand.median * options.min_ratio < base->median) {
+      row.verdict = Verdict::kImprovement;
+      ++report.improvements;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, cand] : cand_by_name) {
+    if (base_by_name.count(name)) continue;
+    ComparedScenario row;
+    row.name = name;
+    row.candidate_median = cand->median;
+    row.verdict = Verdict::kOnlyCandidate;
+    report.rows.push_back(std::move(row));
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const ComparedScenario& a, const ComparedScenario& b) {
+              return a.name < b.name;
+            });
+  return report;
+}
+
+void print_markdown(std::ostream& os, const CompareReport& report,
+                    const CompareOptions& options) {
+  os << "| scenario | baseline | candidate | ratio | verdict |\n"
+     << "|---|---:|---:|---:|---|\n";
+  for (const ComparedScenario& row : report.rows) {
+    os << "| " << row.name << " | "
+       << (row.baseline_median > 0 || row.verdict != Verdict::kOnlyCandidate
+               ? format_seconds(row.baseline_median)
+               : "-")
+       << " | "
+       << (row.candidate_median > 0 || row.verdict != Verdict::kOnlyBaseline
+               ? format_seconds(row.candidate_median)
+               : "-")
+       << " | ";
+    if (row.ratio > 0) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%.2fx", row.ratio);
+      os << buf;
+    } else {
+      os << "-";
+    }
+    os << " | " << to_string(row.verdict) << " |\n";
+  }
+  os << "\n" << report.rows.size() << " scenario(s): " << report.regressions
+     << " regression(s), " << report.improvements
+     << " improvement(s) (gate: median beyond " << options.threshold_mad
+     << " MADs and " << options.min_ratio << "x)\n";
+}
+
+// ------------------------------------------------------------- bench argv ----
+
+std::string parse_bench_json_path(int argc, char** argv,
+                                  const char* default_json_name) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-')
+        path = argv[++i];
+      else
+        path = default_json_name;
+    } else if (a.rfind("--", 0) != 0) {
+      path = a;  // legacy bare positional output path
+    }
+  }
+  return path;
+}
+
+}  // namespace pil::bench

@@ -1,0 +1,202 @@
+#pragma once
+/// \file harness.hpp
+/// Unified benchmark harness behind the `pilbench` tool (and the
+/// standalone bench binaries' JSON emission):
+///
+///   * a Registry of named Scenarios the bench translation units register
+///     into, so one runner can list / filter / time all of them;
+///   * robust repetition statistics (min / median / MAD) measured under a
+///     pil::obs::ProfScope (wall + CPU time, HW counters, peak RSS);
+///   * a streaming writer for schema "pil.bench.v2" -- every document
+///     embeds an obs::EnvCapture so numbers stay attributable;
+///   * a reader that also understands the legacy "pil.bench.v1" documents
+///     (the hand-rolled table / incremental emitters this harness
+///     superseded), feeding the variance-aware `pilbench compare`
+///     regression sentinel.
+///
+/// See docs/OBSERVABILITY.md ("Benchmark documents") for the schema and
+/// the compare workflow.
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pil/obs/json.hpp"
+#include "pil/obs/prof.hpp"
+
+namespace pil::bench {
+
+// -------------------------------------------------------------- registry ----
+
+/// One registered workload. `setup` runs untimed (build layouts, warm
+/// caches) and returns the body executed once per timed repetition.
+struct Scenario {
+  std::string name;         ///< dotted path, e.g. "flow.t1.w32.r2.ilp2"
+  std::string description;  ///< one line for `pilbench list`
+  std::function<std::function<void()>()> setup;
+};
+
+/// Name -> Scenario. Names are unique; iteration is name-sorted so runs
+/// and emitted documents are deterministic.
+class Registry {
+ public:
+  /// Throws pil::Error on a duplicate name.
+  void add(Scenario s);
+
+  const Scenario* find(std::string_view name) const;
+  /// Scenarios whose name contains `filter` (empty matches all), sorted.
+  std::vector<const Scenario*> match(std::string_view filter) const;
+  std::size_t size() const { return scenarios_.size(); }
+
+  /// The process-wide registry `pilbench` runs from.
+  static Registry& global();
+
+ private:
+  std::map<std::string, Scenario, std::less<>> scenarios_;
+};
+
+/// Populate `r` with the built-in scenarios (flow configurations, prep,
+/// incremental-session edits, synthetic generation). Defined across the
+/// bench scenario translation units.
+void register_builtin_scenarios(Registry& r);
+
+// ----------------------------------------------------------------- stats ----
+
+/// Robust summary of repeated measurements. MAD is the median absolute
+/// deviation from the median -- the noise scale `pilbench compare` uses,
+/// chosen over stddev because one preempted repetition should not widen
+/// the gate.
+struct Stats {
+  double min = 0.0;
+  double median = 0.0;
+  double mad = 0.0;
+  std::vector<double> samples;  ///< in measurement order
+
+  static Stats from_samples(std::vector<double> xs);
+};
+
+/// One scenario's measured result: repetition stats plus the median HW
+/// counter readings (nullopt when perf is unavailable) and the process
+/// peak-RSS watermark after the last repetition.
+struct ScenarioResult {
+  std::string name;
+  int repetitions = 0;
+  int warmup = 0;
+  Stats wall_seconds;
+  Stats cpu_seconds;
+  std::optional<long long> cycles;
+  std::optional<long long> instructions;
+  std::optional<long long> branch_misses;
+  std::optional<long long> cache_misses;
+  long long peak_rss_bytes = 0;
+  /// Optional pre-serialized JSON object spliced verbatim as "extra"
+  /// (scenario-specific payload, e.g. the table benches' method results).
+  std::string extra_json;
+};
+
+/// Run `setup` once, the body `warmup` times untimed, then `repetitions`
+/// times under a fresh ProfScope each.
+ScenarioResult run_scenario(const Scenario& s, int repetitions, int warmup);
+
+// --------------------------------------------------------- v2 emission ----
+
+/// Streaming writer for one "pil.bench.v2" document:
+///
+///   BenchWriter out(os, "pilbench");
+///   for (...) out.add(result);
+///   out.finish();
+class BenchWriter {
+ public:
+  /// Writes the document header (schema, bench name, library version, env
+  /// capture) immediately.
+  BenchWriter(std::ostream& os, std::string_view bench_name);
+  ~BenchWriter();
+
+  void add(const ScenarioResult& r);
+  /// Close the document (idempotent; also run by the destructor).
+  void finish();
+
+ private:
+  obs::JsonWriter w_;
+  bool finished_ = false;
+};
+
+// ------------------------------------------------------ compare sentinel ----
+
+/// Per-scenario timing summary as read back from a bench document -- the
+/// compare tool's common denominator across schema versions.
+struct ScenarioStats {
+  std::string name;
+  double median = 0.0;  ///< wall seconds
+  double mad = 0.0;
+  int repetitions = 1;
+};
+
+/// Extract scenario stats from a parsed bench document. Understands
+/// pil.bench.v2 natively plus both legacy pil.bench.v1 shapes (the table
+/// benches' per-configuration per-method solve times and the incremental
+/// bench's per-edit times). Throws pil::Error on any other document.
+std::vector<ScenarioStats> read_bench_document(const obs::JsonValue& doc);
+/// Same, from a file path.
+std::vector<ScenarioStats> read_bench_file(const std::string& path);
+
+enum class Verdict {
+  kRegression,     ///< candidate slower beyond noise and ratio gates
+  kImprovement,    ///< candidate faster beyond the same gates
+  kWithinNoise,
+  kOnlyBaseline,   ///< scenario missing from the candidate
+  kOnlyCandidate,  ///< scenario missing from the baseline
+};
+
+const char* to_string(Verdict v);
+
+struct CompareOptions {
+  /// A candidate median must sit this many baseline MADs beyond the
+  /// baseline median...
+  double threshold_mad = 4.0;
+  /// ...and differ by at least this ratio (guards against zero-MAD
+  /// baselines flagging microsecond jitter).
+  double min_ratio = 1.10;
+};
+
+struct ComparedScenario {
+  std::string name;
+  double baseline_median = 0.0;
+  double candidate_median = 0.0;
+  double ratio = 0.0;  ///< candidate / baseline; 0 when either is missing
+  Verdict verdict = Verdict::kWithinNoise;
+};
+
+struct CompareReport {
+  std::vector<ComparedScenario> rows;  ///< name-sorted
+  int regressions = 0;
+  int improvements = 0;
+  bool has_regression() const { return regressions > 0; }
+};
+
+CompareReport compare_benchmarks(const std::vector<ScenarioStats>& baseline,
+                                 const std::vector<ScenarioStats>& candidate,
+                                 const CompareOptions& options = {});
+
+/// Render the report as a markdown table (the CI gate's job summary).
+void print_markdown(std::ostream& os, const CompareReport& report,
+                    const CompareOptions& options);
+
+// ------------------------------------------------------------- bench argv ----
+
+/// Shared argv handling for the standalone bench binaries' JSON output,
+/// preserving every historical spelling:
+///
+///   bench_x --json path    bench_x --json    bench_x path
+///
+/// `--json` without a following path (or a bare `--json` at argv end)
+/// selects `default_json_name`. Returns an empty path when no JSON output
+/// was requested.
+std::string parse_bench_json_path(int argc, char** argv,
+                                  const char* default_json_name);
+
+}  // namespace pil::bench

@@ -3,16 +3,20 @@
 /// Shared harness for the Table 1 / Table 2 reproductions: run the 12 paper
 /// configurations ({T1,T2} x W in {32,20} x r in {2,4,8}) with the four
 /// methods and print a paper-shaped table plus the reduction-vs-normal
-/// percentages. Pass a --json path (see run_table_main) to also emit a
-/// machine-readable "pil.bench.v1" record per run.
+/// percentages. Pass a --json path (see run_table_main) to also emit the
+/// runs as one "pil.bench.v2" document (schema in docs/OBSERVABILITY.md):
+/// per configuration, one single-sample scenario per method keyed on its
+/// solve time, plus a ".flow" scenario carrying the whole-configuration
+/// wall/CPU/HW-counter profile and the per-method results as "extra".
 
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hpp"
 #include "pil/pil.hpp"
 
 namespace pil::bench {
@@ -36,9 +40,9 @@ inline const std::vector<ConfigRow>& paper_configs() {
 /// Run the full table for one objective. `metric` picks which impact number
 /// is reported (non-weighted for Table 1, weighted for Table 2). When
 /// `json_path` is non-empty the same runs are also written as one
-/// "pil.bench.v1" JSON document (an array of per-configuration records,
-/// each embedding the per-method results in run-report shape).
-inline void run_table(const char* title, pilfill::Objective objective,
+/// "pil.bench.v2" document named `bench_name` ("table1" / "table2").
+inline void run_table(const char* title, const char* bench_name,
+                      pilfill::Objective objective,
                       double (*metric)(const pilfill::DelayImpact&),
                       const std::string& json_path = "") {
   using pilfill::Method;
@@ -49,20 +53,11 @@ inline void run_table(const char* title, pilfill::Objective objective,
   const layout::Layout t2 = layout::make_testcase_t2();
 
   std::ofstream json_os;
-  std::optional<obs::JsonWriter> json;
+  std::optional<BenchWriter> json;
   if (!json_path.empty()) {
     json_os.open(json_path);
     PIL_REQUIRE(json_os.good(), "cannot open '" + json_path + "'");
-    json.emplace(json_os);
-    json->begin_object();
-    json->kv("schema", "pil.bench.v1");
-    json->kv("bench", title);
-    json->kv("version", kVersionString);
-    json->kv("objective",
-             objective == pilfill::Objective::kWeighted ? "weighted"
-                                                        : "non-weighted");
-    json->key("runs");
-    json->begin_array();
+    json.emplace(json_os, bench_name);
   }
 
   Table table({"T/W/r", "Normal tau", "ILP-I tau", "ILP-I cpu", "ILP-II tau",
@@ -79,21 +74,53 @@ inline void run_table(const char* title, pilfill::Objective objective,
     flow.window_um = cfg.window_um;
     flow.r = cfg.r;
     flow.objective = objective;
+
+    obs::ProfScope prof;
     const pilfill::FlowResult res =
         pilfill::run_pil_fill_flow(chip, flow, methods);
+    const obs::ProfSample profile = prof.stop();
 
     if (json) {
-      json->begin_object();
-      json->kv("testcase", cfg.testcase);
-      json->kv("window_um", cfg.window_um);
-      json->kv("r", cfg.r);
-      json->kv("prep_seconds", res.prep_seconds);
-      json->key("methods");
-      json->begin_array();
+      const std::string prefix =
+          std::string(bench_name) + "." + cfg.testcase + ".w" +
+          std::to_string(static_cast<int>(cfg.window_um)) + ".r" +
+          std::to_string(cfg.r);
+      // One single-sample scenario per method (solve time only), matching
+      // the names the v1-compat reader synthesizes from old documents.
+      for (const auto& mr : res.methods) {
+        ScenarioResult sr;
+        sr.name = prefix + "." + pilfill::to_string(mr.method);
+        sr.repetitions = 1;
+        sr.wall_seconds = Stats::from_samples({mr.solve_seconds});
+        json->add(sr);
+      }
+      // The whole-configuration profile (prep + all solves + scoring) with
+      // the per-method results riding along as "extra".
+      ScenarioResult flow_sr;
+      flow_sr.name = prefix + ".flow";
+      flow_sr.repetitions = 1;
+      flow_sr.wall_seconds = Stats::from_samples({profile.wall_seconds});
+      flow_sr.cpu_seconds = Stats::from_samples({profile.cpu_seconds});
+      flow_sr.cycles = profile.counters.cycles;
+      flow_sr.instructions = profile.counters.instructions;
+      flow_sr.branch_misses = profile.counters.branch_misses;
+      flow_sr.cache_misses = profile.counters.cache_misses;
+      flow_sr.peak_rss_bytes = profile.peak_rss_bytes;
+      std::ostringstream extra;
+      obs::JsonWriter ew(extra, /*pretty=*/false);
+      ew.begin_object();
+      ew.kv("testcase", cfg.testcase);
+      ew.kv("window_um", cfg.window_um);
+      ew.kv("r", cfg.r);
+      ew.kv("prep_seconds", res.prep_seconds);
+      ew.key("methods");
+      ew.begin_array();
       for (const auto& mr : res.methods)
-        pilfill::write_method_result_json(*json, mr);
-      json->end_array();
-      json->end_object();
+        pilfill::write_method_result_json(ew, mr);
+      ew.end_array();
+      ew.end_object();
+      flow_sr.extra_json = extra.str();
+      json->add(flow_sr);
     }
 
     auto tau = [&](Method m) {
@@ -126,8 +153,7 @@ inline void run_table(const char* title, pilfill::Objective objective,
   table.print_csv(std::cout);
 
   if (json) {
-    json->end_array();
-    json->end_object();
+    json->finish();
     json_os << '\n';
     json_os.flush();
     PIL_REQUIRE(json_os.good(), "failed writing '" + json_path + "'");
@@ -135,22 +161,18 @@ inline void run_table(const char* title, pilfill::Objective objective,
   }
 }
 
-/// Shared main() body for the table benches: `--json <path>` (or a bare
-/// positional path) selects the JSON output file; `default_json_name` is
-/// used when `--json` is given without the flag being followed by a path.
+/// Shared main() body for the table benches; JSON output selection (--json
+/// [path] or a bare positional path) is parse_bench_json_path, so every
+/// historical flag spelling keeps working.
 inline int run_table_main(int argc, char** argv, const char* title,
+                          const char* bench_name,
                           pilfill::Objective objective,
                           double (*metric)(const pilfill::DelayImpact&),
                           const char* default_json_name) {
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0)
-      json_path = i + 1 < argc ? argv[++i] : default_json_name;
-    else
-      json_path = argv[i];
-  }
+  const std::string json_path =
+      parse_bench_json_path(argc, argv, default_json_name);
   try {
-    run_table(title, objective, metric, json_path);
+    run_table(title, bench_name, objective, metric, json_path);
   } catch (const Error& e) {
     std::cerr << "bench: " << e.what() << "\n";
     return 1;

@@ -70,6 +70,13 @@ class Histogram {
 
   void observe(double v) noexcept;
 
+  /// The standard latency percentiles, extracted from the log2 buckets.
+  struct Percentiles {
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
   struct Snapshot {
     long long count = 0;
     double sum = 0.0;
@@ -81,6 +88,9 @@ class Histogram {
     /// Quantile estimate (geometric midpoint of the covering bucket),
     /// q in [0, 1]. Exact to within a factor of sqrt(2).
     double quantile(double q) const;
+    /// p50/p90/p99 in one call -- what the run-report and bench emitters
+    /// publish instead of raw bucket dumps.
+    Percentiles percentiles() const;
   };
 
   Snapshot snapshot() const;
@@ -108,9 +118,11 @@ struct MetricsSnapshot {
     return counters.empty() && gauges.empty() && histograms.empty();
   }
   /// Emit as one JSON object: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99,
-  /// buckets: [[lower, count], ...nonzero only]}}.
-  void write_json(JsonWriter& w) const;
+  /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99}}}.
+  /// Percentiles come from Histogram::Snapshot::percentiles(); the raw
+  /// log2 buckets are only emitted when `include_buckets` is set (as
+  /// "buckets": [[lower, count], ...nonzero only]).
+  void write_json(JsonWriter& w, bool include_buckets = false) const;
 };
 
 /// Name -> metric registry. Lookup takes a mutex; returned references stay

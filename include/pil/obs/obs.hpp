@@ -1,9 +1,11 @@
 #pragma once
 /// \file obs.hpp
 /// Umbrella header for the pil::obs observability subsystem: metrics
-/// registry, trace spans, and the minimal JSON layer they emit through.
-/// See docs/OBSERVABILITY.md for metric names and the report schema.
+/// registry, trace spans, the in-process profiler (HW counters, peak RSS,
+/// environment capture), and the minimal JSON layer they emit through.
+/// See docs/OBSERVABILITY.md for metric names and the report schemas.
 
 #include "pil/obs/json.hpp"
 #include "pil/obs/metrics.hpp"
+#include "pil/obs/prof.hpp"
 #include "pil/obs/trace.hpp"

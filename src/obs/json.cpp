@@ -260,6 +260,21 @@ class Parser {
     }
   }
 
+  /// Four hex digits of a \uXXXX escape (the "\u" already consumed).
+  unsigned parse_hex4() {
+    PIL_REQUIRE(pos_ + 4 <= s_.size(), "JSON: truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = s_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else throw Error("JSON: bad \\u escape digit");
+    }
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -283,25 +298,36 @@ class Parser {
         case 'r': out.push_back('\r'); break;
         case 't': out.push_back('\t'); break;
         case 'u': {
-          PIL_REQUIRE(pos_ + 4 <= s_.size(), "JSON: truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else throw Error("JSON: bad \\u escape digit");
+          unsigned code = parse_hex4();
+          // RFC 8259: code points outside the BMP arrive as a surrogate
+          // pair of \u escapes. Pair them into one code point; reject
+          // unpaired or reversed surrogates (they have no UTF-8 form).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            PIL_REQUIRE(pos_ + 2 <= s_.size() && s_[pos_] == '\\' &&
+                            s_[pos_ + 1] == 'u',
+                        "JSON: unpaired high surrogate");
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            PIL_REQUIRE(lo >= 0xDC00 && lo <= 0xDFFF,
+                        "JSON: invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+          } else {
+            PIL_REQUIRE(!(code >= 0xDC00 && code <= 0xDFFF),
+                        "JSON: unpaired low surrogate");
           }
-          // Encode the code point as UTF-8 (surrogate pairs are passed
-          // through as two 3-byte sequences; fine for validation purposes).
+          // Encode the code point as UTF-8 (1..4 bytes).
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

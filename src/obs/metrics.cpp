@@ -98,6 +98,14 @@ double Histogram::Snapshot::quantile(double q) const {
   return max;
 }
 
+Histogram::Percentiles Histogram::Snapshot::percentiles() const {
+  Percentiles p;
+  p.p50 = quantile(0.50);
+  p.p90 = quantile(0.90);
+  p.p99 = quantile(0.99);
+  return p;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_.try_emplace(std::string(name)).first->second;
@@ -140,7 +148,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return s;
 }
 
-void MetricsSnapshot::write_json(JsonWriter& w) const {
+void MetricsSnapshot::write_json(JsonWriter& w, bool include_buckets) const {
   w.begin_object();
   w.key("counters");
   w.begin_object();
@@ -160,20 +168,23 @@ void MetricsSnapshot::write_json(JsonWriter& w) const {
     w.kv("min", h.count > 0 ? h.min : 0.0);
     w.kv("max", h.count > 0 ? h.max : 0.0);
     w.kv("mean", h.mean());
-    w.kv("p50", h.quantile(0.50));
-    w.kv("p90", h.quantile(0.90));
-    w.kv("p99", h.quantile(0.99));
-    w.key("buckets");
-    w.begin_array();
-    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-      const long long n = h.buckets[static_cast<std::size_t>(b)];
-      if (n == 0) continue;
+    const Histogram::Percentiles p = h.percentiles();
+    w.kv("p50", p.p50);
+    w.kv("p90", p.p90);
+    w.kv("p99", p.p99);
+    if (include_buckets) {
+      w.key("buckets");
       w.begin_array();
-      w.value(Histogram::bucket_lower(b));
-      w.value(n);
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        const long long n = h.buckets[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        w.begin_array();
+        w.value(Histogram::bucket_lower(b));
+        w.value(n);
+        w.end_array();
+      }
       w.end_array();
     }
-    w.end_array();
     w.end_object();
   }
   w.end_object();

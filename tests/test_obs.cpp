@@ -12,6 +12,7 @@
 #include "pil/layout/synthetic.hpp"
 #include "pil/obs/json.hpp"
 #include "pil/obs/metrics.hpp"
+#include "pil/obs/prof.hpp"
 #include "pil/obs/trace.hpp"
 #include "pil/pilfill/driver.hpp"
 #include "pil/pilfill/report.hpp"
@@ -94,6 +95,27 @@ TEST(Json, ParserRejectsGarbage) {
 TEST(Json, ParserHandlesUnicodeEscapes) {
   const JsonValue v = parse_json("\"a\\u0041\\u20ac\"");
   EXPECT_EQ(v.str_v, "aA\xE2\x82\xAC");
+}
+
+TEST(Json, ParserPairsSurrogates) {
+  // U+1F600 arrives as the surrogate pair D83D DE00 and must decode to one
+  // 4-byte UTF-8 sequence, not two 3-byte surrogate encodings.
+  const JsonValue v = parse_json("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(v.str_v, "\xF0\x9F\x98\x80");
+  // Upper-case hex digits and a BMP neighbor round the same path.
+  EXPECT_EQ(parse_json("\"\\uD83D\\uDE00!\"").str_v, "\xF0\x9F\x98\x80!");
+  // The decoded UTF-8 passes through json_escape untouched, so
+  // escape -> parse round-trips astral code points.
+  const std::string astral = "mix \xF0\x9F\x98\x80 end";
+  EXPECT_EQ(parse_json(obs::json_escape(astral)).str_v, astral);
+}
+
+TEST(Json, ParserRejectsBrokenSurrogates) {
+  EXPECT_THROW(parse_json("\"\\ud83d\""), Error);        // unpaired high
+  EXPECT_THROW(parse_json("\"\\ud83d x\""), Error);      // high + literal
+  EXPECT_THROW(parse_json("\"\\ud83d\\u0041\""), Error); // high + non-low
+  EXPECT_THROW(parse_json("\"\\ude00\""), Error);        // lone low
+  EXPECT_THROW(parse_json("\"\\ud83d\\u12g4\""), Error); // bad hex digit
 }
 
 // -------------------------------------------------------------- metrics ----
@@ -201,6 +223,21 @@ TEST(Metrics, LabeledNameFormat) {
   EXPECT_EQ(obs::labeled("base", {}), "base");
 }
 
+TEST(Metrics, HistogramPercentilesExtraction) {
+  obs::Histogram h;
+  // 90 fast observations around 1ms, 10 slow around 1s: p50 must sit in
+  // the fast bucket, p99 in the slow one (within the sqrt(2) tolerance).
+  for (int i = 0; i < 90; ++i) h.observe(1e-3);
+  for (int i = 0; i < 10; ++i) h.observe(1.0);
+  const obs::Histogram::Percentiles p = h.snapshot().percentiles();
+  EXPECT_GT(p.p50, 1e-3 / std::sqrt(2.0));
+  EXPECT_LT(p.p50, 1e-3 * std::sqrt(2.0));
+  EXPECT_GT(p.p99, 1.0 / std::sqrt(2.0));
+  EXPECT_LE(p.p99, 1.0 * std::sqrt(2.0));
+  EXPECT_LE(p.p50, p.p90);
+  EXPECT_LE(p.p90, p.p99);
+}
+
 TEST(Metrics, SnapshotJsonParsesBack) {
   obs::MetricsRegistry reg;
   reg.counter("pil.test.count").add(3);
@@ -215,8 +252,19 @@ TEST(Metrics, SnapshotJsonParsesBack) {
   const JsonValue& hist = v.at("histograms").at("pil.test.hist");
   EXPECT_EQ(hist.at("count").num_v, 1);
   EXPECT_DOUBLE_EQ(hist.at("sum").num_v, 0.25);
-  ASSERT_EQ(hist.at("buckets").items.size(), 1u);  // nonzero buckets only
-  EXPECT_DOUBLE_EQ(hist.at("buckets").items[0].items[0].num_v, 0.25);
+  EXPECT_GT(hist.at("p50").num_v, 0.0);
+  // Percentiles replaced the raw bucket dump in the default emission ...
+  EXPECT_EQ(hist.find("buckets"), nullptr);
+
+  // ... but the buckets are still available on request.
+  std::ostringstream os2;
+  JsonWriter w2(os2);
+  reg.snapshot().write_json(w2, /*include_buckets=*/true);
+  const JsonValue v2 = parse_json(os2.str());
+  const JsonValue& buckets =
+      v2.at("histograms").at("pil.test.hist").at("buckets");
+  ASSERT_EQ(buckets.items.size(), 1u);  // nonzero buckets only
+  EXPECT_DOUBLE_EQ(buckets.items[0].items[0].num_v, 0.25);
 }
 
 TEST(Metrics, GlobalEnableSwitch) {
@@ -392,11 +440,19 @@ TEST(FlowDeterminism, IdenticalWithInstrumentationAndThreads) {
   obs::set_metrics_enabled(true);
   obs::TraceSession session;
   obs::set_trace_session(&session);
-  const pilfill::FlowResult instrumented =
-      pilfill::run_pil_fill_flow(l, small_config(4), methods);
+  obs::ProfSample prof_sample;
+  pilfill::FlowResult instrumented;
+  {
+    // The profiler only *observes* (perf fds + timestamps); running the
+    // flow inside a ProfScope must not perturb solver outputs.
+    obs::ProfScope prof;
+    instrumented = pilfill::run_pil_fill_flow(l, small_config(4), methods);
+    prof_sample = prof.stop();
+  }
   obs::set_trace_session(nullptr);
   obs::set_metrics_enabled(false);
   EXPECT_GT(session.num_events(), 0u);
+  EXPECT_GT(prof_sample.wall_seconds, 0.0);
 
   ASSERT_EQ(base.methods.size(), instrumented.methods.size());
   for (std::size_t i = 0; i < base.methods.size(); ++i) {
