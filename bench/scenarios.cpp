@@ -87,6 +87,18 @@ void register_builtin_scenarios(Registry& r) {
   r.add(flow_scenario("flow.t2.w32.r2.ilp2",
                       "full flow, ILP-II, T2 W=32 r=2", t2, flow_config(32, 2),
                       Method::kIlp2));
+  {
+    // Same T2 workload with deadlines armed but never firing (1 h budgets):
+    // compare against flow.t2.w32.r2.ilp2 to measure the cost of deadline
+    // polling in the simplex/B&B hot loops. Expected to be in the noise.
+    FlowConfig config = flow_config(32, 2);
+    config.tile_deadline_seconds = 3600;
+    config.flow_deadline_seconds = 3600;
+    r.add(flow_scenario("flow.t2.w32.r2.ilp2.deadline",
+                        "full flow, ILP-II, T2 W=32 r=2, 1h deadlines armed "
+                        "(polling overhead probe)",
+                        t2, config, Method::kIlp2));
+  }
   r.add(flow_scenario(
       "flow.t1.w32.r2.ilp2.weighted",
       "full flow, ILP-II, T1 W=32 r=2, sink-weighted objective", t1,

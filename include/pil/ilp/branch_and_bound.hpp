@@ -21,6 +21,10 @@ struct IlpOptions {
   int max_nodes = 200000;    ///< search-node budget
   /// Stop when bound and incumbent agree to this absolute gap.
   double abs_gap = 1e-9;
+  /// Optional wall-clock budget, checked before every node; also forwarded
+  /// to the per-node LP solves unless `lp.deadline` is already set. Not
+  /// owned; must outlive the solve. Null = unlimited.
+  const util::Deadline* deadline = nullptr;
 };
 
 enum class IlpStatus {
@@ -28,7 +32,8 @@ enum class IlpStatus {
   kInfeasible,
   kNodeLimit,   ///< best incumbent returned, optimality not proven
   kUnbounded,
-  kError,       ///< LP solver failed (iteration limit)
+  kError,       ///< LP solver failed (see IlpSolution::lp_status)
+  kDeadline,    ///< wall-clock budget expired; best incumbent (if any) kept
 };
 
 const char* to_string(IlpStatus s);
@@ -47,6 +52,12 @@ struct IlpSolution {
   /// kNodeLimit it is the smallest bound among unexplored nodes, so
   /// objective - best_bound is the residual optimality gap.
   double best_bound = 0.0;
+
+  /// Underlying LP outcome when the search ends abnormally: on kError this
+  /// names the simplex failure that aborted the node (e.g. kIterLimit); on
+  /// kDeadline it is kDeadline when the budget expired inside an LP solve
+  /// rather than between nodes. kOptimal otherwise.
+  lp::SolveStatus lp_status = lp::SolveStatus::kOptimal;
 
   /// Absolute optimality gap (0 when proven optimal; meaningful with an
   /// incumbent, i.e. kOptimal or kNodeLimit with non-empty x).

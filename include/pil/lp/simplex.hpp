@@ -11,10 +11,17 @@
 #include <vector>
 
 #include "pil/lp/problem.hpp"
+#include "pil/util/deadline.hpp"
 
 namespace pil::lp {
 
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+  kDeadline  ///< wall-clock budget expired (see SimplexOptions::deadline)
+};
 
 const char* to_string(SolveStatus s);
 
@@ -24,6 +31,9 @@ struct SimplexOptions {
   double feas_tol = 1e-7;       ///< feasibility tolerance
   int refactor_interval = 64;   ///< recompute x_B from scratch this often
   int degenerate_switch = 40;   ///< consecutive degenerate pivots before Bland
+  /// Optional wall-clock budget, polled every 64 pivots; null = unlimited.
+  /// Not owned; must outlive the solve.
+  const util::Deadline* deadline = nullptr;
 };
 
 struct LpSolution {

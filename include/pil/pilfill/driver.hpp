@@ -59,6 +59,25 @@ struct FlowConfig {
   /// Worker threads for the per-tile solves (tiles are independent);
   /// results are deterministic regardless of the thread count.
   int threads = 1;
+  // ---- robustness policy (see docs/ROBUSTNESS.md) ----
+  /// Wall-clock budget per tile solve in seconds; 0 = unlimited. ILP tiles
+  /// that blow the budget keep their incumbent or fall down the
+  /// degradation ladder (ILP -> Greedy -> Normal).
+  double tile_deadline_seconds = 0.0;
+  /// Wall-clock budget for a whole solve in seconds; 0 = unlimited. For a
+  /// FillSession the clock starts at each solve() call. Once expired,
+  /// remaining tiles are served by the ladder's cheap end.
+  double flow_deadline_seconds = 0.0;
+  /// Serve tiles whose primary method failed (deadline, node limit, ILP
+  /// error, exception) from the degradation ladder instead of leaving them
+  /// empty. Disable to surface failures as empty tiles (tiles_failed).
+  bool degrade_on_failure = true;
+  /// Abort the whole solve with pil::Error at the first tile failure
+  /// instead of recording it and continuing.
+  bool fail_fast = false;
+  /// Fault-injection plan armed for the run (util::FaultPlan::parse
+  /// syntax, e.g. "tile_solve:throw:0.1"); empty = none. Test/CI hook.
+  std::string fault_spec;
 
   /// Check the layout-independent parts of the config (positive window,
   /// r >= 1, fill rules, switch factor, criticality range, non-negative
@@ -108,10 +127,17 @@ struct MethodResult {
   /// Tiles whose integer program hit the node budget; their (unproven)
   /// incumbents were used. Distinct from shortfall: the requirement was met.
   long long tiles_node_limit = 0;
-  /// Tiles whose integer program failed outright (LP iteration limit or
-  /// infeasibility); they placed nothing, so their requirement *is* part of
-  /// the shortfall -- but no longer silently.
-  long long tiles_error = 0;
+  /// Tiles the primary method could not serve directly but that still got
+  /// a placement -- from a degradation-ladder step or the primary's
+  /// unproven incumbent after a deadline. Each has an entry in `failures`.
+  long long tiles_degraded = 0;
+  /// Tiles that ended with no placement at all (ladder disabled or
+  /// exhausted); their requirement *is* part of the shortfall -- but no
+  /// longer silently. Each has an entry in `failures`.
+  long long tiles_failed = 0;
+  /// Structured record of every tile behind tiles_degraded/tiles_failed
+  /// (reason, ladder step that served it, underlying ILP/LP statuses).
+  std::vector<TileFailure> failures;
   /// Worst residual optimality gap among node-limited tiles.
   double max_ilp_gap = 0.0;
   grid::DensityStats density_after;

@@ -16,11 +16,14 @@
 ///                because the column cost is convex in the feature count.
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "pil/cap/coupling.hpp"
 #include "pil/fill/rules.hpp"
 #include "pil/ilp/branch_and_bound.hpp"
 #include "pil/pilfill/instance.hpp"
+#include "pil/util/deadline.hpp"
 #include "pil/util/rng.hpp"
 
 namespace pil::pilfill {
@@ -32,6 +35,36 @@ const char* to_string(Method m);
 /// Which resistance factor the solver optimizes (Table 1 vs Table 2).
 enum class Objective { kNonWeighted, kWeighted };
 
+/// Why a tile's primary method could not serve it directly (the structured
+/// taxonomy behind MethodResult::failures; replaces the old bare
+/// `tiles_error` count).
+enum class FailureReason {
+  kTileDeadline,   ///< per-tile wall-clock budget expired
+  kFlowDeadline,   ///< whole-flow wall-clock budget expired
+  kNodeLimit,      ///< B&B node budget exhausted without an incumbent
+  kIlpError,       ///< ILP ended kError/kInfeasible/kUnbounded (see lp_status)
+  kInjectedFault,  ///< a fault-injection site fired (util::InjectedFault)
+  kException,      ///< any other exception escaped the solver
+};
+
+const char* to_string(FailureReason r);
+
+/// One tile that its primary method could not serve directly. `served_by`
+/// names the degradation-ladder step that produced the placement actually
+/// used (== `method` when the primary's unproven incumbent was kept, see
+/// `used_incumbent`; a failed tile that placed nothing reports the last
+/// ladder step attempted).
+struct TileFailure {
+  int tile = -1;                  ///< flat tile index
+  Method method = Method::kNormal;     ///< method originally requested
+  Method served_by = Method::kNormal;  ///< ladder step that served the tile
+  FailureReason reason = FailureReason::kException;
+  ilp::IlpStatus ilp_status = ilp::IlpStatus::kOptimal;   ///< primary's ILP exit
+  lp::SolveStatus lp_status = lp::SolveStatus::kOptimal;  ///< underlying simplex exit
+  bool used_incumbent = false;  ///< primary's partial incumbent was kept
+  std::string detail;           ///< human-readable context (e.g. what())
+};
+
 struct TileSolveResult {
   std::vector<int> counts;  ///< features per instance column
   int placed = 0;
@@ -40,14 +73,20 @@ struct TileSolveResult {
   // Solver internals (ILP methods; zero for Normal/Greedy/Convex).
   long long lp_solves = 0;           ///< LP relaxations solved
   long long simplex_iterations = 0;  ///< simplex iterations over those solves
-  double ilp_gap = 0.0;              ///< residual optimality gap (kNodeLimit)
+  double ilp_gap = 0.0;              ///< residual gap (kNodeLimit/kDeadline)
   /// Outcome of the tile's integer program. Non-ILP methods report
-  /// kOptimal. kNodeLimit means the incumbent was used unproven; kError /
-  /// kInfeasible mean no usable solution -- the tile places nothing and the
-  /// requirement shows up as shortfall. The driver aggregates these into
-  /// MethodResult::tiles_node_limit / tiles_error rather than folding them
-  /// silently into the shortfall.
+  /// kOptimal. kNodeLimit/kDeadline mean the incumbent was used unproven;
+  /// kError / kInfeasible mean no usable solution -- the tile places
+  /// nothing and the requirement shows up as shortfall. The driver
+  /// aggregates these into MethodResult::tiles_node_limit /
+  /// tiles_degraded / tiles_failed rather than folding them silently into
+  /// the shortfall.
   ilp::IlpStatus ilp_status = ilp::IlpStatus::kOptimal;
+  /// Simplex status behind an abnormal ilp_status (kOptimal otherwise).
+  lp::SolveStatus lp_status = lp::SolveStatus::kOptimal;
+  /// Set by solve_tile_guarded when the primary method could not serve the
+  /// tile directly; describes the reason and which ladder step did.
+  std::optional<TileFailure> failure;
 };
 
 struct SolverContext {
@@ -64,6 +103,16 @@ struct SolverContext {
   /// Miller switch factor applied to coupling increments (Kahng-Muddu-Sarto
   /// style worst-case switching); scales all costs uniformly.
   double switch_factor = 1.0;
+  // ---- robustness policy (used by solve_tile_guarded) ----
+  /// Whole-flow wall-clock budget shared by every tile; null = unlimited.
+  /// Not owned; must outlive the solve.
+  const util::Deadline* flow_deadline = nullptr;
+  /// Per-tile wall-clock budget in seconds; 0 = unlimited.
+  double tile_deadline_seconds = 0.0;
+  /// When the primary method cannot serve a tile, walk the degradation
+  /// ladder (ILP-II/ILP-I/Convex -> Greedy -> Normal) instead of leaving
+  /// the tile empty.
+  bool degrade_on_failure = true;
 };
 
 /// Total delay-relevant capacitance cost of a column holding n features
@@ -88,5 +137,17 @@ TileSolveResult solve_tile_convex(const TileInstance& inst,
 /// Dispatch by method. `rng` is only used by kNormal.
 TileSolveResult solve_tile(Method method, const TileInstance& inst,
                            const SolverContext& ctx, Rng& rng);
+
+/// Robust dispatch: applies the context's wall-clock budgets (the tile
+/// budget clipped by the flow deadline), evaluates the `tile_solve` fault
+/// site, contains any exception the solver throws, and -- when the primary
+/// method cannot serve the tile and `ctx.degrade_on_failure` is set --
+/// walks the degradation ladder. Every non-direct outcome is recorded in
+/// `result.failure`; the function itself never throws (ladder exhaustion
+/// yields an empty placement with the requirement as shortfall). With no
+/// budgets or faults configured this is a single branch on top of
+/// solve_tile().
+TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
+                                   const SolverContext& ctx, Rng& rng);
 
 }  // namespace pil::pilfill

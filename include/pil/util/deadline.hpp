@@ -1,0 +1,118 @@
+#pragma once
+/// \file deadline.hpp
+/// Wall-clock budgets and cooperative cancellation for the solve stack.
+///
+/// A Deadline is a steady-clock point in time plus a shared cancellation
+/// flag. Long-running loops (simplex pivots, branch-and-bound nodes, the
+/// per-tile worker pool) poll expired() and stop gracefully -- returning
+/// their best partial result with a distinct "deadline" status -- instead
+/// of running to an iteration/node cap or forever. Copies of a Deadline
+/// share the cancellation flag, so one copy handed to a worker acts as a
+/// cancellation token for the original holder.
+///
+/// expired() costs one relaxed atomic load plus (when a time limit is set)
+/// one steady_clock read, so hot loops poll it on a stride (see
+/// DeadlinePoller) and the disarmed configuration stays zero-cost: every
+/// solver treats a null `const Deadline*` as "no budget" and skips the
+/// check entirely.
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace pil::util {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No time limit; expires only if cancel()ed.
+  Deadline() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Expires `seconds` from now. seconds <= 0 constructs an
+  /// already-expired deadline (a zero budget buys zero work).
+  static Deadline after(double seconds) {
+    return at(Clock::now() +
+              std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(seconds < 0 ? 0 : seconds)));
+  }
+
+  /// Expires at the given steady-clock point.
+  static Deadline at(Clock::time_point when) {
+    Deadline d;
+    d.when_ = when;
+    d.limited_ = true;
+    return d;
+  }
+
+  /// The earlier of two deadlines (e.g. per-tile budget clipped by the
+  /// whole-flow budget). The result shares `a`'s cancellation flag and is
+  /// additionally cancelled when `b` is already cancelled.
+  static Deadline sooner(const Deadline& a, const Deadline& b) {
+    Deadline d = a;
+    if (b.limited_ && (!d.limited_ || b.when_ < d.when_)) {
+      d.when_ = b.when_;
+      d.limited_ = true;
+    }
+    if (b.cancelled()) {
+      // Expire the result alone: cancelling through d would flip the flag
+      // it shares with `a`, retroactively cancelling the input.
+      d.cancelled_ = std::make_shared<std::atomic<bool>>(true);
+    }
+    return d;
+  }
+
+  bool has_time_limit() const { return limited_; }
+
+  /// Request cooperative cancellation; visible to every copy. Safe to call
+  /// from another thread.
+  void cancel() const { cancelled_->store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+  /// True once the time limit passed or cancel() was called.
+  bool expired() const {
+    if (cancelled()) return true;
+    return limited_ && Clock::now() >= when_;
+  }
+
+  /// Seconds until expiry: 0 when expired, +infinity when unlimited.
+  double remaining_seconds() const {
+    if (cancelled()) return 0.0;
+    if (!limited_) return std::numeric_limits<double>::infinity();
+    const double s =
+        std::chrono::duration<double>(when_ - Clock::now()).count();
+    return s > 0 ? s : 0.0;
+  }
+
+ private:
+  Clock::time_point when_{};
+  bool limited_ = false;
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// Strided deadline poll for hot loops: reads the clock only once every
+/// `kStride` calls, so the per-iteration cost is one branch and one
+/// increment. A null deadline never expires.
+class DeadlinePoller {
+ public:
+  explicit DeadlinePoller(const Deadline* deadline) : deadline_(deadline) {}
+
+  /// True once the underlying deadline expired; checks the clock on the
+  /// first call and then once per stride.
+  bool expired() {
+    if (deadline_ == nullptr) return false;
+    if ((count_++ & (kStride - 1)) != 0) return false;
+    return deadline_->expired();
+  }
+
+ private:
+  static constexpr unsigned kStride = 64;
+  const Deadline* deadline_;
+  unsigned count_ = 0;
+};
+
+}  // namespace pil::util

@@ -1,0 +1,120 @@
+#pragma once
+/// \file fault.hpp
+/// Deterministic fault injection for robustness testing.
+///
+/// A FaultPlan maps named sites in the solve stack to an action (throw an
+/// InjectedFault, or sleep for a fixed delay) that fires with a given
+/// probability. "Probability" is deterministic, not sampled: the decision
+/// for a site is a pure hash of (plan seed, site, caller-supplied key), so
+/// the same plan over the same workload always faults the same tiles /
+/// pivots / nodes regardless of thread count or wall clock. That makes the
+/// failure paths exercised by the plan reproducible in CI.
+///
+/// Sites (see FaultSite): tile_solve, lp_pivot, bb_node, session_edit.
+///
+/// Arming: either programmatically (set_fault_plan) or from the
+/// environment via arm_faults_from_env(), which reads
+///   PIL_FAULT=site:action:probability[:delay_ms][,site:action:...]
+///   PIL_FAULT_SEED=<uint64>   (optional, default 0)
+/// e.g. PIL_FAULT=tile_solve:throw:0.1 or PIL_FAULT=lp_pivot:delay:1:5.
+///
+/// The disarmed fast path is one relaxed atomic load in maybe_fault(); no
+/// plan ever allocates or locks at decision time.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pil/util/error.hpp"
+
+namespace pil::util {
+
+/// Named injection points threaded through the solve stack.
+enum class FaultSite : int {
+  kTileSolve = 0,   ///< entry of a per-tile solve (key = flat tile index)
+  kLpPivot = 1,     ///< each simplex iteration (key = iteration number)
+  kBbNode = 2,      ///< each branch-and-bound node (key = nodes explored)
+  kSessionEdit = 3  ///< mid FillSession::apply_edit (key = edit ordinal)
+};
+inline constexpr int kFaultSiteCount = 4;
+
+const char* to_string(FaultSite site);
+
+/// What an armed site does when its hash fires.
+enum class FaultAction { kThrow, kDelay };
+
+const char* to_string(FaultAction action);
+
+/// Thrown by an armed kThrow site. Derives from pil::Error so existing
+/// containment/rollback paths treat it like any runtime failure; tests can
+/// still catch it specifically.
+class InjectedFault : public Error {
+ public:
+  InjectedFault(FaultSite site, std::uint64_t key);
+  FaultSite site() const { return site_; }
+  std::uint64_t key() const { return key_; }
+
+ private:
+  FaultSite site_;
+  std::uint64_t key_;
+};
+
+/// One site's behaviour within a plan.
+struct FaultRule {
+  bool armed = false;
+  FaultAction action = FaultAction::kThrow;
+  double probability = 0.0;    ///< in [0, 1]
+  double delay_seconds = 0.0;  ///< only for kDelay
+};
+
+/// Immutable description of which sites fault and how.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parse "site:action:probability[:delay_ms]" clauses separated by
+  /// commas. Throws pil::Error on malformed specs, unknown sites/actions,
+  /// or probabilities outside [0, 1]. The empty string yields an empty
+  /// (disarmed) plan.
+  static FaultPlan parse(std::string_view spec, std::uint64_t seed = 0);
+
+  FaultPlan& arm(FaultSite site, FaultAction action, double probability,
+                 double delay_seconds = 0.0);
+
+  bool empty() const;
+  const FaultRule& rule(FaultSite site) const {
+    return rules_[static_cast<int>(site)];
+  }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Deterministic decision: does `site` fire for `key` under this plan?
+  bool fires(FaultSite site, std::uint64_t key) const;
+
+ private:
+  std::array<FaultRule, kFaultSiteCount> rules_{};
+  std::uint64_t seed_ = 0;
+};
+
+/// Install `plan` as the process-wide active plan (replacing any previous
+/// one). Thread-safe with respect to concurrent maybe_fault() calls, but
+/// arming/clearing is expected to happen while no solve is in flight.
+void set_fault_plan(const FaultPlan& plan);
+
+/// Disarm all sites.
+void clear_fault_plan();
+
+/// True when any site is armed (one relaxed atomic load).
+bool faults_armed();
+
+/// Evaluate the active plan at `site` for `key`: throws InjectedFault or
+/// sleeps per the armed rule, or returns immediately when disarmed (the
+/// common case -- a single relaxed atomic load).
+void maybe_fault(FaultSite site, std::uint64_t key);
+
+/// Arm from PIL_FAULT / PIL_FAULT_SEED if set; otherwise leave the current
+/// plan untouched. Returns true when a plan was armed. Intended for tool
+/// entry points (CLIs), not library code.
+bool arm_faults_from_env();
+
+}  // namespace pil::util

@@ -5,6 +5,7 @@
 #include <memory>
 #include <queue>
 
+#include "pil/util/fault.hpp"
 #include "pil/util/log.hpp"
 
 namespace pil::ilp {
@@ -52,6 +53,7 @@ const char* to_string(IlpStatus s) {
     case IlpStatus::kNodeLimit: return "node-limit";
     case IlpStatus::kUnbounded: return "unbounded";
     case IlpStatus::kError: return "error";
+    case IlpStatus::kDeadline: return "deadline";
   }
   return "?";
 }
@@ -71,6 +73,13 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
   best.status = IlpStatus::kInfeasible;
   double incumbent = lp::kInf;
   bool node_limit_hit = false;
+  bool deadline_hit = false;
+
+  // Forward the wall-clock budget into the per-node LP solves so a single
+  // long relaxation cannot overshoot the budget by its full runtime.
+  lp::SimplexOptions lp_opt = options.lp;
+  if (lp_opt.deadline == nullptr) lp_opt.deadline = options.deadline;
+  const bool faulty = util::faults_armed();
 
   // The problem is copied once per LP solve with node bounds applied. The
   // LpProblem is cheap to copy for our sizes; correctness over cleverness.
@@ -85,6 +94,13 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
       node_limit_hit = true;
       break;
     }
+    if (options.deadline != nullptr && options.deadline->expired()) {
+      deadline_hit = true;
+      break;
+    }
+    if (faulty)
+      util::maybe_fault(util::FaultSite::kBbNode,
+                        static_cast<std::uint64_t>(explored));
     const std::shared_ptr<Node> node = open.top();
     open.pop();
     if (node->bound >= incumbent - options.abs_gap) continue;  // pruned
@@ -106,9 +122,16 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
     }
     if (empty_interval) continue;  // branch emptied a variable's interval
 
-    const lp::LpSolution rel = lp::solve_lp(sub, options.lp);
+    const lp::LpSolution rel = lp::solve_lp(sub, lp_opt);
     ++best.lp_solves;
     best.lp_iterations += rel.iterations;
+    if (rel.status == lp::SolveStatus::kDeadline) {
+      // Budget ran out mid-relaxation: keep the incumbent found so far and
+      // finish as a deadline exit rather than an error.
+      best.lp_status = rel.status;
+      deadline_hit = true;
+      break;
+    }
     if (rel.status == lp::SolveStatus::kInfeasible) continue;
     if (rel.status == lp::SolveStatus::kUnbounded) {
       // An unbounded relaxation at the root means the MILP is unbounded or
@@ -119,6 +142,8 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
     }
     if (rel.status == lp::SolveStatus::kIterLimit) {
       best.status = IlpStatus::kError;
+      best.lp_status = rel.status;
+      best.nodes_explored = explored;
       return best;
     }
     if (rel.objective >= incumbent - options.abs_gap) continue;
@@ -150,15 +175,19 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
   }
 
   best.nodes_explored = explored;
-  if (best.status == IlpStatus::kOptimal && node_limit_hit)
-    best.status = IlpStatus::kNodeLimit;
-  if (best.status == IlpStatus::kInfeasible && node_limit_hit)
-    best.status = IlpStatus::kNodeLimit;
+  // A truncated search (node budget or wall clock) demotes the provisional
+  // status: the incumbent, if any, is kept but optimality is not proven.
+  if (node_limit_hit || deadline_hit) {
+    if (best.status == IlpStatus::kOptimal ||
+        best.status == IlpStatus::kInfeasible)
+      best.status = deadline_hit ? IlpStatus::kDeadline
+                                 : IlpStatus::kNodeLimit;
+  }
   // Final bound: with the search exhausted the incumbent is proven; when
-  // the node budget cut the search off, the best open node bounds what an
+  // the budget cut the search off, the best open node bounds what an
   // exhaustive search could still improve.
   best.best_bound = best.objective;
-  if (node_limit_hit && !open.empty())
+  if ((node_limit_hit || deadline_hit) && !open.empty())
     best.best_bound = std::min(best.objective, open.top()->bound);
   return best;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "pil/util/fault.hpp"
 #include "pil/util/log.hpp"
 
 namespace pil::lp {
@@ -30,7 +31,7 @@ class Simplex {
       set_phase1_costs();
       const SolveStatus s1 = iterate(sol.iterations);
       sol.phase1_iterations = sol.iterations;
-      if (s1 == SolveStatus::kIterLimit) {
+      if (s1 == SolveStatus::kIterLimit || s1 == SolveStatus::kDeadline) {
         sol.status = s1;
         sol.bound_flips = bound_flips_;
         return sol;
@@ -219,8 +220,17 @@ class Simplex {
     // registers); they flush once at the single exit point below.
     int flips = 0;
     SolveStatus result = SolveStatus::kIterLimit;
+    util::DeadlinePoller deadline(opt_.deadline);
+    const bool faulty = util::faults_armed();
     int iter = 0;
     for (; iter < opt_.max_iterations; ++iter) {
+      if (deadline.expired()) {
+        result = SolveStatus::kDeadline;
+        break;
+      }
+      if (faulty)
+        util::maybe_fault(util::FaultSite::kLpPivot,
+                          static_cast<std::uint64_t>(iter));
       const bool bland = degenerate_run >= opt_.degenerate_switch;
       btran(y);
 
@@ -380,6 +390,7 @@ const char* to_string(SolveStatus s) {
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kUnbounded: return "unbounded";
     case SolveStatus::kIterLimit: return "iteration-limit";
+    case SolveStatus::kDeadline: return "deadline";
   }
   return "?";
 }

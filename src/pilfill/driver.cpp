@@ -31,6 +31,14 @@ void FlowConfig::validate() const {
                 "net_criticality values must be finite and non-negative");
   for (const int f : required_per_tile)
     PIL_REQUIRE(f >= 0, "negative fill requirement");
+  PIL_REQUIRE(std::isfinite(tile_deadline_seconds) &&
+                  tile_deadline_seconds >= 0,
+              "tile_deadline_seconds must be finite and non-negative");
+  PIL_REQUIRE(std::isfinite(flow_deadline_seconds) &&
+                  flow_deadline_seconds >= 0,
+              "flow_deadline_seconds must be finite and non-negative");
+  if (!fault_spec.empty())
+    util::FaultPlan::parse(fault_spec);  // throws on a malformed spec
 }
 
 void FlowConfig::validate(const layout::Layout& layout,

@@ -15,6 +15,8 @@
 #include "pil/obs/metrics.hpp"
 #include "pil/obs/trace.hpp"
 #include "pil/pilfill/driver.hpp"
+#include "pil/util/deadline.hpp"
+#include "pil/util/fault.hpp"
 #include "pil/util/rng.hpp"
 #include "pil/util/stopwatch.hpp"
 
@@ -36,7 +38,9 @@ inline void require_methods_supported(const FlowConfig& config,
 
 inline SolverContext make_context(const FlowConfig& config,
                                   const cap::CouplingModel& model,
-                                  cap::ColumnCapLut& lut) {
+                                  cap::ColumnCapLut& lut,
+                                  const util::Deadline* flow_deadline =
+                                      nullptr) {
   SolverContext ctx;
   ctx.model = &model;
   ctx.lut = &lut;
@@ -45,6 +49,9 @@ inline SolverContext make_context(const FlowConfig& config,
   ctx.ilp = config.ilp;
   ctx.style = config.style;
   ctx.switch_factor = config.switch_factor;
+  ctx.flow_deadline = flow_deadline;
+  ctx.tile_deadline_seconds = config.tile_deadline_seconds;
+  ctx.degrade_on_failure = config.degrade_on_failure;
   return ctx;
 }
 
@@ -75,7 +82,11 @@ inline void append_rects(const TileInstance& inst,
   }
 }
 
-/// Fold one tile's solver internals into the method aggregate.
+/// Fold one tile's solver internals into the method aggregate. A tile
+/// carrying a failure record went through the degradation ladder (or kept
+/// an unproven incumbent past a deadline): it counts as degraded when it
+/// still produced a placement and failed when it placed nothing while
+/// something was required.
 inline void accumulate_tile_stats(const TileSolveResult& tile,
                                   MethodResult& mr) {
   mr.placed += tile.placed;
@@ -83,6 +94,14 @@ inline void accumulate_tile_stats(const TileSolveResult& tile,
   mr.bb_nodes += tile.bb_nodes;
   mr.lp_solves += tile.lp_solves;
   mr.simplex_iterations += tile.simplex_iterations;
+  if (tile.failure.has_value()) {
+    if (tile.placed > 0 || tile.shortfall == 0)
+      ++mr.tiles_degraded;
+    else
+      ++mr.tiles_failed;
+    mr.failures.push_back(*tile.failure);
+    return;
+  }
   switch (tile.ilp_status) {
     case ilp::IlpStatus::kOptimal:
       break;
@@ -91,7 +110,10 @@ inline void accumulate_tile_stats(const TileSolveResult& tile,
       mr.max_ilp_gap = std::max(mr.max_ilp_gap, tile.ilp_gap);
       break;
     default:
-      ++mr.tiles_error;
+      // solve_tile_guarded converts abnormal exits into failure records;
+      // a bare abnormal status can only come from a direct solve_tile
+      // call. Count it as a failed tile without a structured record.
+      ++mr.tiles_failed;
       break;
   }
 }
@@ -115,7 +137,12 @@ inline void publish_method_metrics(const MethodResult& mr,
   reg.counter(name("pil.ilp.lp_solves")).add(mr.lp_solves);
   reg.counter(name("pil.lp.simplex_iterations")).add(mr.simplex_iterations);
   reg.counter(name("pilfill.tiles_node_limit")).add(mr.tiles_node_limit);
-  reg.counter(name("pilfill.tiles_error")).add(mr.tiles_error);
+  reg.counter(name("pilfill.tiles_degraded")).add(mr.tiles_degraded);
+  reg.counter(name("pilfill.tiles_failed")).add(mr.tiles_failed);
+  for (const TileFailure& f : mr.failures)
+    reg.counter(obs::labeled("pilfill.tile_failures",
+                             {{"method", m}, {"reason", to_string(f.reason)}}))
+        .add(1);
   reg.gauge(name("pilfill.solve_seconds")).add(mr.solve_seconds);
   reg.gauge(name("pilfill.eval_seconds")).add(mr.eval_seconds);
 }
@@ -126,6 +153,14 @@ inline void publish_method_metrics(const MethodResult& mr,
 /// `todo`. The thread count is clamped to the work size; with more than one
 /// worker each owns a private ColumnCapLut (the cache is not thread-safe),
 /// while the single-thread path reuses the caller's shared LUT via `ctx`.
+///
+/// Fault containment: every tile runs through solve_tile_guarded, and the
+/// worker body adds a belt-and-braces catch so no exception can escape a
+/// pool thread (which would std::terminate the process). With
+/// `config.fail_fast` set, the first tile failure cancels the remaining
+/// work and the pool rethrows it as pil::Error after joining --
+/// deterministically reporting the lowest-indexed failed tile, regardless
+/// of which worker hit a failure first.
 inline std::vector<TileSolveResult> solve_instances_parallel(
     Method method, const std::vector<const TileInstance*>& todo,
     const SolverContext& ctx, const cap::CouplingModel& model,
@@ -137,6 +172,7 @@ inline std::vector<TileSolveResult> solve_instances_parallel(
   std::vector<TileSolveResult> solved(todo.size());
   const int threads = std::clamp(
       config.threads, 1, std::max(1, static_cast<int>(todo.size())));
+  std::atomic<bool> abort{false};
   auto solve_range = [&](SolverContext local_ctx, std::atomic<size_t>& next,
                          int worker) {
     // Hot-path handles resolved once per worker: recording a tile's solve
@@ -151,21 +187,40 @@ inline std::vector<TileSolveResult> solve_instances_parallel(
     const bool tracing = obs::trace_session() != nullptr;
     for (std::size_t i = next.fetch_add(1); i < todo.size();
          i = next.fetch_add(1)) {
+      if (config.fail_fast && abort.load(std::memory_order_relaxed)) break;
       Rng rng(method_salt ^
               (static_cast<std::uint64_t>(todo[i]->tile_flat) *
                0x9E3779B97F4A7C15ull));
-      if (hist || tracing) {
-        obs::TraceSpan span(
-            "tile_solve",
-            tracing ? "{\"tile\":" + std::to_string(todo[i]->tile_flat) +
-                          ",\"method\":\"" + to_string(method) + "\"}"
-                    : std::string());
-        Stopwatch tile_watch;
-        solved[i] = solve_tile(method, *todo[i], local_ctx, rng);
-        if (hist) hist->observe(tile_watch.seconds());
-      } else {
-        solved[i] = solve_tile(method, *todo[i], local_ctx, rng);
+      try {
+        if (hist || tracing) {
+          obs::TraceSpan span(
+              "tile_solve",
+              tracing ? "{\"tile\":" + std::to_string(todo[i]->tile_flat) +
+                            ",\"method\":\"" + to_string(method) + "\"}"
+                      : std::string());
+          Stopwatch tile_watch;
+          solved[i] = solve_tile_guarded(method, *todo[i], local_ctx, rng);
+          if (hist) hist->observe(tile_watch.seconds());
+        } else {
+          solved[i] = solve_tile_guarded(method, *todo[i], local_ctx, rng);
+        }
+      } catch (const std::exception& e) {
+        // solve_tile_guarded is documented not to throw; this is the last
+        // line of defense keeping a pool thread from std::terminate.
+        TileSolveResult& r = solved[i];
+        r.counts.assign(todo[i]->cols.size(), 0);
+        r.placed = 0;
+        r.shortfall = todo[i]->required;
+        TileFailure f;
+        f.tile = todo[i]->tile_flat;
+        f.method = method;
+        f.served_by = method;
+        f.reason = FailureReason::kException;
+        f.detail = e.what();
+        r.failure = f;
       }
+      if (config.fail_fast && solved[i].failure.has_value())
+        abort.store(true, std::memory_order_relaxed);
     }
   };
   if (threads <= 1) {
@@ -184,6 +239,16 @@ inline std::vector<TileSolveResult> solve_instances_parallel(
       pool.emplace_back(solve_range, local_ctx, std::ref(next), w);
     }
     for (auto& t : pool) t.join();
+  }
+  if (config.fail_fast) {
+    for (const TileSolveResult& r : solved) {
+      if (!r.failure.has_value()) continue;
+      const TileFailure& f = *r.failure;
+      throw Error(std::string("fail-fast: tile ") + std::to_string(f.tile) +
+                  " (" + to_string(f.method) + ") failed with " +
+                  to_string(f.reason) +
+                  (f.detail.empty() ? std::string() : " -- " + f.detail));
+    }
   }
   return solved;
 }

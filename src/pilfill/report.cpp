@@ -34,6 +34,11 @@ void write_config(obs::JsonWriter& w, const FlowConfig& c) {
   w.kv("fill_style",
        c.style == cap::FillStyle::kFloating ? "floating" : "grounded");
   w.kv("switch_factor", c.switch_factor);
+  w.kv("tile_deadline_seconds", c.tile_deadline_seconds);
+  w.kv("flow_deadline_seconds", c.flow_deadline_seconds);
+  w.kv("degrade_on_failure", c.degrade_on_failure);
+  w.kv("fail_fast", c.fail_fast);
+  if (!c.fault_spec.empty()) w.kv("fault_spec", c.fault_spec);
   w.key("rules");
   w.begin_object();
   w.kv("feature_um", c.rules.feature_um);
@@ -60,8 +65,26 @@ void write_method_result_json(obs::JsonWriter& w, const MethodResult& mr) {
   w.kv("lp_solves", mr.lp_solves);
   w.kv("simplex_iterations", mr.simplex_iterations);
   w.kv("tiles_node_limit", mr.tiles_node_limit);
-  w.kv("tiles_error", mr.tiles_error);
+  w.kv("tiles_degraded", mr.tiles_degraded);
+  w.kv("tiles_failed", mr.tiles_failed);
   w.kv("max_ilp_gap", mr.max_ilp_gap);
+  if (!mr.failures.empty()) {
+    w.key("failures");
+    w.begin_array();
+    for (const TileFailure& f : mr.failures) {
+      w.begin_object();
+      w.kv("tile", f.tile);
+      w.kv("method", to_string(f.method));
+      w.kv("served_by", to_string(f.served_by));
+      w.kv("reason", to_string(f.reason));
+      w.kv("ilp_status", ilp::to_string(f.ilp_status));
+      w.kv("lp_status", lp::to_string(f.lp_status));
+      w.kv("used_incumbent", f.used_incumbent);
+      if (!f.detail.empty()) w.kv("detail", f.detail);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("density_after");
   write_density_stats(w, mr.density_after);
   w.end_object();

@@ -85,13 +85,29 @@ bool targets_equal(const density::FillTargetResult& a,
          a.upper_bound_used == b.upper_bound_used;
 }
 
+bool failures_equal(const std::vector<TileFailure>& a,
+                    const std::vector<TileFailure>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].tile != b[i].tile || a[i].method != b[i].method ||
+        a[i].served_by != b[i].served_by || a[i].reason != b[i].reason ||
+        a[i].ilp_status != b[i].ilp_status ||
+        a[i].lp_status != b[i].lp_status ||
+        a[i].used_incumbent != b[i].used_incumbent)
+      return false;
+  return true;
+}
+
 bool methods_equal(const MethodResult& a, const MethodResult& b) {
   return a.method == b.method && impacts_equal(a.impact, b.impact) &&
          a.placed == b.placed && a.shortfall == b.shortfall &&
          a.bb_nodes == b.bb_nodes && a.lp_solves == b.lp_solves &&
          a.simplex_iterations == b.simplex_iterations &&
          a.tiles_node_limit == b.tiles_node_limit &&
-         a.tiles_error == b.tiles_error && a.max_ilp_gap == b.max_ilp_gap &&
+         a.tiles_degraded == b.tiles_degraded &&
+         a.tiles_failed == b.tiles_failed &&
+         failures_equal(a.failures, b.failures) &&
+         a.max_ilp_gap == b.max_ilp_gap &&
          stats_equal(a.density_after, b.density_after) &&
          a.placement.features_per_tile == b.placement.features_per_tile &&
          rects_equal(a.placement.features, b.placement.features);
@@ -196,6 +212,12 @@ struct FillSession::Impl {
   Impl(const layout::Layout& src, const FlowConfig& cfg)
       : layout(src), config(cfg) {
     config.validate(layout);
+    // Config-armed fault injection is process-global (like PIL_FAULT); a
+    // non-empty spec replaces the active plan, an empty one leaves any
+    // env-armed plan alone.
+    if (!config.fault_spec.empty())
+      util::set_fault_plan(util::FaultPlan::parse(config.fault_spec,
+                                                  config.seed));
     {
       obs::TraceSpan span("prep.dissection");
       ScopedTimer timer(stages.dissection);
@@ -279,7 +301,13 @@ struct FillSession::Impl {
     result.prep_seconds = prep_seconds;
     result.prep_stages = stages;
 
-    const SolverContext ctx = flow_detail::make_context(config, *model, *lut);
+    // The flow budget covers this solve() call: the clock starts here, and
+    // tiles solved after it expires are served by the degradation ladder.
+    std::optional<util::Deadline> flow_deadline;
+    if (config.flow_deadline_seconds > 0)
+      flow_deadline = util::Deadline::after(config.flow_deadline_seconds);
+    const SolverContext ctx = flow_detail::make_context(
+        config, *model, *lut, flow_deadline ? &*flow_deadline : nullptr);
 
     for (const Method method : methods) {
       obs::TraceSpan method_span(
@@ -344,11 +372,13 @@ struct FillSession::Impl {
                obs::labeled("pilfill.session.tiles_reused", {{"method", m}}))
             .add(reused);
       }
-      if (mr.tiles_node_limit > 0 || mr.tiles_error > 0)
+      if (mr.tiles_node_limit > 0 || mr.tiles_degraded > 0 ||
+          mr.tiles_failed > 0)
         PIL_WARN(to_string(method)
                  << ": " << mr.tiles_node_limit << " tile(s) hit the B&B node "
                  << "budget (worst gap " << mr.max_ilp_gap << "), "
-                 << mr.tiles_error << " tile(s) failed outright");
+                 << mr.tiles_degraded << " tile(s) served degraded, "
+                 << mr.tiles_failed << " tile(s) failed outright");
       PIL_INFO(to_string(method)
                << ": placed " << mr.placed << " (shortfall " << mr.shortfall
                << "), delay +" << mr.impact.delay_ps << " ps, weighted +"
@@ -444,6 +474,12 @@ struct FillSession::Impl {
 
     // -- 3. Rebuild the edited net's RC tree (the connectivity gate). ------
     try {
+      // The session_edit fault site sits inside the rollback scope so an
+      // injected throw exercises the strong guarantee: the layout mutation
+      // above must be undone before the exception escapes.
+      if (util::faults_armed())
+        util::maybe_fault(util::FaultSite::kSessionEdit,
+                          static_cast<std::uint64_t>(stats.edits));
       rctree::RcTree fresh = rctree::RcTree::build(layout, net);
       trees[net] = std::move(fresh);
     } catch (...) {

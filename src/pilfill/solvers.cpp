@@ -5,6 +5,7 @@
 #include <numeric>
 #include <queue>
 
+#include "pil/util/fault.hpp"
 #include "pil/util/log.hpp"
 
 namespace pil::pilfill {
@@ -35,11 +36,13 @@ int budget(const TileInstance& inst) {
   return std::min(inst.required, inst.capacity());
 }
 
-/// An incumbent exists for kOptimal, and for kNodeLimit when the search
-/// found one before the budget ran out (x left empty otherwise).
+/// An incumbent exists for kOptimal, and for kNodeLimit/kDeadline when the
+/// search found one before the budget ran out (x left empty otherwise).
 bool has_usable_solution(const ilp::IlpSolution& sol) {
   return sol.status == ilp::IlpStatus::kOptimal ||
-         (sol.status == ilp::IlpStatus::kNodeLimit && !sol.x.empty());
+         ((sol.status == ilp::IlpStatus::kNodeLimit ||
+           sol.status == ilp::IlpStatus::kDeadline) &&
+          !sol.x.empty());
 }
 
 void record_ilp_stats(const ilp::IlpSolution& sol, TileSolveResult& r) {
@@ -47,7 +50,8 @@ void record_ilp_stats(const ilp::IlpSolution& sol, TileSolveResult& r) {
   r.lp_solves = sol.lp_solves;
   r.simplex_iterations = sol.lp_iterations;
   r.ilp_status = sol.status;
-  if (sol.status == ilp::IlpStatus::kNodeLimit && !sol.x.empty())
+  r.lp_status = sol.lp_status;
+  if (has_usable_solution(sol) && sol.status != ilp::IlpStatus::kOptimal)
     r.ilp_gap = sol.gap();
 }
 
@@ -318,6 +322,181 @@ TileSolveResult solve_tile(Method method, const TileInstance& inst,
     case Method::kConvex: return solve_tile_convex(inst, ctx);
   }
   throw Error("unknown method");
+}
+
+const char* to_string(FailureReason r) {
+  switch (r) {
+    case FailureReason::kTileDeadline: return "tile_deadline";
+    case FailureReason::kFlowDeadline: return "flow_deadline";
+    case FailureReason::kNodeLimit: return "node_limit";
+    case FailureReason::kIlpError: return "ilp_error";
+    case FailureReason::kInjectedFault: return "injected_fault";
+    case FailureReason::kException: return "exception";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The degradation ladder: strictly cheaper methods that still meet the
+/// density constraint (the paper's own fallback ordering -- ILP blows its
+/// budget, Greedy fills the cheapest columns, Normal fills at random).
+/// kNormal is the floor and maps to itself.
+Method next_ladder_step(Method m) {
+  switch (m) {
+    case Method::kIlp1:
+    case Method::kIlp2:
+    case Method::kConvex:
+      return Method::kGreedy;
+    case Method::kGreedy:
+    case Method::kNormal:
+      return Method::kNormal;
+  }
+  return Method::kNormal;
+}
+
+/// Zero out a (possibly default-constructed) result so it reports an empty
+/// placement for `inst` while keeping any solver stats already recorded.
+void reset_placement(const TileInstance& inst, TileSolveResult& r) {
+  r.counts.assign(inst.cols.size(), 0);
+  r.placed = 0;
+  r.shortfall = inst.required;
+  r.ilp_gap = 0.0;
+}
+
+}  // namespace
+
+TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
+                                   const SolverContext& ctx, Rng& rng) {
+  const util::Deadline* flow = ctx.flow_deadline;
+
+  TileFailure fail;
+  fail.tile = inst.tile_flat;
+  fail.method = method;
+  fail.served_by = method;
+
+  TileSolveResult primary;
+  bool failed = false;
+  if (flow != nullptr && flow->expired() && ctx.degrade_on_failure &&
+      method != Method::kNormal) {
+    // The whole-flow budget is already gone: don't even start the primary
+    // solve; serve the tile from the ladder right away.
+    failed = true;
+    fail.reason = FailureReason::kFlowDeadline;
+    fail.detail = "flow deadline expired before tile solve";
+  } else {
+    // Per-tile budget, clipped by the flow deadline. Only ILP methods read
+    // it (through the B&B/simplex deadline hooks); when neither budget is
+    // configured local.ilp.deadline stays null and the solvers skip every
+    // clock read.
+    std::optional<util::Deadline> tile_deadline;
+    SolverContext local = ctx;
+    if (local.ilp.deadline == nullptr) {
+      if (ctx.tile_deadline_seconds > 0.0) {
+        tile_deadline = util::Deadline::after(ctx.tile_deadline_seconds);
+        if (flow != nullptr)
+          tile_deadline = util::Deadline::sooner(*tile_deadline, *flow);
+        local.ilp.deadline = &*tile_deadline;
+      } else if (flow != nullptr) {
+        local.ilp.deadline = flow;
+      }
+    }
+
+    try {
+      if (util::faults_armed())
+        util::maybe_fault(util::FaultSite::kTileSolve,
+                          static_cast<std::uint64_t>(inst.tile_flat));
+      primary = solve_tile(method, inst, local, rng);
+      switch (primary.ilp_status) {
+        case ilp::IlpStatus::kOptimal:
+          return primary;  // the common case: served directly
+        case ilp::IlpStatus::kNodeLimit:
+          // An unproven incumbent is still the tile's own method solving
+          // it; counted as tiles_node_limit, not a failure (ladder only
+          // when the search found nothing at all -- the sum constraint
+          // forces placed == budget > 0 for any incumbent).
+          if (primary.placed > 0) return primary;
+          failed = true;
+          fail.reason = FailureReason::kNodeLimit;
+          fail.ilp_status = primary.ilp_status;
+          fail.lp_status = primary.lp_status;
+          fail.detail = "node budget exhausted without an incumbent";
+          break;
+        case ilp::IlpStatus::kDeadline: {
+          fail.reason = (flow != nullptr && flow->expired())
+                            ? FailureReason::kFlowDeadline
+                            : FailureReason::kTileDeadline;
+          fail.ilp_status = primary.ilp_status;
+          fail.lp_status = primary.lp_status;
+          if (primary.placed > 0) {
+            // Budget ran out but the search had an incumbent: keep it.
+            fail.used_incumbent = true;
+            fail.detail = "deadline expired; unproven incumbent kept";
+            primary.failure = fail;
+            return primary;
+          }
+          failed = true;
+          fail.detail = "deadline expired without an incumbent";
+          break;
+        }
+        default:  // kError / kInfeasible / kUnbounded
+          failed = true;
+          fail.reason = FailureReason::kIlpError;
+          fail.ilp_status = primary.ilp_status;
+          fail.lp_status = primary.lp_status;
+          fail.detail = std::string("ILP ended ") +
+                        ilp::to_string(primary.ilp_status) + " (LP " +
+                        lp::to_string(primary.lp_status) + ")";
+          break;
+      }
+    } catch (const util::InjectedFault& e) {
+      failed = true;
+      fail.reason = FailureReason::kInjectedFault;
+      fail.detail = e.what();
+    } catch (const std::exception& e) {
+      failed = true;
+      fail.reason = FailureReason::kException;
+      fail.detail = e.what();
+    }
+  }
+  PIL_ASSERT(failed, "guarded solve fell through without an outcome");
+
+  // The primary attempt may have died before sizing its result (an
+  // exception mid-solve); normalize to an empty placement either way, but
+  // keep whatever search stats it accumulated.
+  reset_placement(inst, primary);
+
+  if (!ctx.degrade_on_failure) {
+    primary.failure = fail;
+    return primary;
+  }
+
+  // Walk the ladder. Each step is strictly cheaper; Normal needs nothing
+  // but the instance, so the chain effectively cannot end empty-handed.
+  Method step = method;
+  while (step != Method::kNormal) {
+    step = next_ladder_step(step);
+    try {
+      TileSolveResult fb = solve_tile(step, inst, ctx, rng);
+      fb.bb_nodes += primary.bb_nodes;
+      fb.lp_solves += primary.lp_solves;
+      fb.simplex_iterations += primary.simplex_iterations;
+      fb.ilp_status = primary.ilp_status;
+      fb.lp_status = primary.lp_status;
+      fail.served_by = step;
+      fb.failure = fail;
+      return fb;
+    } catch (const std::exception& e) {
+      fail.detail += std::string("; ") + to_string(step) +
+                     " fallback failed: " + e.what();
+    }
+  }
+
+  // Ladder exhausted (primary was Normal, or every step threw): the tile
+  // places nothing and its requirement shows up as shortfall.
+  fail.served_by = step;
+  primary.failure = fail;
+  return primary;
 }
 
 }  // namespace pil::pilfill

@@ -404,7 +404,8 @@ TEST(RunReport, RoundTripsThroughParser) {
   EXPECT_DOUBLE_EQ(ilp2.at("delay_ps").num_v, res.methods[1].impact.delay_ps);
   EXPECT_GE(ilp2.at("bb_nodes").num_v, 0.0);
   EXPECT_GE(ilp2.at("lp_solves").num_v, 0.0);
-  EXPECT_EQ(ilp2.at("tiles_error").num_v, res.methods[1].tiles_error);
+  EXPECT_EQ(ilp2.at("tiles_degraded").num_v, res.methods[1].tiles_degraded);
+  EXPECT_EQ(ilp2.at("tiles_failed").num_v, res.methods[1].tiles_failed);
 
   // The metrics snapshot rode along and has the per-method counters.
   const JsonValue& counters = v.at("metrics").at("counters");
@@ -421,8 +422,10 @@ TEST(RunReport, SolverCountersMatchAggregates) {
   EXPECT_GT(mr.bb_nodes, 0);
   EXPECT_GE(mr.lp_solves, mr.bb_nodes);
   EXPECT_GT(mr.simplex_iterations, 0);
-  EXPECT_EQ(mr.tiles_error, 0);
+  EXPECT_EQ(mr.tiles_degraded, 0);
+  EXPECT_EQ(mr.tiles_failed, 0);
   EXPECT_EQ(mr.tiles_node_limit, 0);
+  EXPECT_TRUE(mr.failures.empty());
 }
 
 // The acceptance bar for the whole subsystem: instrumentation must never

@@ -12,8 +12,11 @@
 /// unavailable (or PIL_PROF_DISABLE_PERF=1). `compare` reads two bench
 /// documents (v2, or legacy v1 from the old emitters), flags per-scenario
 /// median slowdowns beyond --threshold-mad baseline MADs (and at least
-/// --min-ratio relative), prints a markdown table, and exits 2 on any
+/// --min-ratio relative), prints a markdown table, and exits 3 on any
 /// regression -- the CI gate. --warn-only reports but always exits 0.
+///
+/// Exit codes follow the shared CLI taxonomy (see docs/ROBUSTNESS.md):
+/// 0 ok, 1 runtime error, 2 usage error, 3 completed with regressions.
 
 #include <cstdio>
 #include <fstream>
@@ -32,6 +35,12 @@ namespace {
 
 using namespace pil;
 
+// Shared CLI exit-code taxonomy (same as pilfill; see docs/ROBUSTNESS.md).
+constexpr int kExitOk = 0;         // completed cleanly
+constexpr int kExitError = 1;      // runtime pil::Error
+constexpr int kExitUsage = 2;      // bad command line / nothing to run
+constexpr int kExitDegraded = 3;   // completed, but regressions detected
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -40,8 +49,9 @@ int usage() {
          "[--json PATH]\n"
          "  pilbench compare BASELINE.json CANDIDATE.json\n"
          "                   [--threshold-mad K] [--min-ratio R] "
-         "[--warn-only]\n";
-  return 1;
+         "[--warn-only]\n"
+         "exit codes: 0 ok, 1 runtime error, 2 usage, 3 regressions\n";
+  return kExitUsage;
 }
 
 struct Args {
@@ -92,7 +102,7 @@ int cmd_list(const Args& args) {
   for (const bench::Scenario* s : scenarios)
     std::printf("  %-32s %s\n", s->name.c_str(), s->description.c_str());
   std::cout << scenarios.size() << " scenario(s)\n";
-  return 0;
+  return kExitOk;
 }
 
 int cmd_run(const Args& args) {
@@ -107,7 +117,7 @@ int cmd_run(const Args& args) {
   const auto scenarios = bench::Registry::global().match(filter);
   if (scenarios.empty()) {
     std::cerr << "pilbench: no scenario matches filter '" << filter << "'\n";
-    return 1;
+    return kExitUsage;
   }
 
   const obs::EnvCapture env = obs::capture_env();
@@ -156,7 +166,7 @@ int cmd_run(const Args& args) {
     PIL_REQUIRE(os.good(), "failed writing '" + json_path + "'");
     std::cout << "\nwrote " << json_path << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_compare(const Args& args) {
@@ -174,11 +184,11 @@ int cmd_compare(const Args& args) {
   if (report.has_regression()) {
     if (args.flag("warn-only")) {
       std::cout << "\nwarn-only: regressions reported, exiting 0\n";
-      return 0;
+      return kExitOk;
     }
-    return 2;
+    return kExitDegraded;
   }
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -194,7 +204,7 @@ int main(int argc, char** argv) {
     if (cmd == "compare") return cmd_compare(args);
   } catch (const pil::Error& e) {
     std::cerr << "pilbench: " << e.what() << "\n";
-    return 1;
+    return kExitError;
   }
   return usage();
 }

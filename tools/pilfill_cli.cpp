@@ -30,6 +30,15 @@ namespace {
 
 using namespace pil;
 
+// Exit-code taxonomy, shared with pilbench (documented in README.md):
+// 0 = success, 1 = runtime pil::Error, 2 = usage error, 3 = completed but
+// degraded (tiles served by the degradation ladder under --strict, or
+// check/score violations).
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitDegraded = 3;
+
 struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;
@@ -47,7 +56,8 @@ Args parse_args(int argc, char** argv) {
     if (a.rfind("--", 0) == 0) {
       const std::string name = a.substr(2);
       // Boolean flags take no value; everything else consumes the next arg.
-      if (name == "weighted" || name == "two-layer") {
+      if (name == "weighted" || name == "two-layer" || name == "strict" ||
+          name == "fail-fast" || name == "no-degrade") {
         args.options[name] = "1";
       } else {
         if (i + 1 >= argc) throw Error("option --" + name + " needs a value");
@@ -93,7 +103,33 @@ pilfill::FlowConfig flow_from_args(const Args& args) {
   config.solver_mode = mode == "I"    ? fill::SlackMode::kI
                        : mode == "II" ? fill::SlackMode::kII
                                       : fill::SlackMode::kIII;
+  config.tile_deadline_seconds =
+      parse_double(args.get("tile-deadline", "0"), "--tile-deadline");
+  config.flow_deadline_seconds =
+      parse_double(args.get("flow-deadline", "0"), "--flow-deadline");
+  config.degrade_on_failure = !args.flag("no-degrade");
+  config.fail_fast = args.flag("fail-fast");
+  config.fault_spec = args.get("fault", "");
   return config;
+}
+
+/// Degraded-but-completed detection for the --strict exit code: any tile
+/// served by the degradation ladder (or left empty by a failure) marks the
+/// flow degraded. Also prints a per-method summary so the ladder is never
+/// silent on the console.
+bool report_degradation(const pilfill::FlowResult& res) {
+  bool degraded = false;
+  for (const auto& mr : res.methods) {
+    if (mr.failures.empty()) continue;
+    degraded = true;
+    std::cout << to_string(mr.method) << ": " << mr.tiles_degraded
+              << " tile(s) served degraded, " << mr.tiles_failed
+              << " tile(s) failed";
+    const pilfill::TileFailure& f = mr.failures.front();
+    std::cout << " (first: tile " << f.tile << " " << to_string(f.reason)
+              << " -> " << to_string(f.served_by) << ")\n";
+  }
+  return degraded;
 }
 
 /// Turns the observability layer on for the duration of one command when
@@ -394,7 +430,8 @@ int cmd_fill(const Args& args) {
     layout::write_gds_file(l, mr.placement.features, args.get("gds", ""));
     std::cout << "wrote " << args.get("gds", "") << "\n";
   }
-  return 0;
+  const bool degraded = report_degradation(res);
+  return (degraded && args.flag("strict")) ? kExitDegraded : kExitOk;
 }
 
 int cmd_check(const Args& args) {
@@ -442,7 +479,8 @@ int cmd_check(const Args& args) {
             << (report.clean() ? "CLEAN" : "VIOLATIONS FOUND") << "\n";
   for (const auto& v : report.violations)
     std::cout << "  " << v.describe() << "\n";
-  return report.clean() ? 0 : 1;
+  // Violations are a completed-but-not-clean outcome, not a runtime error.
+  return report.clean() ? kExitOk : kExitDegraded;
 }
 
 int cmd_score(const Args& args) {
@@ -490,7 +528,7 @@ int cmd_score(const Args& args) {
   std::cout << "legality     : "
             << (report.clean() ? "CLEAN" : "VIOLATIONS FOUND") << "\n";
   for (const auto& v : report.violations) std::cout << "  " << v.describe() << "\n";
-  return report.clean() ? 0 : 1;
+  return report.clean() ? kExitOk : kExitDegraded;
 }
 
 int cmd_table(const Args& args) {
@@ -510,7 +548,8 @@ int cmd_table(const Args& args) {
                    format_double(mr.solve_seconds, 4)});
   table.print(std::cout);
   obs_scope.finish(config, res, args.positional[0]);
-  return 0;
+  const bool degraded = report_degradation(res);
+  return (degraded && args.flag("strict")) ? kExitDegraded : kExitOk;
 }
 
 int usage() {
@@ -531,8 +570,16 @@ int usage() {
       "observability (fill/table):\n"
       "  --metrics-json <path>   write a pil.run_report.v1 JSON report\n"
       "  --trace-json <path>     write a Chrome/Perfetto trace of the run\n"
-      "  --log-level <level>     debug|info|warn|error|off (any command)\n";
-  return 2;
+      "  --log-level <level>     debug|info|warn|error|off (any command)\n"
+      "robustness (fill/table; see docs/ROBUSTNESS.md):\n"
+      "  --tile-deadline <s>     wall-clock budget per tile solve\n"
+      "  --flow-deadline <s>     wall-clock budget for the whole solve\n"
+      "  --no-degrade            leave failed tiles empty (no fallback)\n"
+      "  --fail-fast             abort the run at the first tile failure\n"
+      "  --strict                exit 3 when any tile was served degraded\n"
+      "  --fault <spec>          arm fault injection (site:action:prob[:ms])\n"
+      "exit codes: 0 ok, 1 runtime error, 2 usage, 3 degraded/violations\n";
+  return kExitUsage;
 }
 
 }  // namespace
@@ -541,6 +588,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    util::arm_faults_from_env();  // PIL_FAULT / PIL_FAULT_SEED
     const Args args = parse_args(argc, argv);
     if (args.flag("log-level"))
       set_log_level(parse_log_level(args.get("log-level", "info")));
@@ -553,6 +601,6 @@ int main(int argc, char** argv) {
     return usage();
   } catch (const pil::Error& e) {
     std::cerr << "pilfill: " << e.what() << "\n";
-    return 1;
+    return kExitError;
   }
 }
