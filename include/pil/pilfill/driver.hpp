@@ -123,7 +123,13 @@ struct MethodResult {
   long long bb_nodes = 0;
   // Solver internals aggregated over the tiles (observability).
   long long lp_solves = 0;           ///< LP relaxations solved (ILP methods)
-  long long simplex_iterations = 0;  ///< simplex iterations over those solves
+  /// Simplex iterations over those solves. Execution-strategy-dependent:
+  /// warm starting changes this (and only this, plus the two counters
+  /// below) while leaving the fill results bit-identical, so equivalence
+  /// checks (flow_results_equivalent) exclude it.
+  long long simplex_iterations = 0;
+  long long dual_iterations = 0;  ///< dual pivots within simplex_iterations
+  long long warm_starts = 0;      ///< LP relaxations served by a warm basis
   /// Tiles whose integer program hit the node budget; their (unproven)
   /// incumbents were used. Distinct from shortfall: the requirement was met.
   long long tiles_node_limit = 0;

@@ -16,6 +16,7 @@
 ///                because the column cost is convex in the feature count.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -73,6 +74,8 @@ struct TileSolveResult {
   // Solver internals (ILP methods; zero for Normal/Greedy/Convex).
   long long lp_solves = 0;           ///< LP relaxations solved
   long long simplex_iterations = 0;  ///< simplex iterations over those solves
+  long long dual_iterations = 0;     ///< dual pivots within simplex_iterations
+  long long warm_starts = 0;         ///< relaxations served by a warm basis
   double ilp_gap = 0.0;              ///< residual gap (kNodeLimit/kDeadline)
   /// Outcome of the tile's integer program. Non-ILP methods report
   /// kOptimal. kNodeLimit/kDeadline mean the incumbent was used unproven;
@@ -87,6 +90,10 @@ struct TileSolveResult {
   /// Set by solve_tile_guarded when the primary method could not serve the
   /// tile directly; describes the reason and which ladder step did.
   std::optional<TileFailure> failure;
+  /// Root relaxation basis of the tile's integer program when it solved to
+  /// a unique optimum (see IlpSolution::root_basis); FillSession caches it
+  /// per tile to warm-start dirty-tile re-solves. Null otherwise.
+  std::shared_ptr<const lp::Basis> root_basis;
 };
 
 struct SolverContext {

@@ -99,10 +99,13 @@ bool failures_equal(const std::vector<TileFailure>& a,
 }
 
 bool methods_equal(const MethodResult& a, const MethodResult& b) {
+  // The search-effort counters (simplex/dual iterations, warm starts,
+  // bb_nodes, lp_solves) are deliberately NOT compared: like the timing
+  // fields they describe the execution strategy -- a warm-started re-solve
+  // reaches the same answer in fewer pivots, and may walk a differently
+  // shaped (equally valid) search tree -- not the solution.
   return a.method == b.method && impacts_equal(a.impact, b.impact) &&
          a.placed == b.placed && a.shortfall == b.shortfall &&
-         a.bb_nodes == b.bb_nodes && a.lp_solves == b.lp_solves &&
-         a.simplex_iterations == b.simplex_iterations &&
          a.tiles_node_limit == b.tiles_node_limit &&
          a.tiles_degraded == b.tiles_degraded &&
          a.tiles_failed == b.tiles_failed &&
@@ -151,6 +154,14 @@ struct FillSession::Impl {
   /// Per-method, per-tile solve results; entries dropped when an edit
   /// changes the tile's solver inputs.
   std::map<Method, std::map<int, TileSolveResult>> cache;
+  /// Per-method, per-tile root-relaxation bases from previous solves.
+  /// Deliberately NOT invalidated with `cache`: a dirty tile's re-solve is
+  /// a lightly perturbed instance of the same LP, which is exactly what a
+  /// warm start wants. A basis that no longer fits (instance changed
+  /// shape) is rejected inside the LP layer and the solve runs cold, so a
+  /// stale hint can slow a solve down but never change its result.
+  std::map<Method, std::map<int, std::shared_ptr<const lp::Basis>>>
+      basis_hints;
   SessionStats stats;
   bool edited = false;  ///< gates pilfill.session.* publication in solve()
 
@@ -326,11 +337,35 @@ struct FillSession::Impl {
         todo.push_back(&inst);
         todo_tiles.push_back(tile);
       }
+      // Warm-start hints for the tiles about to be (re-)solved: the root
+      // basis each tile's previous solve left behind, if any.
+      std::map<int, std::shared_ptr<const lp::Basis>>& mhints =
+          basis_hints[method];
+      std::vector<std::shared_ptr<const lp::Basis>> warm_roots;
+      long long basis_hits = 0;
+      if (config.ilp.warm_start && !todo.empty()) {
+        warm_roots.reserve(todo.size());
+        for (const int tile : todo_tiles) {
+          const auto hit = mhints.find(tile);
+          warm_roots.push_back(hit != mhints.end() ? hit->second : nullptr);
+          if (warm_roots.back() != nullptr) ++basis_hits;
+        }
+      }
       std::vector<TileSolveResult> solved =
-          flow_detail::solve_instances_parallel(method, todo, ctx, *model,
-                                                config);
-      for (std::size_t i = 0; i < todo.size(); ++i)
+          flow_detail::solve_instances_parallel(
+              method, todo, ctx, *model, config,
+              warm_roots.empty() ? nullptr : &warm_roots);
+      for (std::size_t i = 0; i < todo.size(); ++i) {
+        // Harvest the new root basis for the next re-solve of this tile
+        // (keeping any previous hint when this solve produced none).
+        if (solved[i].root_basis != nullptr)
+          mhints[todo_tiles[i]] = solved[i].root_basis;
         mcache[todo_tiles[i]] = std::move(solved[i]);
+      }
+      const long long basis_misses =
+          static_cast<long long>(todo.size()) - basis_hits;
+      stats.basis_hits += basis_hits;
+      stats.basis_misses += basis_misses;
       mr.solve_seconds = solve_watch.seconds();
 
       const long long reused =
@@ -371,6 +406,12 @@ struct FillSession::Impl {
         reg.counter(
                obs::labeled("pilfill.session.tiles_reused", {{"method", m}}))
             .add(reused);
+        reg.counter(
+               obs::labeled("pilfill.session.basis_hits", {{"method", m}}))
+            .add(basis_hits);
+        reg.counter(
+               obs::labeled("pilfill.session.basis_misses", {{"method", m}}))
+            .add(basis_misses);
       }
       if (mr.tiles_node_limit > 0 || mr.tiles_degraded > 0 ||
           mr.tiles_failed > 0)

@@ -1,0 +1,456 @@
+// Differential harness for warm-started LP re-optimization and basis reuse.
+//
+// The contract under test (ISSUE 5): a warm-started solve of a (possibly
+// bound-perturbed) LP must agree with a cold solve on status and objective
+// to tolerance, and the full fill flow must produce bit-identical results
+// with warm start on and off -- warm starting is a pure execution-strategy
+// change, invisible in every output except the search-effort counters
+// (iterations, warm starts, node/solve counts; a warm solve may stop at an
+// alternate vertex of a non-unique optimal face and steer branching down a
+// different, equally valid subtree).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pil/ilp/branch_and_bound.hpp"
+#include "pil/layout/synthetic.hpp"
+#include "pil/lp/problem.hpp"
+#include "pil/lp/simplex.hpp"
+#include "pil/pilfill/driver.hpp"
+#include "pil/pilfill/session.hpp"
+#include "pil/util/rng.hpp"
+
+namespace pil {
+namespace {
+
+using lp::kInf;
+using lp::LpProblem;
+using lp::LpSolution;
+using lp::Sense;
+using lp::SimplexOptions;
+using lp::SolveStatus;
+
+constexpr double kObjTol = 1e-6;
+
+// ------------------------------------------------------------ generators ----
+
+/// General bounded LP with random senses and coefficients. Bounds are kept
+/// finite and boxy so most instances are feasible and bounded.
+LpProblem random_general_lp(Rng& rng) {
+  LpProblem p;
+  const int n = static_cast<int>(rng.uniform_int(2, 8));
+  const int m = static_cast<int>(rng.uniform_int(1, 6));
+  for (int j = 0; j < n; ++j) {
+    const double lo = rng.uniform_real(-4.0, 0.0);
+    const double hi = lo + rng.uniform_real(0.5, 8.0);
+    p.add_var(lo, hi, rng.uniform_real(-3.0, 3.0));
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<lp::RowEntry> entries;
+    for (int j = 0; j < n; ++j)
+      if (rng.bernoulli(0.7))
+        entries.push_back({j, rng.uniform_real(-2.0, 2.0)});
+    if (entries.empty()) entries.push_back({0, 1.0});
+    const Sense sense = static_cast<Sense>(rng.uniform_int(0, 2));
+    p.add_row(sense, rng.uniform_real(-3.0, 3.0), std::move(entries));
+  }
+  return p;
+}
+
+/// MDFC-shaped LP: the ILP-II tile relaxation -- per-candidate columns in
+/// [0, cap] with monotone slope costs, per-group kLe capacity rows, and one
+/// kEq coverage row tying everything to a fill target. This is the shape
+/// branch-and-bound re-optimizes thousands of times with one bound changed.
+LpProblem random_mdfc_lp(Rng& rng) {
+  LpProblem p;
+  const int groups = static_cast<int>(rng.uniform_int(2, 4));
+  const int per = static_cast<int>(rng.uniform_int(2, 4));
+  std::vector<lp::RowEntry> coverage;
+  double total_cap = 0.0;
+  for (int g = 0; g < groups; ++g) {
+    std::vector<lp::RowEntry> sos;
+    double group_cap = 0.0;
+    for (int k = 0; k < per; ++k) {
+      const double cap = rng.uniform_real(1.0, 5.0);
+      // Later candidates in a group cost more (slope pricing).
+      const int j = p.add_var(0.0, cap, 0.1 * (k + 1) + rng.uniform_real(0, 0.05));
+      sos.push_back({j, 1.0});
+      coverage.push_back({j, 1.0});
+      group_cap += cap;
+    }
+    const double room = rng.uniform_real(0.5, group_cap);
+    p.add_row(Sense::kLe, room, std::move(sos));
+    total_cap += room;
+  }
+  p.add_row(Sense::kEq, rng.uniform_real(0.2, 0.9) * total_cap,
+            std::move(coverage));
+  return p;
+}
+
+/// MDFC-shaped instance with integer data, suitable for all-integer B&B.
+/// The coverage row uses non-unit area coefficients (like ILP-II's binary
+/// expansion), which breaks total unimodularity so LP relaxations come out
+/// fractional and the tree actually branches.
+LpProblem random_mdfc_ilp(Rng& rng) {
+  LpProblem p;
+  const int groups = static_cast<int>(rng.uniform_int(2, 4));
+  const int per = static_cast<int>(rng.uniform_int(2, 3));
+  std::vector<lp::RowEntry> coverage;
+  long long total_area = 0;
+  for (int g = 0; g < groups; ++g) {
+    std::vector<lp::RowEntry> sos;
+    long long group_cap = 0;
+    for (int k = 0; k < per; ++k) {
+      const long long cap = rng.uniform_int(1, 4);
+      const long long area = rng.uniform_int(1, 5);
+      // Distinct slope costs (jitter breaks exact ties so optima are
+      // usually unique -- the warm-accept sweet spot).
+      const int j = p.add_var(0.0, static_cast<double>(cap),
+                              0.1 * (k + 1) + rng.uniform_real(0, 0.03));
+      sos.push_back({j, 1.0});
+      coverage.push_back({j, static_cast<double>(area)});
+      group_cap += cap;
+      total_area += area * cap;
+    }
+    p.add_row(Sense::kLe, static_cast<double>(rng.uniform_int(1, group_cap)),
+              std::move(sos));
+  }
+  const long long target = rng.uniform_int(1, std::max<long long>(1, total_area / 2));
+  p.add_row(Sense::kEq, static_cast<double>(target), std::move(coverage));
+  return p;
+}
+
+/// Tighten one variable's bounds the way a branch-and-bound step would:
+/// floor/ceil split around a point inside the current interval.
+void tighten_one_bound(LpProblem& p, Rng& rng) {
+  const int j = static_cast<int>(rng.uniform_int(0, p.num_vars() - 1));
+  const auto& v = p.var(j);
+  const double lo = std::isfinite(v.lo) ? v.lo : -8.0;
+  const double hi = std::isfinite(v.hi) ? v.hi : 8.0;
+  const double split = rng.uniform_real(lo, hi);
+  if (rng.bernoulli(0.5))
+    p.set_var_bounds(j, v.lo, std::floor(split) < v.lo ? v.lo : std::floor(split));
+  else
+    p.set_var_bounds(j, std::ceil(split) > v.hi ? v.hi : std::ceil(split), v.hi);
+}
+
+/// Cold-solve `p`, then re-solve a bound-tightened copy both cold and warm
+/// (from the parent basis) and require agreement on status and objective.
+void check_warm_cold_agree(LpProblem p, std::uint64_t seed) {
+  Rng rng(seed);
+  SimplexOptions cold_opt;
+  const LpSolution parent = lp::solve_lp(p, cold_opt);
+  if (parent.status != SolveStatus::kOptimal) return;  // nothing to reuse
+  EXPECT_FALSE(parent.basis.empty());
+
+  tighten_one_bound(p, rng);
+  const LpSolution cold = lp::solve_lp(p, cold_opt);
+
+  SimplexOptions warm_opt;
+  warm_opt.warm_basis = &parent.basis;
+  const LpSolution warm = lp::solve_lp(p, warm_opt);
+
+  ASSERT_EQ(warm.status, cold.status) << "seed " << seed;
+  if (cold.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(warm.objective, cold.objective, kObjTol) << "seed " << seed;
+    // The warm point must itself be feasible for the tightened problem.
+    EXPECT_LE(p.max_violation(warm.x), 1e-6) << "seed " << seed;
+  }
+}
+
+// ----------------------------------------------------- LP differential ----
+
+TEST(WarmStartDifferential, GeneralBoundedLps) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    Rng rng(seed * 7919);
+    check_warm_cold_agree(random_general_lp(rng), seed);
+  }
+}
+
+TEST(WarmStartDifferential, MdfcShapedLps) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    Rng rng(seed * 104729);
+    check_warm_cold_agree(random_mdfc_lp(rng), seed);
+  }
+}
+
+TEST(WarmStartDifferential, SameProblemResolvesInstantly) {
+  // Warm-starting the *unchanged* problem from its own optimal basis must
+  // certify optimality without a single pivot.
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const LpProblem p = random_mdfc_lp(rng);
+    const LpSolution first = lp::solve_lp(p, {});
+    if (first.status != SolveStatus::kOptimal) continue;
+    SimplexOptions warm_opt;
+    warm_opt.warm_basis = &first.basis;
+    const LpSolution again = lp::solve_lp(p, warm_opt);
+    ASSERT_EQ(again.status, SolveStatus::kOptimal);
+    EXPECT_TRUE(again.warm_started);
+    EXPECT_EQ(again.iterations, 0);
+    EXPECT_NEAR(again.objective, first.objective, kObjTol);
+  }
+}
+
+TEST(WarmStartDifferential, TightenedToInfeasibleAgrees) {
+  // x + y = 10 with both variables boxed to [0, 4]: infeasible. The warm
+  // solve from the feasible parent's basis must reach the same verdict via
+  // the dual ray, not hang or claim optimality.
+  LpProblem p;
+  p.add_var(0, 8, 1.0);
+  p.add_var(0, 8, 2.0);
+  p.add_row(Sense::kEq, 10.0, {{0, 1.0}, {1, 1.0}});
+  const LpSolution parent = lp::solve_lp(p, {});
+  ASSERT_EQ(parent.status, SolveStatus::kOptimal);
+
+  p.set_var_bounds(0, 0, 4);
+  p.set_var_bounds(1, 0, 4);
+  SimplexOptions warm_opt;
+  warm_opt.warm_basis = &parent.basis;
+  EXPECT_EQ(lp::solve_lp(p, warm_opt).status, SolveStatus::kInfeasible);
+  EXPECT_EQ(lp::solve_lp(p, {}).status, SolveStatus::kInfeasible);
+}
+
+TEST(WarmStartDifferential, MismatchedBasisFallsBackCold) {
+  LpProblem p;
+  p.add_var(0, 5, -1.0);
+  p.add_row(Sense::kLe, 3.0, {{0, 1.0}});
+  lp::Basis wrong;
+  wrong.structural = {lp::VarStatus::kBasic, lp::VarStatus::kAtLower};  // 2 != 1
+  wrong.slack = {lp::VarStatus::kAtLower};
+  SimplexOptions opt;
+  opt.warm_basis = &wrong;
+  const LpSolution s = lp::solve_lp(p, opt);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(s.warm_started);  // rejected basis -> cold path
+  EXPECT_NEAR(s.objective, -3.0, kObjTol);
+}
+
+TEST(WarmStartDifferential, UniqueOptimumFlag) {
+  // min -x on x in [0, 2], x <= 1: unique vertex at x = 1.
+  LpProblem unique;
+  unique.add_var(0, 2, -1.0);
+  unique.add_row(Sense::kLe, 1.0, {{0, 1.0}});
+  const LpSolution u = lp::solve_lp(unique, {});
+  ASSERT_EQ(u.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(u.unique_optimum);
+
+  // min 0*x on the same feasible set: every point is optimal.
+  LpProblem flat;
+  flat.add_var(0, 2, 0.0);
+  flat.add_row(Sense::kLe, 1.0, {{0, 1.0}});
+  const LpSolution f = lp::solve_lp(flat, {});
+  ASSERT_EQ(f.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(f.unique_optimum);
+}
+
+// ---------------------------------------------------- B&B differential ----
+
+TEST(WarmStartDifferential, BranchAndBoundAgrees) {
+  // The differential contract: warm and cold searches agree on status and
+  // objective, and the warm solution is a genuine optimum -- integral and
+  // feasible at the cold objective. Node/solve counts and the exact
+  // co-optimal solution picked may differ (a warm solve can land on an
+  // alternate vertex of a tied optimal face and branch down a different,
+  // equally valid subtree); what may never differ is the proven optimum
+  // value.
+  int warm_accepted_total = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    Rng rng(seed * 2654435761u);
+    const LpProblem p = random_mdfc_ilp(rng);
+    const std::vector<bool> integer(p.num_vars(), true);
+
+    ilp::IlpOptions cold_opt;
+    cold_opt.warm_start = false;
+    const ilp::IlpSolution cold = ilp::solve_ilp(p, integer, cold_opt);
+
+    ilp::IlpOptions warm_opt;
+    warm_opt.warm_start = true;
+    const ilp::IlpSolution warm = ilp::solve_ilp(p, integer, warm_opt);
+
+    ASSERT_EQ(warm.status, cold.status) << "seed " << seed;
+    EXPECT_EQ(cold.warm_starts, 0);
+    EXPECT_EQ(cold.dual_iterations, 0);
+    warm_accepted_total += warm.warm_starts;
+    if (cold.status == ilp::IlpStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-9) << "seed " << seed;
+      ASSERT_EQ(warm.x.size(), cold.x.size()) << "seed " << seed;
+      // The warm incumbent is integral, feasible, and costs the optimum.
+      for (std::size_t j = 0; j < warm.x.size(); ++j)
+        EXPECT_EQ(warm.x[j], std::round(warm.x[j]))
+            << "seed " << seed << " var " << j;
+      EXPECT_LE(p.max_violation(warm.x), 1e-4) << "seed " << seed;
+      EXPECT_NEAR(p.objective_value(warm.x), cold.objective, 1e-6)
+          << "seed " << seed;
+    }
+  }
+  // The policy must actually fire on MDFC-shaped trees, not vacuously pass.
+  EXPECT_GT(warm_accepted_total, 0);
+}
+
+TEST(WarmStartDifferential, RootBasisReuseAcrossResolves) {
+  // Session-style reuse: solve, tweak nothing, re-solve with the previous
+  // root basis -- the root relaxation should warm-start.
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const LpProblem p = random_mdfc_ilp(rng);
+    const std::vector<bool> integer(p.num_vars(), true);
+    const ilp::IlpSolution first = ilp::solve_ilp(p, integer, {});
+    if (first.status != ilp::IlpStatus::kOptimal || first.root_basis == nullptr)
+      continue;
+    ilp::IlpOptions opt;
+    opt.warm_basis = first.root_basis;
+    const ilp::IlpSolution again = ilp::solve_ilp(p, integer, opt);
+    ASSERT_EQ(again.status, ilp::IlpStatus::kOptimal);
+    // The hint never changes the proven optimum; the solution returned is
+    // integral and feasible at that value (co-optimal alternates allowed).
+    EXPECT_NEAR(again.objective, first.objective, 1e-9);
+    EXPECT_LE(p.max_violation(again.x), 1e-4);
+    EXPECT_NEAR(p.objective_value(again.x), first.objective, 1e-6);
+  }
+}
+
+// --------------------------------------------------- flow differential ----
+
+layout::Layout flow_layout() {
+  layout::SyntheticLayoutConfig cfg;
+  cfg.die_um = 96;
+  cfg.num_nets = 40;
+  cfg.seed = 5;
+  return layout::generate_synthetic_layout(cfg);
+}
+
+pilfill::FlowConfig flow_config(int threads, bool warm) {
+  pilfill::FlowConfig config;
+  config.window_um = 32;
+  config.r = 2;
+  config.threads = threads;
+  config.ilp.warm_start = warm;
+  return config;
+}
+
+TEST(WarmStartFlow, BitIdenticalOnOffAcrossThreads) {
+  // The full fill flow must be invisible to warm starting: identical
+  // placements and impacts with the flag on and off, at 1 and 4 threads
+  // (the FlowDeterminism contract extended to the warm/cold axis). Only
+  // the search-effort counters may differ.
+  const layout::Layout l = flow_layout();
+  const std::vector<pilfill::Method> methods = {pilfill::Method::kIlp1,
+                                                pilfill::Method::kIlp2};
+
+  const pilfill::FlowResult cold =
+      pilfill::run_pil_fill_flow(l, flow_config(1, false), methods);
+  const pilfill::FlowResult warm1 =
+      pilfill::run_pil_fill_flow(l, flow_config(1, true), methods);
+  const pilfill::FlowResult warm4 =
+      pilfill::run_pil_fill_flow(l, flow_config(4, true), methods);
+
+  EXPECT_TRUE(pilfill::flow_results_equivalent(cold, warm1));
+  EXPECT_TRUE(pilfill::flow_results_equivalent(cold, warm4));
+  EXPECT_TRUE(pilfill::flow_results_equivalent(warm1, warm4));
+
+  // Beyond flow_results_equivalent: placements bit-identical, impacts
+  // bit-identical, and the cold run never touched the warm machinery.
+  for (std::size_t i = 0; i < cold.methods.size(); ++i) {
+    const pilfill::MethodResult& c = cold.methods[i];
+    const pilfill::MethodResult& w = warm1.methods[i];
+    EXPECT_EQ(c.impact.delay_ps, w.impact.delay_ps);
+    EXPECT_EQ(c.warm_starts, 0);
+    EXPECT_EQ(c.dual_iterations, 0);
+    ASSERT_EQ(c.placement.features.size(), w.placement.features.size());
+    for (std::size_t f = 0; f < c.placement.features.size(); ++f) {
+      EXPECT_EQ(c.placement.features[f].xlo, w.placement.features[f].xlo);
+      EXPECT_EQ(c.placement.features[f].ylo, w.placement.features[f].ylo);
+    }
+  }
+}
+
+TEST(WarmStartFlow, ResolveIterationReductionOnT1) {
+  // The ISSUE 5 acceptance criterion, as a regression test: on T1/ILP-II
+  // an edited session's dirty-tile re-solve must spend at most half the
+  // summed simplex iterations per B&B solve with warm starts on vs. off,
+  // while producing bit-identical fill results.
+  const layout::Layout t1 = layout::make_testcase_t1();
+  pilfill::FlowResult warm_res, cold_res;
+  long long warm_per_solve_x2 = 0, cold_per_solve = 0;
+  for (const bool warm : {true, false}) {
+    pilfill::FlowConfig config = flow_config(1, warm);
+    pilfill::FillSession session(t1, config);
+    (void)session.solve({pilfill::Method::kIlp2});
+
+    const layout::WireSegment* parent = nullptr;
+    for (const layout::WireSegment& s : session.layout().segments()) {
+      if (s.removed() || s.layer != config.layer) continue;
+      if (s.orientation() != layout::Orientation::kHorizontal) continue;
+      if (s.length() > 40.0) { parent = &s; break; }
+    }
+    ASSERT_NE(parent, nullptr);
+    const double tap = (parent->a.x + parent->b.x) / 2;
+    session.apply_edit(pilfill::WireEdit::add_segment(
+        parent->net, {tap, parent->a.y}, {tap, parent->a.y + 3.0}, 0.4));
+
+    const pilfill::FlowResult res = session.solve({pilfill::Method::kIlp2});
+    const pilfill::MethodResult& mr = res.methods[0];
+    ASSERT_GT(mr.lp_solves, 0);
+    if (warm) {
+      warm_res = res;
+      warm_per_solve_x2 = 2 * mr.simplex_iterations / mr.lp_solves;
+      EXPECT_GT(mr.warm_starts, 0);
+      EXPECT_GT(session.stats().basis_hits, 0);
+    } else {
+      cold_res = res;
+      cold_per_solve = mr.simplex_iterations / mr.lp_solves;
+      EXPECT_EQ(mr.warm_starts, 0);
+      EXPECT_EQ(mr.dual_iterations, 0);
+    }
+  }
+  EXPECT_LE(warm_per_solve_x2, cold_per_solve)
+      << "warm-started re-solve must cut summed lp_iterations per B&B "
+         "solve by at least 2x on T1/ILP-II";
+  EXPECT_TRUE(pilfill::flow_results_equivalent(warm_res, cold_res));
+  EXPECT_EQ(warm_res.methods[0].impact.delay_ps,
+            cold_res.methods[0].impact.delay_ps);
+}
+
+TEST(WarmStartFlow, SessionBasisCacheAcrossResolves) {
+  // An edited session re-solves dirty tiles from the cached root bases;
+  // the incremental result must still match a fresh from-scratch run on
+  // the edited geometry (the PR 2 equivalence contract, now with basis
+  // reuse in the loop).
+  const layout::Layout l = flow_layout();
+  const pilfill::FlowConfig config = flow_config(1, true);
+  const std::vector<pilfill::Method> methods = {pilfill::Method::kIlp2};
+
+  pilfill::FillSession session(l, config);
+  const pilfill::FlowResult before = session.solve(methods);
+
+  // Add a short stub off a long horizontal segment on the fill layer so a
+  // handful of tiles go dirty and get re-solved.
+  const layout::WireSegment* parent = nullptr;
+  for (const layout::WireSegment& s : session.layout().segments()) {
+    if (s.removed() || s.layer != config.layer) continue;
+    if (s.orientation() != layout::Orientation::kHorizontal) continue;
+    if (s.length() > 6.0) { parent = &s; break; }
+  }
+  ASSERT_NE(parent, nullptr);
+  const double tap = (parent->a.x + parent->b.x) / 2;
+  session.apply_edit(pilfill::WireEdit::add_segment(
+      parent->net, {tap, parent->a.y}, {tap, parent->a.y + 3.0}, 0.4));
+
+  const pilfill::FlowResult incremental = session.solve(methods);
+  pilfill::FillSession fresh(session.layout(), config);
+  const pilfill::FlowResult scratch = fresh.solve(methods);
+  EXPECT_TRUE(pilfill::flow_results_equivalent(incremental, scratch));
+
+  const pilfill::SessionStats& stats = session.stats();
+  EXPECT_GT(stats.tiles_reused, 0);
+  // The dirty tiles that went back to the solver found their cached root
+  // bases waiting.
+  EXPECT_GT(stats.basis_hits, 0);
+  (void)before;
+}
+
+}  // namespace
+}  // namespace pil

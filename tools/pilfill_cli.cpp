@@ -57,7 +57,8 @@ Args parse_args(int argc, char** argv) {
       const std::string name = a.substr(2);
       // Boolean flags take no value; everything else consumes the next arg.
       if (name == "weighted" || name == "two-layer" || name == "strict" ||
-          name == "fail-fast" || name == "no-degrade") {
+          name == "fail-fast" || name == "no-degrade" ||
+          name == "no-warm-start") {
         args.options[name] = "1";
       } else {
         if (i + 1 >= argc) throw Error("option --" + name + " needs a value");
@@ -109,6 +110,7 @@ pilfill::FlowConfig flow_from_args(const Args& args) {
       parse_double(args.get("flow-deadline", "0"), "--flow-deadline");
   config.degrade_on_failure = !args.flag("no-degrade");
   config.fail_fast = args.flag("fail-fast");
+  config.ilp.warm_start = !args.flag("no-warm-start");
   config.fault_spec = args.get("fault", "");
   return config;
 }
@@ -578,6 +580,8 @@ int usage() {
       "  --fail-fast             abort the run at the first tile failure\n"
       "  --strict                exit 3 when any tile was served degraded\n"
       "  --fault <spec>          arm fault injection (site:action:prob[:ms])\n"
+      "  --no-warm-start         solve every B&B node's LP from scratch\n"
+      "                          (disables dual-simplex basis reuse)\n"
       "exit codes: 0 ok, 1 runtime error, 2 usage, 3 degraded/violations\n";
   return kExitUsage;
 }
