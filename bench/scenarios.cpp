@@ -104,6 +104,24 @@ void register_builtin_scenarios(Registry& r) {
       "full flow, ILP-II, T1 W=32 r=2, sink-weighted objective", t1,
       flow_config(32, 2, pilfill::Objective::kWeighted), Method::kIlp2));
 
+  {
+    // Disarmed twin of flow.t1.w32.r2.ilp2: the identical workload with the
+    // flight-recorder journal off. Compare the pair to hold the armed
+    // journal to its <= 2% overhead budget (results are bit-identical either
+    // way -- the journal records, it never steers).
+    FlowConfig config = flow_config(32, 2);
+    r.add({"flow.t1.w32.r2.ilp2.nojournal",
+           "full flow, ILP-II, T1 W=32 r=2, event journal disarmed "
+           "(overhead twin of flow.t1.w32.r2.ilp2)",
+           [t1, config] {
+             return [t1, config] {
+               obs::set_journal_armed(false);
+               pilfill::run_pil_fill_flow(*t1, config, {Method::kIlp2});
+               obs::set_journal_armed(true);
+             };
+           }});
+  }
+
   r.add({"solve.cached.t1.w32.r2.ilp2",
          "warm FillSession solve: every per-tile result served from cache",
          [t1] {

@@ -1,0 +1,109 @@
+#pragma once
+/// \file flight.hpp
+/// `pil.flight.v1` postmortem dumps: the journal rings of every thread,
+/// merged and ordered by global sequence number, serialized as one JSON
+/// document. Produced on failure / deadline / fatal signal / request;
+/// consumed by `pilstat` and by tests. The parse and analysis half lives
+/// here too so the CLI and the test suite share one implementation.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pil/obs/journal.hpp"
+
+namespace pil::obs {
+
+struct FlightWriteOptions {
+  std::string cause;   ///< why the dump exists: "requested", "deadline",
+                       ///< "failure", "fault", "signal", ...
+  std::string detail;  ///< freeform elaboration (exception text, ...)
+};
+
+/// Merge all rings and write one `pil.flight.v1` document. Quiescent-point
+/// operation (see journal_snapshot). Payload enums are decoded through the
+/// registered JournalNamer into "method" / "detail" string members.
+void write_flight_json(std::ostream& os, const FlightWriteOptions& options);
+
+/// write_flight_json into `path`; returns false when the file cannot be
+/// opened (never throws -- dump paths run inside error handling).
+bool write_flight_file(const std::string& path,
+                       const FlightWriteOptions& options) noexcept;
+
+/// Async-signal-safe best-effort dump to a file descriptor: fixed-size
+/// stack buffers, write(2), no allocation, no locks. Emits the same
+/// schema; torn slots from still-running threads are possible by design.
+void write_flight_signal_safe(int fd, const char* cause) noexcept;
+
+/// One event as read back from a dump. Numeric payloads keep the raw
+/// journal convention (a / b / c / v); `method` and `detail` carry the
+/// decoded names when the producer had a namer registered.
+struct FlightEvent {
+  std::uint64_t seq = 0;
+  double ts_us = 0.0;
+  std::uint32_t tid = 0;
+  std::uint32_t session = 0;
+  std::uint32_t flow = 0;
+  std::int32_t tile = -1;
+  std::string kind;
+  std::string method;
+  std::string detail;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  double v = 0.0;
+};
+
+struct FlightThread {
+  std::uint32_t tid = 0;
+  std::string name;
+  std::uint64_t dropped = 0;
+};
+
+struct FlightDump {
+  std::string cause;
+  std::string detail;
+  std::uint64_t dropped = 0;  ///< total events lost to ring wraparound
+  std::vector<FlightThread> threads;
+  std::vector<FlightEvent> events;  ///< ascending seq
+};
+
+/// Parse a `pil.flight.v1` document; throws pil::Error on malformed input
+/// or a wrong/missing schema tag.
+FlightDump parse_flight_json(std::string_view text);
+
+/// Read + parse a dump file; throws pil::Error when unreadable.
+FlightDump read_flight_file(const std::string& path);
+
+/// Interleave several dumps into one (events re-sorted by sequence
+/// number; same-seq ties keep input order). Useful for dumps from
+/// separate worker processes of one logical run.
+FlightDump merge_flight_dumps(const std::vector<FlightDump>& dumps);
+
+/// Re-serialize a parsed (or merged) dump as a `pil.flight.v1` document
+/// that round-trips through parse_flight_json. Decoded `method`/`detail`
+/// names are preserved verbatim; no live journal access.
+void write_flight_json(std::ostream& os, const FlightDump& dump);
+
+/// Everything that happened to one (flow, tile) pair, in seq order.
+struct TileChain {
+  std::int32_t tile = -1;
+  std::uint32_t flow = 0;
+  std::uint32_t session = 0;
+  std::string method;        ///< from the first tile_begin
+  double seconds = 0.0;      ///< summed tile_end durations
+  long long required = -1;   ///< from tile_begin (-1 = unseen)
+  long long placed = -1;     ///< from tile_end (-1 = unseen)
+  bool degraded = false;     ///< walked the ladder but produced fill
+  bool failed = false;       ///< ended with nothing placed
+  std::string cause;         ///< first failure/ladder/fault/deadline label
+  std::vector<std::size_t> events;  ///< indices into FlightDump::events
+};
+
+/// Group a dump's events into per-(flow, tile) cause chains, ordered by
+/// first appearance.
+std::vector<TileChain> tile_chains(const FlightDump& dump);
+
+}  // namespace pil::obs

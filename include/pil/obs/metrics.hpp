@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <initializer_list>
+#include <iosfwd>
 #include <map>
 #include <mutex>
 #include <string>
@@ -123,6 +124,13 @@ struct MetricsSnapshot {
   /// log2 buckets are only emitted when `include_buckets` is set (as
   /// "buckets": [[lower, count], ...nonzero only]).
   void write_json(JsonWriter& w, bool include_buckets = false) const;
+
+  /// Emit as OpenMetrics text exposition (the format Prometheus scrapes):
+  /// names sanitized to [a-zA-Z0-9_:], the `base{k=v,...}` label
+  /// convention re-encoded as real OpenMetrics labels, counters suffixed
+  /// `_total`, histograms as cumulative `_bucket{le="..."}` series plus
+  /// `_sum` / `_count`, terminated by `# EOF`.
+  void write_openmetrics(std::ostream& os) const;
 };
 
 /// Name -> metric registry. Lookup takes a mutex; returned references stay
@@ -141,6 +149,9 @@ class MetricsRegistry {
   void clear();
 
   MetricsSnapshot snapshot() const;
+
+  /// snapshot().write_openmetrics(os) -- one call for scrape handlers.
+  void write_openmetrics(std::ostream& os) const;
 
  private:
   mutable std::mutex mu_;

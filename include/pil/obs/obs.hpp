@@ -1,10 +1,13 @@
 #pragma once
 /// \file obs.hpp
 /// Umbrella header for the pil::obs observability subsystem: metrics
-/// registry, trace spans, the in-process profiler (HW counters, peak RSS,
-/// environment capture), and the minimal JSON layer they emit through.
-/// See docs/OBSERVABILITY.md for metric names and the report schemas.
+/// registry, trace spans, the always-on event journal and its
+/// pil.flight.v1 postmortem dumps, the in-process profiler (HW counters,
+/// peak RSS, environment capture), and the minimal JSON layer they emit
+/// through. See docs/OBSERVABILITY.md for metric names and schemas.
 
+#include "pil/obs/flight.hpp"
+#include "pil/obs/journal.hpp"
 #include "pil/obs/json.hpp"
 #include "pil/obs/metrics.hpp"
 #include "pil/obs/prof.hpp"

@@ -58,6 +58,11 @@ void set_trace_session(TraceSession* session) noexcept;
 /// Dense id for the calling thread, assigned on first use (0, 1, 2, ...).
 std::uint32_t trace_thread_id() noexcept;
 
+/// Label used for the "process_name" metadata record in write_json()
+/// ("pil" until overridden). Set once at startup, before writing traces.
+void set_trace_process_name(std::string name);
+std::string trace_process_name();
+
 /// RAII span: records one complete event on the attached session between
 /// construction and destruction; a no-op when no session is attached.
 /// `name` must outlive the span (string literals in practice).

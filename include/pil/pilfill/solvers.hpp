@@ -157,4 +157,10 @@ TileSolveResult solve_tile(Method method, const TileInstance& inst,
 TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
                                    const SolverContext& ctx, Rng& rng);
 
+/// Install the pilfill payload decoder (Method / FailureReason /
+/// FaultSite names) as the process journal namer, so pil.flight.v1 dumps
+/// carry symbolic "method" / "detail" members next to the raw payloads.
+/// Idempotent; FillSession and the flow driver call it on construction.
+void register_journal_namer();
+
 }  // namespace pil::pilfill

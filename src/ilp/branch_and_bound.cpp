@@ -5,6 +5,7 @@
 #include <memory>
 #include <queue>
 
+#include "pil/obs/journal.hpp"
 #include "pil/util/fault.hpp"
 #include "pil/util/log.hpp"
 
@@ -85,6 +86,7 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
   lp::SimplexOptions lp_opt = options.lp;
   if (lp_opt.deadline == nullptr) lp_opt.deadline = options.deadline;
   const bool faulty = util::faults_armed();
+  const bool journaling = obs::journal_armed();
 
   // The problem is copied once per LP solve with node bounds applied. The
   // LpProblem is cheap to copy for our sizes; correctness over cleverness.
@@ -106,6 +108,11 @@ IlpSolution solve_ilp(const lp::LpProblem& problem,
     if (faulty)
       util::maybe_fault(util::FaultSite::kBbNode,
                         static_cast<std::uint64_t>(explored));
+    // Flight-recorder breadcrumb: nodes explored + current incumbent,
+    // sampled at stride so a stuck search is attributable post-mortem.
+    if (journaling && explored != 0 && (explored & 63) == 0)
+      obs::journal_record(obs::JournalEventKind::kBbMilestone, 0, 0,
+                          static_cast<std::uint64_t>(explored), incumbent);
     const std::shared_ptr<Node> node = open.top();
     open.pop();
     if (node->bound >= incumbent - options.abs_gap) continue;  // pruned

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "pil/obs/journal.hpp"
 #include "pil/util/fault.hpp"
 #include "pil/util/log.hpp"
 
@@ -418,6 +419,7 @@ class Simplex {
     SolveStatus result = SolveStatus::kIterLimit;
     util::DeadlinePoller deadline(opt_.deadline);
     const bool faulty = util::faults_armed();
+    const bool journaling = obs::journal_armed();
     int iter = 0;
     for (; iter < opt_.max_iterations; ++iter) {
       if (deadline.expired()) {
@@ -427,6 +429,11 @@ class Simplex {
       if (faulty)
         util::maybe_fault(util::FaultSite::kLpPivot,
                           static_cast<std::uint64_t>(iter));
+      // Sampled progress breadcrumb for the flight recorder: cheap enough
+      // to leave always-on (one branch per pivot when armed).
+      if (journaling && iter != 0 && (iter & 1023) == 0)
+        obs::journal_record(obs::JournalEventKind::kSimplexMilestone, 0, 0,
+                            static_cast<std::uint64_t>(iter));
       const bool bland = degenerate_run >= opt_.degenerate_switch;
       btran(y);
 
@@ -573,6 +580,7 @@ class Simplex {
     SolveStatus result = SolveStatus::kIterLimit;
     util::DeadlinePoller deadline(opt_.deadline);
     const bool faulty = util::faults_armed();
+    const bool journaling = obs::journal_armed();
     int iter = 0;
     for (; iter < opt_.max_iterations; ++iter) {
       if (deadline.expired()) {
@@ -582,6 +590,9 @@ class Simplex {
       if (faulty)
         util::maybe_fault(util::FaultSite::kLpPivot,
                           static_cast<std::uint64_t>(iter));
+      if (journaling && iter != 0 && (iter & 1023) == 0)
+        obs::journal_record(obs::JournalEventKind::kSimplexMilestone, 0, 0,
+                            static_cast<std::uint64_t>(iter));
       const bool bland = degenerate_run >= opt_.degenerate_switch;
 
       // Leaving row: the most-infeasible basic (Bland: lowest column index

@@ -1,0 +1,364 @@
+#include "pil/obs/flight.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "pil/obs/json.hpp"
+#include "pil/util/error.hpp"
+
+#ifdef _WIN32
+#include <io.h>
+#define PIL_FLIGHT_WRITE _write
+#else
+#include <unistd.h>
+#define PIL_FLIGHT_WRITE ::write
+#endif
+
+namespace pil::obs {
+
+namespace {
+
+void write_event(JsonWriter& w, const JournalEvent& e, JournalNamer namer) {
+  w.begin_object();
+  w.kv("seq", static_cast<unsigned long long>(e.seq));
+  w.kv("ts_us", static_cast<double>(e.ts_ns) * 1e-3);
+  w.kv("tid", static_cast<long long>(e.tid));
+  if (e.session != 0) w.kv("session", static_cast<long long>(e.session));
+  if (e.flow != 0) w.kv("flow", static_cast<long long>(e.flow));
+  if (e.tile >= 0) w.kv("tile", static_cast<long long>(e.tile));
+  w.kv("kind", to_string(e.kind));
+  if (e.a != 0) {
+    w.kv("a", static_cast<long long>(e.a));
+    if (namer)
+      if (const char* name = namer(e.kind, 'a', e.a)) w.kv("method", name);
+  }
+  // b carries enum payloads whose zero value is meaningful for these
+  // kinds (deadline scope, FaultSite::kTileSolve) -- always emit it.
+  if (e.b != 0 || e.kind == JournalEventKind::kDeadlineExpired ||
+      e.kind == JournalEventKind::kFaultInjected) {
+    w.kv("b", static_cast<long long>(e.b));
+    if (namer)
+      if (const char* name = namer(e.kind, 'b', e.b)) w.kv("detail", name);
+  }
+  if (e.c != 0) w.kv("c", static_cast<unsigned long long>(e.c));
+  if (e.v != 0.0) w.kv("v", e.v);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_flight_json(std::ostream& os, const FlightWriteOptions& options) {
+  JournalSnapshot snap = journal_snapshot();
+  const JournalNamer namer = journal_namer();
+  std::stable_sort(snap.events.begin(), snap.events.end(),
+                   [](const JournalEvent& x, const JournalEvent& y) {
+                     return x.seq < y.seq;
+                   });
+
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.kv("schema", "pil.flight.v1");
+  w.kv("cause", options.cause.empty() ? "requested"
+                                      : std::string_view(options.cause));
+  if (!options.detail.empty()) w.kv("detail", options.detail);
+  w.kv("sequence", static_cast<unsigned long long>(journal_sequence()));
+  w.kv("dropped_events", static_cast<unsigned long long>(snap.dropped));
+  w.key("threads");
+  w.begin_array();
+  for (const auto& [tid, name] : journal_thread_names()) {
+    w.begin_object();
+    w.kv("tid", static_cast<long long>(tid));
+    w.kv("name", name);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("events");
+  w.begin_array();
+  for (const JournalEvent& e : snap.events) write_event(w, e, namer);
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+bool write_flight_file(const std::string& path,
+                       const FlightWriteOptions& options) noexcept {
+  try {
+    std::ofstream os(path);
+    if (!os) return false;
+    write_flight_json(os, options);
+    return os.good();
+  } catch (...) {
+    return false;
+  }
+}
+
+namespace {
+
+/// State threaded through journal_visit_rings in the crash path. Plain
+/// struct + function pointer keeps the handler free of allocation.
+struct SignalDumpState {
+  int fd = -1;
+  bool first = true;
+  JournalNamer namer = nullptr;
+};
+
+void signal_put(int fd, const char* s, int n) {
+  if (n > 0) (void)!PIL_FLIGHT_WRITE(fd, s, static_cast<size_t>(n));
+}
+
+template <typename... Args>
+void signal_putf(int fd, const char* fmt, Args... args) {
+  char buf[512];
+  int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  if (n >= static_cast<int>(sizeof(buf))) n = sizeof(buf) - 1;
+  signal_put(fd, buf, n);
+}
+
+void signal_dump_ring(void* ctx, std::uint64_t head,
+                      const JournalEvent* slots) {
+  auto& state = *static_cast<SignalDumpState*>(ctx);
+  const std::uint64_t n =
+      head < kJournalRingCapacity ? head : kJournalRingCapacity;
+  for (std::uint64_t i = head - n; i < head; ++i) {
+    const JournalEvent& e = slots[i & (kJournalRingCapacity - 1)];
+    signal_putf(state.fd, "%s{\"seq\":%" PRIu64 ",\"ts_us\":%.3f,\"tid\":%u",
+                state.first ? "" : ",", e.seq,
+                static_cast<double>(e.ts_ns) * 1e-3, e.tid);
+    state.first = false;
+    if (e.session != 0) signal_putf(state.fd, ",\"session\":%u", e.session);
+    if (e.flow != 0) signal_putf(state.fd, ",\"flow\":%u", e.flow);
+    if (e.tile >= 0) signal_putf(state.fd, ",\"tile\":%d", e.tile);
+    signal_putf(state.fd, ",\"kind\":\"%s\"", to_string(e.kind));
+    if (e.a != 0) {
+      signal_putf(state.fd, ",\"a\":%u", static_cast<unsigned>(e.a));
+      const char* name =
+          state.namer != nullptr ? state.namer(e.kind, 'a', e.a) : nullptr;
+      if (name != nullptr) signal_putf(state.fd, ",\"method\":\"%s\"", name);
+    }
+    if (e.b != 0 || e.kind == JournalEventKind::kDeadlineExpired ||
+        e.kind == JournalEventKind::kFaultInjected) {
+      signal_putf(state.fd, ",\"b\":%u", e.b);
+      const char* name =
+          state.namer != nullptr ? state.namer(e.kind, 'b', e.b) : nullptr;
+      if (name != nullptr) signal_putf(state.fd, ",\"detail\":\"%s\"", name);
+    }
+    if (e.c != 0) signal_putf(state.fd, ",\"c\":%" PRIu64, e.c);
+    if (e.v != 0.0) signal_putf(state.fd, ",\"v\":%.9g", e.v);
+    signal_put(state.fd, "}", 1);
+  }
+}
+
+}  // namespace
+
+void write_flight_signal_safe(int fd, const char* cause) noexcept {
+  // Fixed-size stack buffers and write(2) only: this runs from fatal-
+  // signal handlers. Other threads may still be recording, so a torn
+  // trailing slot is possible; the output stays parseable regardless.
+  SignalDumpState state;
+  state.fd = fd;
+  state.namer = journal_namer();
+  signal_putf(fd,
+              "{\"schema\":\"pil.flight.v1\",\"cause\":\"%s\",\"sequence\":%"
+              PRIu64 ",\"dropped_events\":0,\"threads\":[],\"events\":[",
+              cause != nullptr ? cause : "signal", journal_sequence());
+  journal_visit_rings(&signal_dump_ring, &state);
+  signal_put(fd, "]}\n", 3);
+}
+
+namespace {
+
+double num_or(const JsonValue& obj, std::string_view key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->num_v : fallback;
+}
+
+std::string str_or(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->str_v : std::string();
+}
+
+}  // namespace
+
+FlightDump parse_flight_json(std::string_view text) {
+  const JsonValue doc = parse_json(text);
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->str_v != "pil.flight.v1")
+    throw Error("not a pil.flight.v1 document");
+  FlightDump dump;
+  dump.cause = str_or(doc, "cause");
+  dump.detail = str_or(doc, "detail");
+  dump.dropped = static_cast<std::uint64_t>(num_or(doc, "dropped_events", 0));
+  if (const JsonValue* threads = doc.find("threads");
+      threads != nullptr && threads->is_array()) {
+    for (const JsonValue& t : threads->items) {
+      if (!t.is_object()) continue;
+      FlightThread ft;
+      ft.tid = static_cast<std::uint32_t>(num_or(t, "tid", 0));
+      ft.name = str_or(t, "name");
+      ft.dropped = static_cast<std::uint64_t>(num_or(t, "dropped", 0));
+      dump.threads.push_back(std::move(ft));
+    }
+  }
+  if (const JsonValue* events = doc.find("events");
+      events != nullptr && events->is_array()) {
+    dump.events.reserve(events->items.size());
+    for (const JsonValue& ev : events->items) {
+      if (!ev.is_object()) continue;
+      FlightEvent fe;
+      fe.seq = static_cast<std::uint64_t>(num_or(ev, "seq", 0));
+      fe.ts_us = num_or(ev, "ts_us", 0.0);
+      fe.tid = static_cast<std::uint32_t>(num_or(ev, "tid", 0));
+      fe.session = static_cast<std::uint32_t>(num_or(ev, "session", 0));
+      fe.flow = static_cast<std::uint32_t>(num_or(ev, "flow", 0));
+      fe.tile = static_cast<std::int32_t>(num_or(ev, "tile", -1));
+      fe.kind = str_or(ev, "kind");
+      fe.method = str_or(ev, "method");
+      fe.detail = str_or(ev, "detail");
+      fe.a = static_cast<std::uint64_t>(num_or(ev, "a", 0));
+      fe.b = static_cast<std::uint64_t>(num_or(ev, "b", 0));
+      fe.c = static_cast<std::uint64_t>(num_or(ev, "c", 0));
+      fe.v = num_or(ev, "v", 0.0);
+      dump.events.push_back(std::move(fe));
+    }
+  }
+  std::stable_sort(dump.events.begin(), dump.events.end(),
+                   [](const FlightEvent& x, const FlightEvent& y) {
+                     return x.seq < y.seq;
+                   });
+  return dump;
+}
+
+FlightDump read_flight_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open flight dump: " + path);
+  std::ostringstream text;
+  text << is.rdbuf();
+  return parse_flight_json(text.str());
+}
+
+FlightDump merge_flight_dumps(const std::vector<FlightDump>& dumps) {
+  FlightDump merged;
+  for (const FlightDump& d : dumps) {
+    if (merged.cause.empty()) merged.cause = d.cause;
+    if (merged.detail.empty()) merged.detail = d.detail;
+    merged.dropped += d.dropped;
+    merged.threads.insert(merged.threads.end(), d.threads.begin(),
+                          d.threads.end());
+    merged.events.insert(merged.events.end(), d.events.begin(),
+                         d.events.end());
+  }
+  std::stable_sort(merged.events.begin(), merged.events.end(),
+                   [](const FlightEvent& x, const FlightEvent& y) {
+                     return x.seq < y.seq;
+                   });
+  return merged;
+}
+
+void write_flight_json(std::ostream& os, const FlightDump& dump) {
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.kv("schema", "pil.flight.v1");
+  w.kv("cause", dump.cause.empty() ? "requested"
+                                   : std::string_view(dump.cause));
+  if (!dump.detail.empty()) w.kv("detail", dump.detail);
+  const std::uint64_t sequence =
+      dump.events.empty() ? 0 : dump.events.back().seq;
+  w.kv("sequence", static_cast<unsigned long long>(sequence));
+  w.kv("dropped_events", static_cast<unsigned long long>(dump.dropped));
+  w.key("threads");
+  w.begin_array();
+  for (const FlightThread& t : dump.threads) {
+    w.begin_object();
+    w.kv("tid", static_cast<long long>(t.tid));
+    w.kv("name", t.name);
+    if (t.dropped != 0)
+      w.kv("dropped", static_cast<unsigned long long>(t.dropped));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("events");
+  w.begin_array();
+  for (const FlightEvent& e : dump.events) {
+    w.begin_object();
+    w.kv("seq", static_cast<unsigned long long>(e.seq));
+    w.kv("ts_us", e.ts_us);
+    w.kv("tid", static_cast<long long>(e.tid));
+    if (e.session != 0) w.kv("session", static_cast<long long>(e.session));
+    if (e.flow != 0) w.kv("flow", static_cast<long long>(e.flow));
+    if (e.tile >= 0) w.kv("tile", static_cast<long long>(e.tile));
+    w.kv("kind", e.kind);
+    if (e.a != 0) {
+      w.kv("a", static_cast<long long>(e.a));
+      if (!e.method.empty()) w.kv("method", e.method);
+    }
+    if (e.b != 0 || e.kind == "deadline_expired" ||
+        e.kind == "fault_injected") {
+      w.kv("b", static_cast<long long>(e.b));
+      if (!e.detail.empty()) w.kv("detail", e.detail);
+    }
+    if (e.c != 0) w.kv("c", static_cast<unsigned long long>(e.c));
+    if (e.v != 0.0) w.kv("v", e.v);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::vector<TileChain> tile_chains(const FlightDump& dump) {
+  std::vector<TileChain> chains;
+  std::map<std::pair<std::uint32_t, std::int32_t>, std::size_t> index;
+  for (std::size_t i = 0; i < dump.events.size(); ++i) {
+    const FlightEvent& e = dump.events[i];
+    if (e.tile < 0) continue;
+    const auto key = std::make_pair(e.flow, e.tile);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, chains.size()).first;
+      TileChain chain;
+      chain.tile = e.tile;
+      chain.flow = e.flow;
+      chain.session = e.session;
+      chains.push_back(std::move(chain));
+    }
+    TileChain& chain = chains[it->second];
+    chain.events.push_back(i);
+    auto label = [&e]() {
+      return !e.detail.empty() ? e.detail
+                               : (!e.kind.empty() ? e.kind : std::string());
+    };
+    if (e.kind == "tile_begin") {
+      if (chain.method.empty()) chain.method = e.method;
+      chain.required = std::max(chain.required, static_cast<long long>(e.c));
+    } else if (e.kind == "tile_end") {
+      chain.placed = static_cast<long long>(e.c);
+      chain.seconds += e.v;
+      if (!chain.failed)
+        chain.failed = chain.required > 0 && chain.placed == 0 &&
+                       !chain.cause.empty();
+    } else if (e.kind == "ladder_step") {
+      chain.degraded = true;
+      if (chain.cause.empty()) chain.cause = label();
+    } else if (e.kind == "tile_failure") {
+      chain.degraded = true;
+      if (chain.cause.empty()) chain.cause = label();
+    } else if (e.kind == "deadline_expired" || e.kind == "fault_injected") {
+      if (chain.cause.empty()) chain.cause = label();
+    }
+  }
+  for (TileChain& chain : chains) {
+    if (chain.required > 0 && chain.placed == 0 && chain.degraded)
+      chain.failed = true;
+    if (chain.failed) chain.degraded = false;
+  }
+  return chains;
+}
+
+}  // namespace pil::obs

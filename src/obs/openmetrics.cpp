@@ -1,0 +1,164 @@
+/// \file openmetrics.cpp
+/// OpenMetrics text exposition for MetricsSnapshot. The registry's names
+/// use the internal `base{k=v,...}` convention from obs::labeled(); here
+/// they are split back into a metric family plus real OpenMetrics labels,
+/// so a Prometheus scrape of the future fill daemon gets first-class
+/// label dimensions instead of opaque composite names.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pil/obs/metrics.hpp"
+
+namespace pil::obs {
+
+namespace {
+
+/// OpenMetrics metric / label names allow [a-zA-Z0-9_:] (first char not a
+/// digit); our dotted names map '.' and anything else exotic to '_'.
+std::string sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+/// Label *values* keep their text but need the exposition-format escapes.
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char ch : v) {
+    if (ch == '\\')
+      out += "\\\\";
+    else if (ch == '"')
+      out += "\\\"";
+    else if (ch == '\n')
+      out += "\\n";
+    else
+      out.push_back(ch);
+  }
+  return out;
+}
+
+/// Split an internal composite name "base{k=v,k2=v2}" into the family
+/// name and an OpenMetrics label block ("" when unlabeled).
+void split_series(std::string_view full, std::string& family,
+                  std::string& labels) {
+  const std::size_t brace = full.find('{');
+  if (brace == std::string_view::npos || full.back() != '}') {
+    family = sanitize_name(full);
+    labels.clear();
+    return;
+  }
+  family = sanitize_name(full.substr(0, brace));
+  std::string_view body = full.substr(brace + 1, full.size() - brace - 2);
+  std::string out(1, '{');
+  bool first = true;
+  while (!body.empty()) {
+    const std::size_t comma = body.find(',');
+    std::string_view item = body.substr(0, comma);
+    body = comma == std::string_view::npos ? std::string_view()
+                                           : body.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (!first) out += ",";
+    first = false;
+    out += sanitize_name(item.substr(0, eq));
+    out += "=\"";
+    out += escape_label_value(item.substr(eq + 1));
+    out += "\"";
+  }
+  out += "}";
+  labels = first ? std::string() : std::move(out);
+}
+
+std::string om_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Shorten when fewer digits round-trip (mirrors json_number).
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) return probe;
+  }
+  return buf;
+}
+
+/// Merge a label block with an extra `le` label for histogram buckets.
+std::string with_le(const std::string& labels, const std::string& le) {
+  if (labels.empty()) return "{le=\"" + le + "\"}";
+  return labels.substr(0, labels.size() - 1) + ",le=\"" + le + "\"}";
+}
+
+template <typename T>
+using Families = std::map<std::string, std::vector<std::pair<std::string, T>>>;
+
+/// Group snapshot series by sanitized family name. The snapshot is sorted
+/// by composite name, but "base" and "base{...}" series of one family are
+/// not necessarily adjacent there ('{' sorts above alphanumerics), so a
+/// map regroups them under one # TYPE header.
+template <typename T>
+Families<T> group(const std::vector<std::pair<std::string, T>>& series) {
+  Families<T> out;
+  for (const auto& [name, value] : series) {
+    std::string family, labels;
+    split_series(name, family, labels);
+    out[family].emplace_back(labels, value);
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsSnapshot::write_openmetrics(std::ostream& os) const {
+  for (const auto& [family, series] : group(counters)) {
+    os << "# TYPE " << family << " counter\n";
+    for (const auto& [labels, value] : series)
+      os << family << "_total" << labels << " " << value << "\n";
+  }
+  for (const auto& [family, series] : group(gauges)) {
+    os << "# TYPE " << family << " gauge\n";
+    for (const auto& [labels, value] : series)
+      os << family << labels << " " << om_number(value) << "\n";
+  }
+  for (const auto& [family, series] : group(histograms)) {
+    os << "# TYPE " << family << " histogram\n";
+    for (const auto& [labels, snap] : series) {
+      long long cumulative = 0;
+      for (int b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+        if (snap.buckets[b] == 0) continue;
+        cumulative += snap.buckets[b];
+        os << family << "_bucket"
+           << with_le(labels, om_number(Histogram::bucket_lower(b + 1)))
+           << " " << cumulative << "\n";
+      }
+      // The +Inf bucket closes the series (and absorbs the top bucket).
+      os << family << "_bucket" << with_le(labels, "+Inf") << " "
+         << snap.count << "\n";
+      os << family << "_sum" << labels << " " << om_number(snap.sum) << "\n";
+      os << family << "_count" << labels << " " << snap.count << "\n";
+    }
+  }
+  os << "# EOF\n";
+}
+
+void MetricsRegistry::write_openmetrics(std::ostream& os) const {
+  snapshot().write_openmetrics(os);
+}
+
+}  // namespace pil::obs

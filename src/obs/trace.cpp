@@ -1,10 +1,48 @@
 #include "pil/obs/trace.hpp"
 
 #include <atomic>
+#include <utility>
 
+#include "pil/obs/journal.hpp"
 #include "pil/obs/json.hpp"
 
 namespace pil::obs {
+
+namespace {
+
+std::mutex g_process_name_mu;
+std::string& process_name_storage() {
+  static std::string name = "pil";
+  return name;
+}
+
+/// One "ph":"M" metadata record (process_name / thread_name), the form
+/// Perfetto and chrome://tracing use to label rows in the trace UI.
+void write_metadata_event(JsonWriter& w, const char* what, std::uint32_t tid,
+                          const std::string& name) {
+  w.begin_object();
+  w.kv("name", what);
+  w.kv("ph", "M");
+  w.kv("pid", 1);
+  w.kv("tid", static_cast<long long>(tid));
+  w.key("args");
+  w.begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void set_trace_process_name(std::string name) {
+  std::lock_guard<std::mutex> lock(g_process_name_mu);
+  process_name_storage() = std::move(name);
+}
+
+std::string trace_process_name() {
+  std::lock_guard<std::mutex> lock(g_process_name_mu);
+  return process_name_storage();
+}
 
 void TraceSession::record(TraceEvent e) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -20,6 +58,11 @@ void TraceSession::write_json(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w(os, /*pretty=*/false);
   w.begin_array();
+  // Metadata first: label the process row and every named worker thread
+  // (names registered through journal_set_thread_name).
+  write_metadata_event(w, "process_name", 0, trace_process_name());
+  for (const auto& [tid, name] : journal_thread_names())
+    write_metadata_event(w, "thread_name", tid, name);
   for (const TraceEvent& e : events_) {
     w.begin_object();
     w.kv("name", e.name);

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "pil/obs/journal.hpp"
 #include "pil/obs/metrics.hpp"
 #include "pil/obs/trace.hpp"
 #include "pil/pilfill/driver.hpp"
@@ -185,6 +186,9 @@ inline std::vector<TileSolveResult> solve_instances_parallel(
   const int threads = std::clamp(
       config.threads, 1, std::max(1, static_cast<int>(todo.size())));
   std::atomic<bool> abort{false};
+  // Workers inherit the caller's (session, flow) attribution -- fresh
+  // threads start with an empty thread-local scope.
+  const obs::JournalCorrelation flow_corr = obs::journal_correlation();
   auto solve_range = [&](SolverContext local_ctx, std::atomic<size_t>& next,
                          int worker) {
     // Hot-path handles resolved once per worker: recording a tile's solve
@@ -197,6 +201,7 @@ inline std::vector<TileSolveResult> solve_instances_parallel(
                        {{"method", to_string(method)},
                         {"thread", std::to_string(worker)}}));
     const bool tracing = obs::trace_session() != nullptr;
+    const bool journaling = obs::journal_armed();
     for (std::size_t i = next.fetch_add(1); i < todo.size();
          i = next.fetch_add(1)) {
       if (config.fail_fast && abort.load(std::memory_order_relaxed)) break;
@@ -205,16 +210,30 @@ inline std::vector<TileSolveResult> solve_instances_parallel(
                0x9E3779B97F4A7C15ull));
       local_ctx.ilp.warm_basis =
           warm_roots != nullptr ? (*warm_roots)[i] : nullptr;
+      obs::JournalCorrelation tile_corr = flow_corr;
+      tile_corr.tile = todo[i]->tile_flat;
+      obs::JournalScope journal_scope(tile_corr);
       try {
-        if (hist || tracing) {
+        if (hist || tracing || journaling) {
           obs::TraceSpan span(
               "tile_solve",
               tracing ? "{\"tile\":" + std::to_string(todo[i]->tile_flat) +
                             ",\"method\":\"" + to_string(method) + "\"}"
                       : std::string());
+          if (journaling)
+            obs::journal_record(
+                obs::JournalEventKind::kTileBegin,
+                static_cast<std::uint16_t>(method), 0,
+                static_cast<std::uint64_t>(todo[i]->required));
           Stopwatch tile_watch;
           solved[i] = solve_tile_guarded(method, *todo[i], local_ctx, rng);
-          if (hist) hist->observe(tile_watch.seconds());
+          const double tile_seconds = tile_watch.seconds();
+          if (hist) hist->observe(tile_seconds);
+          if (journaling)
+            obs::journal_record(
+                obs::JournalEventKind::kTileEnd,
+                static_cast<std::uint16_t>(method), 0,
+                static_cast<std::uint64_t>(solved[i].placed), tile_seconds);
         } else {
           solved[i] = solve_tile_guarded(method, *todo[i], local_ctx, rng);
         }
@@ -250,7 +269,10 @@ inline std::vector<TileSolveResult> solve_instances_parallel(
     for (int w = 0; w < threads; ++w) {
       SolverContext local_ctx = ctx;
       local_ctx.lut = &luts[w];
-      pool.emplace_back(solve_range, local_ctx, std::ref(next), w);
+      pool.emplace_back([&solve_range, local_ctx, &next, w] {
+        obs::journal_set_thread_name("worker-" + std::to_string(w));
+        solve_range(local_ctx, next, w);
+      });
     }
     for (auto& t : pool) t.join();
   }

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "flow_common.hpp"
+#include "pil/obs/journal.hpp"
 #include "pil/obs/metrics.hpp"
 #include "pil/obs/trace.hpp"
 #include "pil/util/log.hpp"
@@ -164,6 +165,7 @@ struct FillSession::Impl {
       basis_hints;
   SessionStats stats;
   bool edited = false;  ///< gates pilfill.session.* publication in solve()
+  std::uint32_t journal_session_id = 0;  ///< correlation id for flight dumps
 
   const SlackColumns& solver_slack() const { return alt ? *alt : *global; }
 
@@ -223,6 +225,10 @@ struct FillSession::Impl {
   Impl(const layout::Layout& src, const FlowConfig& cfg)
       : layout(src), config(cfg) {
     config.validate(layout);
+    // Flight-recorder attribution: give this session a correlation id and
+    // make sure dumps can decode pilfill enum payloads.
+    register_journal_namer();
+    journal_session_id = obs::journal_new_id();
     // Config-armed fault injection is process-global (like PIL_FAULT); a
     // non-empty spec replaces the active plan, an empty one leaves any
     // env-armed plan alone.
@@ -281,6 +287,9 @@ struct FillSession::Impl {
       }
     }
     prep_seconds = stages.total();
+    obs::journal_record_at(
+        {journal_session_id, 0, -1}, obs::JournalEventKind::kSessionBegin, 0,
+        0, static_cast<std::uint64_t>(dissection->num_tiles()), prep_seconds);
 
     const layout::Layer& layer = layout.layer(config.layer);
     model.emplace(layer.eps_r, layer.thickness_um);
@@ -320,6 +329,14 @@ struct FillSession::Impl {
     const SolverContext ctx = flow_detail::make_context(
         config, *model, *lut, flow_deadline ? &*flow_deadline : nullptr);
 
+    // One flow correlation id per solve() call; the worker pool copies
+    // the scope into its threads so every tile event links back here.
+    obs::JournalScope journal_scope(
+        {journal_session_id, obs::journal_new_id(), -1});
+    Stopwatch flow_watch;
+    obs::journal_record(obs::JournalEventKind::kFlowBegin, 0, 0,
+                        static_cast<std::uint64_t>(instances.size()));
+
     for (const Method method : methods) {
       obs::TraceSpan method_span(
           "method", std::string("{\"method\":\"") + to_string(method) + "\"}");
@@ -337,6 +354,9 @@ struct FillSession::Impl {
         todo.push_back(&inst);
         todo_tiles.push_back(tile);
       }
+      obs::journal_record(obs::JournalEventKind::kMethodBegin,
+                          static_cast<std::uint16_t>(method), 0,
+                          static_cast<std::uint64_t>(todo.size()));
       // Warm-start hints for the tiles about to be (re-)solved: the root
       // basis each tile's previous solve left behind, if any.
       std::map<int, std::shared_ptr<const lp::Basis>>& mhints =
@@ -345,10 +365,20 @@ struct FillSession::Impl {
       long long basis_hits = 0;
       if (config.ilp.warm_start && !todo.empty()) {
         warm_roots.reserve(todo.size());
+        const bool journaling = obs::journal_armed();
+        obs::JournalCorrelation tile_corr = obs::journal_correlation();
         for (const int tile : todo_tiles) {
           const auto hit = mhints.find(tile);
           warm_roots.push_back(hit != mhints.end() ? hit->second : nullptr);
           if (warm_roots.back() != nullptr) ++basis_hits;
+          if (journaling) {
+            tile_corr.tile = tile;
+            obs::journal_record_at(tile_corr,
+                                   warm_roots.back() != nullptr
+                                       ? obs::JournalEventKind::kBasisHit
+                                       : obs::JournalEventKind::kBasisMiss,
+                                   static_cast<std::uint16_t>(method));
+          }
         }
       }
       std::vector<TileSolveResult> solved =
@@ -367,6 +397,10 @@ struct FillSession::Impl {
       stats.basis_hits += basis_hits;
       stats.basis_misses += basis_misses;
       mr.solve_seconds = solve_watch.seconds();
+      obs::journal_record(obs::JournalEventKind::kMethodEnd,
+                          static_cast<std::uint16_t>(method), 0,
+                          static_cast<std::uint64_t>(todo.size()),
+                          mr.solve_seconds);
 
       const long long reused =
           static_cast<long long>(instances.size() - todo.size());
@@ -427,6 +461,8 @@ struct FillSession::Impl {
                << mr.solve_seconds << " s");
       result.methods.push_back(std::move(mr));
     }
+    obs::journal_record(obs::JournalEventKind::kFlowEnd, 0, 0, 0,
+                        flow_watch.seconds());
     return result;
   }
 
@@ -523,6 +559,12 @@ struct FillSession::Impl {
                           static_cast<std::uint64_t>(stats.edits));
       rctree::RcTree fresh = rctree::RcTree::build(layout, net);
       trees[net] = std::move(fresh);
+    } catch (const util::InjectedFault& e) {
+      obs::journal_record_at({journal_session_id, 0, -1},
+                             obs::JournalEventKind::kFaultInjected, 0,
+                             static_cast<std::uint32_t>(e.site()), e.key());
+      rollback();
+      throw;
     } catch (...) {
       rollback();
       throw;
@@ -641,6 +683,9 @@ struct FillSession::Impl {
     es.tiles_retargeted = retargeted;
     es.tiles_dirty = dirty;
     es.seconds = watch.seconds();
+    obs::journal_record_at({journal_session_id, 0, -1},
+                           obs::JournalEventKind::kSessionEdit, 0, 0,
+                           static_cast<std::uint64_t>(sid), es.seconds);
 
     if (obs::metrics_enabled()) {
       auto& reg = obs::metrics();

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <queue>
 
+#include "pil/obs/journal.hpp"
 #include "pil/util/fault.hpp"
 #include "pil/util/log.hpp"
 
@@ -367,11 +368,72 @@ void reset_placement(const TileInstance& inst, TileSolveResult& r) {
   r.ilp_gap = 0.0;
 }
 
+/// Journal payload decoder covering the pilfill enums (see JournalNamer).
+/// Field 'a' always carries a Method; field 'b' a per-kind secondary enum.
+const char* journal_field_name(obs::JournalEventKind kind, char field,
+                               std::uint64_t value) {
+  using K = obs::JournalEventKind;
+  if (field == 'a') {
+    switch (kind) {
+      case K::kMethodBegin:
+      case K::kMethodEnd:
+      case K::kTileBegin:
+      case K::kTileEnd:
+      case K::kLadderStep:
+      case K::kTileFailure:
+      case K::kBasisHit:
+      case K::kBasisMiss:
+        return value <= static_cast<std::uint64_t>(Method::kConvex)
+                   ? to_string(static_cast<Method>(value))
+                   : nullptr;
+      default:
+        return nullptr;
+    }
+  }
+  if (field == 'b') {
+    switch (kind) {
+      case K::kLadderStep:
+      case K::kTileFailure:
+        return value <= static_cast<std::uint64_t>(FailureReason::kException)
+                   ? to_string(static_cast<FailureReason>(value))
+                   : nullptr;
+      case K::kDeadlineExpired:
+        return value != 0 ? "flow_deadline" : "tile_deadline";
+      case K::kFaultInjected:
+        return value < static_cast<std::uint64_t>(util::kFaultSiteCount)
+                   ? util::to_string(static_cast<util::FaultSite>(value))
+                   : nullptr;
+      default:
+        return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+/// Journal one tile-failure record (kind payloads per journal.hpp).
+void journal_failure(const TileFailure& f) {
+  obs::journal_record(obs::JournalEventKind::kTileFailure,
+                      static_cast<std::uint16_t>(f.served_by),
+                      static_cast<std::uint32_t>(f.reason),
+                      f.used_incumbent ? 1 : 0);
+}
+
 }  // namespace
+
+void register_journal_namer() {
+  obs::set_journal_namer(&journal_field_name);
+}
 
 TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
                                    const SolverContext& ctx, Rng& rng) {
   const util::Deadline* flow = ctx.flow_deadline;
+
+  // Attribute every event below (including simplex / B&B milestones deep
+  // in the solvers) to this tile, inheriting the session/flow ids the
+  // worker pool installed.
+  obs::JournalCorrelation corr = obs::journal_correlation();
+  corr.tile = inst.tile_flat;
+  obs::JournalScope journal_scope(corr);
 
   TileFailure fail;
   fail.tile = inst.tile_flat;
@@ -387,6 +449,7 @@ TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
     failed = true;
     fail.reason = FailureReason::kFlowDeadline;
     fail.detail = "flow deadline expired before tile solve";
+    obs::journal_record(obs::JournalEventKind::kDeadlineExpired, 0, 1);
   } else {
     // Per-tile budget, clipped by the flow deadline. Only ILP methods read
     // it (through the B&B/simplex deadline hooks); when neither budget is
@@ -426,16 +489,19 @@ TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
           fail.detail = "node budget exhausted without an incumbent";
           break;
         case ilp::IlpStatus::kDeadline: {
-          fail.reason = (flow != nullptr && flow->expired())
-                            ? FailureReason::kFlowDeadline
-                            : FailureReason::kTileDeadline;
+          const bool flow_expired = flow != nullptr && flow->expired();
+          fail.reason = flow_expired ? FailureReason::kFlowDeadline
+                                     : FailureReason::kTileDeadline;
           fail.ilp_status = primary.ilp_status;
           fail.lp_status = primary.lp_status;
+          obs::journal_record(obs::JournalEventKind::kDeadlineExpired, 0,
+                              flow_expired ? 1 : 0);
           if (primary.placed > 0) {
             // Budget ran out but the search had an incumbent: keep it.
             fail.used_incumbent = true;
             fail.detail = "deadline expired; unproven incumbent kept";
             primary.failure = fail;
+            journal_failure(fail);
             return primary;
           }
           failed = true;
@@ -456,6 +522,8 @@ TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
       failed = true;
       fail.reason = FailureReason::kInjectedFault;
       fail.detail = e.what();
+      obs::journal_record(obs::JournalEventKind::kFaultInjected, 0,
+                          static_cast<std::uint32_t>(e.site()), e.key());
     } catch (const std::exception& e) {
       failed = true;
       fail.reason = FailureReason::kException;
@@ -471,6 +539,7 @@ TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
 
   if (!ctx.degrade_on_failure) {
     primary.failure = fail;
+    journal_failure(fail);
     return primary;
   }
 
@@ -479,6 +548,9 @@ TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
   Method step = method;
   while (step != Method::kNormal) {
     step = next_ladder_step(step);
+    obs::journal_record(obs::JournalEventKind::kLadderStep,
+                        static_cast<std::uint16_t>(step),
+                        static_cast<std::uint32_t>(fail.reason));
     try {
       TileSolveResult fb = solve_tile(step, inst, ctx, rng);
       fb.bb_nodes += primary.bb_nodes;
@@ -490,6 +562,7 @@ TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
       fb.lp_status = primary.lp_status;
       fail.served_by = step;
       fb.failure = fail;
+      journal_failure(fail);
       return fb;
     } catch (const std::exception& e) {
       fail.detail += std::string("; ") + to_string(step) +
@@ -501,6 +574,7 @@ TileSolveResult solve_tile_guarded(Method method, const TileInstance& inst,
   // places nothing and its requirement shows up as shortfall.
   fail.served_by = step;
   primary.failure = fail;
+  journal_failure(fail);
   return primary;
 }
 

@@ -4,12 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "pil/layout/synthetic.hpp"
+#include "pil/obs/journal.hpp"
 #include "pil/obs/json.hpp"
 #include "pil/obs/metrics.hpp"
 #include "pil/obs/prof.hpp"
@@ -82,6 +84,43 @@ TEST(Json, WriterParserRoundTrip) {
   ASSERT_EQ(v.at("raw").items.size(), 2u);
   EXPECT_EQ(v.find("missing"), nullptr);
   EXPECT_THROW(v.at("missing"), Error);
+}
+
+// Satellite regression: every C0 control character must leave json_escape
+// as an escape sequence (`\n`-style or `\u00XX`), never as a raw byte that
+// would make the document invalid JSON.
+TEST(Json, C0ControlCharactersEscape) {
+  std::string all(1, '\0');
+  for (char c = 1; c < 0x20; ++c) all.push_back(c);
+  const std::string escaped = obs::json_escape(all);
+  for (const char c : escaped)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  EXPECT_NE(escaped.find("\\u0000"), std::string::npos);
+  EXPECT_NE(escaped.find("\\u0001"), std::string::npos);
+  EXPECT_NE(escaped.find("\\u001f"), std::string::npos);
+  EXPECT_NE(escaped.find("\\n"), std::string::npos);
+  const JsonValue v = parse_json(escaped);
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.str_v, all);  // round-trips, embedded NUL included
+}
+
+// Satellite regression: non-finite doubles go through the writer as null
+// (valid JSON), not as "nan"/"inf" tokens.
+TEST(Json, WriterEmitsNullForNonFiniteDoubles) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("nan", std::nan(""));
+  w.kv("inf", HUGE_VAL);
+  w.kv("ninf", -HUGE_VAL);
+  w.kv("fine", 1.5);
+  w.end_object();
+  const JsonValue v = parse_json(os.str());
+  EXPECT_TRUE(v.at("nan").is_null());
+  EXPECT_TRUE(v.at("inf").is_null());
+  EXPECT_TRUE(v.at("ninf").is_null());
+  EXPECT_DOUBLE_EQ(v.at("fine").num_v, 1.5);
+  EXPECT_EQ(obs::json_number(-HUGE_VAL), "null");
 }
 
 TEST(Json, ParserRejectsGarbage) {
@@ -217,6 +256,59 @@ TEST(Metrics, ConcurrentRecordingLosesNothing) {
   EXPECT_DOUBLE_EQ(s.max, 0.5);
 }
 
+// Satellite: percentile extraction on the degenerate histograms -- empty
+// (no observations at all) and a single sample.
+TEST(Metrics, EmptyHistogramPercentiles) {
+  obs::Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  const obs::Histogram::Percentiles p = s.percentiles();
+  EXPECT_DOUBLE_EQ(p.p50, 0.0);
+  EXPECT_DOUBLE_EQ(p.p90, 0.0);
+  EXPECT_DOUBLE_EQ(p.p99, 0.0);
+}
+
+TEST(Metrics, SingleSampleHistogramPercentiles) {
+  obs::Histogram h;
+  h.observe(0.25);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 0.25);
+  const obs::Histogram::Percentiles p = s.percentiles();
+  // One sample: every percentile lands in its bucket, clamped by min/max
+  // to the sample itself.
+  EXPECT_DOUBLE_EQ(p.p50, 0.25);
+  EXPECT_DOUBLE_EQ(p.p90, 0.25);
+  EXPECT_DOUBLE_EQ(p.p99, 0.25);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.25);
+}
+
+// Satellite: exact counter/gauge totals under 1 and 4 incrementing
+// threads (the 4-thread case exercises the relaxed-atomic accumulators).
+TEST(Metrics, CounterGaugeExactTotalsAcrossThreadCounts) {
+  for (const int threads : {1, 4}) {
+    obs::Counter c;
+    obs::Gauge g;
+    constexpr int kPerThread = 25000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          c.add(2);
+          g.add(0.5);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(c.value(), 2LL * threads * kPerThread);
+    EXPECT_DOUBLE_EQ(g.value(), 0.5 * threads * kPerThread);
+  }
+}
+
 TEST(Metrics, LabeledNameFormat) {
   EXPECT_EQ(obs::labeled("base", {{"method", "ILP-II"}, {"thread", "0"}}),
             "base{method=ILP-II,thread=0}");
@@ -267,6 +359,52 @@ TEST(Metrics, SnapshotJsonParsesBack) {
   EXPECT_DOUBLE_EQ(buckets.items[0].items[0].num_v, 0.25);
 }
 
+// Tentpole: OpenMetrics text exposition. Internal `base{k=v}` composite
+// names split back into real label dimensions, counters gain `_total`,
+// histograms emit cumulative buckets closed by `+Inf`, and the document
+// terminates with `# EOF`.
+TEST(Metrics, OpenMetricsExposition) {
+  obs::MetricsRegistry reg;
+  reg.counter("pil.tiles.solved").add(3);
+  reg.counter(obs::labeled("pil.tiles.solved", {{"method", "ILP-II"}}))
+      .add(2);
+  reg.gauge("pil.queue.depth").set(1.5);
+  reg.gauge("pil.weird.gauge").set(std::nan(""));
+  obs::Histogram& h = reg.histogram("pil.solve.seconds");
+  h.observe(0.25);
+  h.observe(0.25);
+  h.observe(4.0);
+
+  std::ostringstream os;
+  reg.write_openmetrics(os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# TYPE pil_tiles_solved counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pil_tiles_solved_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("pil_tiles_solved_total{method=\"ILP-II\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pil_queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("pil_queue_depth 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("pil_weird_gauge NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pil_solve_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: the 0.25 pair is counted again by every later
+  // bucket line, and +Inf always equals the total count.
+  EXPECT_NE(text.find("pil_solve_seconds_bucket{le=\"0.5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pil_solve_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pil_solve_seconds_sum 4.5\n"), std::string::npos);
+  EXPECT_NE(text.find("pil_solve_seconds_count 3\n"), std::string::npos);
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  // Sanitized names stay within the OpenMetrics charset.
+  for (const char c : std::string("pil_tiles_solved"))
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_');
+}
+
 TEST(Metrics, GlobalEnableSwitch) {
   EXPECT_FALSE(obs::metrics_enabled());  // off by default
   obs::set_metrics_enabled(true);
@@ -298,20 +436,53 @@ TEST(Trace, SessionCollectsAndSerializes) {
   session.write_json(os);
   const JsonValue v = parse_json(os.str());
   ASSERT_TRUE(v.is_array());
-  ASSERT_EQ(v.items.size(), 3u);
+  // Metadata records ("M") precede the three duration spans ("X").
+  std::size_t spans = 0;
   bool saw_inner = false;
   for (const JsonValue& e : v.items) {
+    EXPECT_EQ(e.at("pid").num_v, 1);
+    if (e.at("ph").str_v == "M") continue;
+    ++spans;
     EXPECT_EQ(e.at("ph").str_v, "X");
     EXPECT_EQ(e.at("cat").str_v, "pil");
     EXPECT_GE(e.at("ts").num_v, 0.0);
     EXPECT_GE(e.at("dur").num_v, 0.0);
-    EXPECT_EQ(e.at("pid").num_v, 1);
     if (e.at("name").str_v == "inner") {
       saw_inner = true;
       EXPECT_EQ(e.at("args").at("tile").num_v, 7);
     }
   }
+  EXPECT_EQ(spans, 3u);
   EXPECT_TRUE(saw_inner);
+}
+
+// Satellite: worker threads must be labeled in the trace UI, so the writer
+// emits process_name / thread_name metadata records ahead of the spans.
+TEST(Trace, EmitsProcessAndThreadMetadata) {
+  obs::set_trace_process_name("pil-test");
+  obs::journal_set_thread_name("metadata-main");
+  obs::TraceSession session;
+  obs::set_trace_session(&session);
+  { obs::TraceSpan span("work"); }
+  obs::set_trace_session(nullptr);
+
+  std::ostringstream os;
+  session.write_json(os);
+  const JsonValue v = parse_json(os.str());
+  ASSERT_TRUE(v.is_array());
+  bool saw_process = false, saw_thread = false;
+  for (const JsonValue& e : v.items) {
+    if (e.at("ph").str_v != "M") continue;
+    if (e.at("name").str_v == "process_name" &&
+        e.at("args").at("name").str_v == "pil-test")
+      saw_process = true;
+    if (e.at("name").str_v == "thread_name" &&
+        e.at("args").at("name").str_v == "metadata-main")
+      saw_thread = true;
+  }
+  EXPECT_TRUE(saw_process);
+  EXPECT_TRUE(saw_thread);
+  EXPECT_EQ(obs::trace_process_name(), "pil-test");
 }
 
 // ------------------------------------------------------- stopwatch / log ----

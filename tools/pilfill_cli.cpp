@@ -13,9 +13,15 @@
 ///
 /// Observability (fill/table): --metrics-json <path> writes a structured
 /// run report (schema pil.run_report.v1), --trace-json <path> writes a
-/// Chrome/Perfetto trace of the pipeline stages and per-tile solves, and
-/// --log-level debug|info|warn|error|off sets the library log threshold.
+/// Chrome/Perfetto trace of the pipeline stages and per-tile solves,
+/// --metrics-openmetrics <path> writes the registry in OpenMetrics text
+/// format, and --log-level debug|info|warn|error|off sets the library log
+/// threshold. The flight recorder (always-on event journal) dumps a
+/// pil.flight.v1 postmortem on failure/deadline/fatal signal, or on
+/// request via --flight-dump <path>; --no-journal disarms it.
 
+#include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -23,6 +29,11 @@
 #include <optional>
 #include <sstream>
 #include <string>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "pil/pil.hpp"
 
@@ -58,7 +69,7 @@ Args parse_args(int argc, char** argv) {
       // Boolean flags take no value; everything else consumes the next arg.
       if (name == "weighted" || name == "two-layer" || name == "strict" ||
           name == "fail-fast" || name == "no-degrade" ||
-          name == "no-warm-start") {
+          name == "no-warm-start" || name == "no-journal") {
         args.options[name] = "1";
       } else {
         if (i + 1 >= argc) throw Error("option --" + name + " needs a value");
@@ -115,6 +126,70 @@ pilfill::FlowConfig flow_from_args(const Args& args) {
   return config;
 }
 
+/// --flight-dump target, staged where both the normal exit paths and the
+/// async-signal handler can reach it. The handler may only call async-
+/// signal-safe functions, so the path lives in a fixed char buffer and is
+/// opened with open(2) inside the handler itself.
+std::string g_flight_path;
+char g_signal_dump_path[1024] = {0};
+
+void fatal_signal_dump(int sig) {
+  int fd = 2;  // stderr when no --flight-dump path was staged
+#ifndef _WIN32
+  if (g_signal_dump_path[0] != '\0') {
+    const int opened =
+        ::open(g_signal_dump_path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (opened >= 0) fd = opened;
+  }
+#endif
+  obs::write_flight_signal_safe(fd, "signal");
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void install_fatal_signal_handlers(const std::string& flight_path) {
+  std::snprintf(g_signal_dump_path, sizeof(g_signal_dump_path), "%s",
+                flight_path.c_str());
+  std::signal(SIGSEGV, fatal_signal_dump);
+  std::signal(SIGABRT, fatal_signal_dump);
+  std::signal(SIGFPE, fatal_signal_dump);
+#ifdef SIGBUS
+  std::signal(SIGBUS, fatal_signal_dump);
+#endif
+}
+
+/// Post-run flight-recorder policy: an explicit --flight-dump path is
+/// always written; without one, a run with tile failures still auto-dumps
+/// to pil.flight.json so the postmortem survives unplanned bad runs.
+void flight_dump_after(const Args& args, const pilfill::FlowResult& res) {
+  bool deadline = false, failed = false;
+  std::string detail;
+  for (const auto& mr : res.methods) {
+    for (const auto& f : mr.failures) {
+      failed = true;
+      if (f.reason == pilfill::FailureReason::kTileDeadline ||
+          f.reason == pilfill::FailureReason::kFlowDeadline)
+        deadline = true;
+      if (detail.empty())
+        detail = "tile " + std::to_string(f.tile) + ": " +
+                 std::string(to_string(f.reason));
+    }
+  }
+  std::string path = args.get("flight-dump", "");
+  if (path.empty()) {
+    if (!failed || !obs::journal_armed()) return;
+    path = "pil.flight.json";
+  }
+  obs::FlightWriteOptions options;
+  options.cause = deadline ? "deadline" : failed ? "failure" : "requested";
+  options.detail = detail;
+  if (obs::write_flight_file(path, options))
+    std::cout << "wrote " << path << " (pil.flight.v1, cause: "
+              << options.cause << ")\n";
+  else
+    std::cerr << "pilfill: cannot write flight dump '" << path << "'\n";
+}
+
 /// Degraded-but-completed detection for the --strict exit code: any tile
 /// served by the degradation ladder (or left empty by a failure) marks the
 /// flow degraded. Also prints a per-method summary so the ladder is never
@@ -142,8 +217,9 @@ class ObsScope {
  public:
   explicit ObsScope(const Args& args)
       : metrics_path_(args.get("metrics-json", "")),
+        openmetrics_path_(args.get("metrics-openmetrics", "")),
         trace_path_(args.get("trace-json", "")) {
-    if (!metrics_path_.empty()) {
+    if (!metrics_path_.empty() || !openmetrics_path_.empty()) {
       obs::metrics().clear();
       obs::set_metrics_enabled(true);
     }
@@ -177,10 +253,18 @@ class ObsScope {
       pilfill::write_run_report_file(metrics_path_, config, result, options);
       std::cout << "wrote " << metrics_path_ << "\n";
     }
+    if (!openmetrics_path_.empty()) {
+      std::ofstream os(openmetrics_path_);
+      if (!os.good())
+        throw Error("cannot open openmetrics file '" + openmetrics_path_ + "'");
+      obs::metrics().write_openmetrics(os);
+      std::cout << "wrote " << openmetrics_path_ << " (OpenMetrics)\n";
+    }
   }
 
  private:
   std::string metrics_path_;
+  std::string openmetrics_path_;
   std::string trace_path_;
   std::optional<obs::TraceSession> session_;
 };
@@ -433,6 +517,7 @@ int cmd_fill(const Args& args) {
     std::cout << "wrote " << args.get("gds", "") << "\n";
   }
   const bool degraded = report_degradation(res);
+  flight_dump_after(args, res);
   return (degraded && args.flag("strict")) ? kExitDegraded : kExitOk;
 }
 
@@ -551,6 +636,7 @@ int cmd_table(const Args& args) {
   table.print(std::cout);
   obs_scope.finish(config, res, args.positional[0]);
   const bool degraded = report_degradation(res);
+  flight_dump_after(args, res);
   return (degraded && args.flag("strict")) ? kExitDegraded : kExitOk;
 }
 
@@ -571,7 +657,12 @@ int usage() {
       "  score <layout> <fill.gds> [--fill-layer N] [--max-density D]\n"
       "observability (fill/table):\n"
       "  --metrics-json <path>   write a pil.run_report.v1 JSON report\n"
+      "  --metrics-openmetrics <path>  write metrics in OpenMetrics text format\n"
       "  --trace-json <path>     write a Chrome/Perfetto trace of the run\n"
+      "  --flight-dump <path>    always write a pil.flight.v1 postmortem dump\n"
+      "                          (failures/deadlines auto-dump pil.flight.json;\n"
+      "                          fatal signals dump here too; see pilstat)\n"
+      "  --no-journal            disarm the always-on event journal\n"
       "  --log-level <level>     debug|info|warn|error|off (any command)\n"
       "robustness (fill/table; see docs/ROBUSTNESS.md):\n"
       "  --tile-deadline <s>     wall-clock budget per tile solve\n"
@@ -594,6 +685,11 @@ int main(int argc, char** argv) {
   try {
     util::arm_faults_from_env();  // PIL_FAULT / PIL_FAULT_SEED
     const Args args = parse_args(argc, argv);
+    if (args.flag("no-journal")) obs::set_journal_armed(false);
+    obs::journal_set_thread_name("main");
+    obs::set_trace_process_name("pilfill");
+    g_flight_path = args.get("flight-dump", "");
+    install_fatal_signal_handlers(g_flight_path);
     if (args.flag("log-level"))
       set_log_level(parse_log_level(args.get("log-level", "info")));
     if (cmd == "gen") return cmd_gen(args);
@@ -605,6 +701,18 @@ int main(int argc, char** argv) {
     return usage();
   } catch (const pil::Error& e) {
     std::cerr << "pilfill: " << e.what() << "\n";
+    // Unplanned failure: keep the postmortem. Dump to the requested path,
+    // or to pil.flight.json when a flow actually recorded something.
+    std::string path = g_flight_path;
+    if (path.empty() && obs::journal_armed() && obs::journal_sequence() > 0)
+      path = "pil.flight.json";
+    if (!path.empty()) {
+      obs::FlightWriteOptions options;
+      options.cause = "failure";
+      options.detail = e.what();
+      if (obs::write_flight_file(path, options))
+        std::cerr << "pilfill: flight recorder dump in " << path << "\n";
+    }
     return kExitError;
   }
 }
