@@ -74,9 +74,20 @@ Stats Stats::from_samples(std::vector<double> xs) {
   return s;
 }
 
+namespace {
+/// Written by set_scenario_extra from scenario bodies (which run on the
+/// run_scenario caller's thread), harvested after the repetition loop.
+std::string g_scenario_extra;  // NOLINT(runtime/string)
+}  // namespace
+
+void set_scenario_extra(std::string json) {
+  g_scenario_extra = std::move(json);
+}
+
 ScenarioResult run_scenario(const Scenario& s, int repetitions, int warmup) {
   PIL_REQUIRE(repetitions >= 1, "repetitions must be >= 1");
   PIL_REQUIRE(warmup >= 0, "warmup must be >= 0");
+  g_scenario_extra.clear();
   ScenarioResult r;
   r.name = s.name;
   r.repetitions = repetitions;
@@ -116,6 +127,8 @@ ScenarioResult run_scenario(const Scenario& s, int repetitions, int warmup) {
   if (all(branch_misses))
     r.branch_misses = median_ll(std::move(branch_misses));
   if (all(cache_misses)) r.cache_misses = median_ll(std::move(cache_misses));
+  r.extra_json = std::move(g_scenario_extra);
+  g_scenario_extra.clear();
   return r;
 }
 

@@ -102,6 +102,14 @@ struct ScenarioResult {
 /// times under a fresh ProfScope each.
 ScenarioResult run_scenario(const Scenario& s, int repetitions, int warmup);
 
+/// Publish a pre-serialized JSON object from inside a scenario body;
+/// run_scenario() moves the latest value into ScenarioResult::extra_json
+/// (so a multi-repetition run reports the last repetition's payload).
+/// Lets registry scenarios attach workload-specific results -- e.g. the
+/// service scenarios' p50/p99 latency and shed rate -- the way the
+/// standalone bench binaries populate extra_json directly.
+void set_scenario_extra(std::string json);
+
 // --------------------------------------------------------- v2 emission ----
 
 /// Streaming writer for one "pil.bench.v2" document:

@@ -45,6 +45,10 @@ Scenario flow_scenario(std::string name, std::string description,
 
 }  // namespace
 
+// service_scenarios.cpp -- closed-loop editor fleets against an
+// in-process pil::service::Server.
+void register_service_scenarios(Registry& r);
+
 void register_builtin_scenarios(Registry& r) {
   const auto t1 =
       std::make_shared<const layout::Layout>(layout::make_testcase_t1());
@@ -190,6 +194,8 @@ void register_builtin_scenarios(Registry& r) {
              session->solve({Method::kIlp2});
            };
          }});
+
+  register_service_scenarios(r);
 }
 
 }  // namespace pil::bench

@@ -1,0 +1,169 @@
+/// \file service_scenarios.cpp
+/// pilbench scenarios for the fill service: closed-loop editor fleets
+/// against an in-process pil::service::Server over loopback TCP. Each
+/// repetition drives N concurrent editors through open/solve loops and
+/// publishes per-request latency percentiles plus the shed rate through
+/// set_scenario_extra(), so a pil.bench.v2 document carries the service's
+/// tail behaviour next to its wall time.
+///
+///   service.closedloop.e8.greedy   8 editors x 4 greedy solves, ample
+///                                  queue: measures dispatch + session-pool
+///                                  contention; expects shed_rate == 0.
+///   service.overload.shed          8 editors x 2 ilp2 solves against
+///                                  --degrade-depth 1: every solve is shed
+///                                  to greedy; expects shed_rate == 1.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "pil/pil.hpp"
+
+namespace pil::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double percentile_of_sorted(const std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0.0;
+  const double rank = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+service::Request open_request() {
+  service::Request req;
+  req.op = service::Op::kOpenSession;
+  service::GenSpec gen;  // defaults: die 96 um, 60 nets, seed 4
+  req.gen = gen;
+  req.config.window_um = 32.0;
+  req.config.r = 2;
+  req.config.threads = 1;
+  return req;
+}
+
+/// One closed-loop fleet repetition: `editors` threads, each with its own
+/// connection, each issuing `solves_per_editor` solve requests back to
+/// back against the shared warm session. Publishes extra_json.
+void run_fleet(const std::shared_ptr<service::Server>& server,
+               const std::string& session, pilfill::Method method,
+               int editors, int solves_per_editor) {
+  std::vector<double> latencies;
+  std::mutex latencies_mu;
+  std::atomic<long long> shed{0}, failed{0};
+
+  std::vector<std::thread> fleet;
+  fleet.reserve(static_cast<std::size_t>(editors));
+  for (int e = 0; e < editors; ++e)
+    fleet.emplace_back([&] {
+      try {
+        service::Client client =
+            service::Client::connect_tcp(server->tcp_port());
+        std::vector<double> mine;
+        mine.reserve(static_cast<std::size_t>(solves_per_editor));
+        for (int i = 0; i < solves_per_editor; ++i) {
+          service::Request req;
+          req.op = service::Op::kSolve;
+          req.session = session;
+          req.methods = {method};
+          const Clock::time_point t0 = Clock::now();
+          const service::Response resp = client.call(req);
+          mine.push_back(
+              std::chrono::duration<double>(Clock::now() - t0).count());
+          if (!resp.ok) failed.fetch_add(1);
+          if (resp.shed) shed.fetch_add(1);
+        }
+        std::lock_guard<std::mutex> lock(latencies_mu);
+        latencies.insert(latencies.end(), mine.begin(), mine.end());
+      } catch (const Error&) {
+        failed.fetch_add(1);
+      }
+    });
+  for (std::thread& t : fleet) t.join();
+
+  std::sort(latencies.begin(), latencies.end());
+  const long long total =
+      static_cast<long long>(editors) * solves_per_editor;
+  std::ostringstream extra;
+  obs::JsonWriter w(extra, /*pretty=*/false);
+  w.begin_object();
+  w.kv("editors", editors);
+  w.kv("solves_per_editor", solves_per_editor);
+  w.kv("method", service::method_wire_name(method));
+  w.kv("requests", total);
+  w.kv("failed", failed.load());
+  w.kv("shed", shed.load());
+  w.kv("shed_rate",
+       total > 0 ? static_cast<double>(shed.load()) /
+                       static_cast<double>(total)
+                 : 0.0);
+  w.kv("latency_p50_seconds", percentile_of_sorted(latencies, 0.50));
+  w.kv("latency_p99_seconds", percentile_of_sorted(latencies, 0.99));
+  w.kv("latency_max_seconds",
+       latencies.empty() ? 0.0 : latencies.back());
+  w.end_object();
+  set_scenario_extra(extra.str());
+}
+
+/// Setup shared by both scenarios: start the server, open (and warm) the
+/// session once, return the repetition body.
+std::function<void()> fleet_setup(service::ServerConfig config,
+                                  pilfill::Method method, int editors,
+                                  int solves_per_editor) {
+  config.tcp_port = 0;  // ephemeral loopback port
+  auto server = std::make_shared<service::Server>(config);
+  server->start();
+  service::Client opener = service::Client::connect_tcp(server->tcp_port());
+  const service::Response opened = opener.call(open_request());
+  PIL_REQUIRE(opened.ok, "service bench: open failed: " + opened.error);
+  const std::string session = opened.session;
+  // Warm the per-tile caches untimed so repetitions measure the service
+  // path, not the first cold solve (the fleet's solves all hit the same
+  // warm session, as a steady-state editor pool would).
+  {
+    service::Request req;
+    req.op = service::Op::kSolve;
+    req.session = session;
+    req.methods = {pilfill::Method::kGreedy};
+    PIL_REQUIRE(opener.call(req).ok, "service bench: warmup solve failed");
+  }
+  return [server, session, method, editors, solves_per_editor] {
+    run_fleet(server, session, method, editors, solves_per_editor);
+  };
+}
+
+}  // namespace
+
+void register_service_scenarios(Registry& r) {
+  r.add({"service.closedloop.e8.greedy",
+         "pilserve in-process: 8 closed-loop editors x 4 greedy solves on a "
+         "warm shared session (p50/p99 + shed rate in extra)",
+         [] {
+           service::ServerConfig config;
+           config.workers = 4;
+           return fleet_setup(config, pilfill::Method::kGreedy,
+                              /*editors=*/8, /*solves_per_editor=*/4);
+         }});
+
+  r.add({"service.overload.shed",
+         "pilserve in-process under forced overload (--degrade-depth 1): 8 "
+         "editors x 2 ilp2 solves, all shed to greedy (shed rate in extra)",
+         [] {
+           service::ServerConfig config;
+           config.workers = 2;
+           config.degrade_queue_depth = 1;  // deterministic overload drill
+           return fleet_setup(config, pilfill::Method::kIlp2,
+                              /*editors=*/8, /*solves_per_editor=*/2);
+         }});
+}
+
+}  // namespace pil::bench

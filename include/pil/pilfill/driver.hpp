@@ -10,6 +10,8 @@
 ///   6. uniform scoring with the exact evaluator + density verification.
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "pil/density/fill_target.hpp"
@@ -29,7 +31,15 @@ enum class TargetEngine {
 
 const char* to_string(TargetEngine e);
 
-struct FlowConfig {
+/// What problem to solve: everything that determines the *fill result* --
+/// the dissection geometry, rules, objective, solver selection, and seeds.
+/// Two runs with equal ModelConfigs on the same layout produce bit-identical
+/// placements, whatever the SolvePolicy in force (a policy can only replace
+/// a failing solve with a ladder fallback, and then says so).
+///
+/// Validation errors name the offending field as `model.<field>` so callers
+/// (notably pil::service responses) can echo machine-usable field paths.
+struct ModelConfig {
   layout::LayerId layer = 0;
   double window_um = 32.0;
   int r = 2;
@@ -56,10 +66,31 @@ struct FlowConfig {
   /// objective: W_l = criticality * downstream_sinks. The hook for
   /// slack-driven weights from an STA engine; empty = all 1.
   std::vector<double> net_criticality;
+
+  /// Check the layout-independent model fields (positive window, r >= 1,
+  /// fill rules, switch factor, criticality range, non-negative
+  /// requirements); throws pil::Error naming the first offending
+  /// `model.<field>`.
+  void validate() const;
+
+  /// Full check against a layout and the methods about to run: everything
+  /// above plus layer range, required_per_tile size vs the dissection, and
+  /// the grounded-fill + ILP-I/ILP-II/Convex combination.
+  void validate(const layout::Layout& layout,
+                const std::vector<Method>& methods = {}) const;
+};
+
+/// How to execute a solve: resource and failure policy that never changes a
+/// successful tile's answer -- deadlines, the degradation ladder, worker
+/// threads, fault injection (see docs/ROBUSTNESS.md). Separated from
+/// ModelConfig so a long-running service can apply per-request policy
+/// without re-validating (or re-hashing) the model.
+///
+/// Validation errors name the offending field as `policy.<field>`.
+struct SolvePolicy {
   /// Worker threads for the per-tile solves (tiles are independent);
   /// results are deterministic regardless of the thread count.
   int threads = 1;
-  // ---- robustness policy (see docs/ROBUSTNESS.md) ----
   /// Wall-clock budget per tile solve in seconds; 0 = unlimited. ILP tiles
   /// that blow the budget keep their incumbent or fall down the
   /// degradation ladder (ILP -> Greedy -> Normal).
@@ -79,17 +110,35 @@ struct FlowConfig {
   /// syntax, e.g. "tile_solve:throw:0.1"); empty = none. Test/CI hook.
   std::string fault_spec;
 
-  /// Check the layout-independent parts of the config (positive window,
-  /// r >= 1, fill rules, switch factor, criticality range, non-negative
-  /// requirements); throws pil::Error describing the first violation.
+  /// Check every policy field; throws pil::Error naming the first
+  /// offending `policy.<field>`.
+  void validate() const;
+};
+
+/// The historical flat flow configuration: a ModelConfig plus a
+/// SolvePolicy. Derivation (rather than aggregation) keeps every existing
+/// flat access -- `config.window_um`, `config.fail_fast` -- compiling
+/// unchanged, while model()/policy() expose the two halves as slices for
+/// code that wants exactly one of them (docs/API.md maps every field).
+struct FlowConfig : ModelConfig, SolvePolicy {
+  ModelConfig& model() { return *this; }
+  const ModelConfig& model() const { return *this; }
+  SolvePolicy& policy() { return *this; }
+  const SolvePolicy& policy() const { return *this; }
+
+  /// model().validate() + policy().validate().
   void validate() const;
 
-  /// Full check against a layout and the methods about to run: everything
-  /// above plus layer range, required_per_tile size vs the dissection, and
-  /// the grounded-fill + ILP-I/ILP-II/Convex combination.
+  /// Layout-aware model validation plus the policy check.
   void validate(const layout::Layout& layout,
                 const std::vector<Method>& methods = {}) const;
 };
+
+/// The "model.<field>" / "policy.<field>" path named by a validation error
+/// thrown from ModelConfig/SolvePolicy::validate (messages follow the
+/// "config field <path>: <why>" format), or "" when the message carries
+/// none. Lets pil::service echo machine-usable validation errors.
+std::string extract_config_field_path(std::string_view error_message);
 
 /// One fill placement: feature rectangles plus per-tile counts.
 struct FillPlacement {

@@ -136,6 +136,17 @@ class FillSession {
   /// run_pil_fill_flow on the session's current layout.
   FlowResult solve(const std::vector<Method>& methods);
 
+  /// Solve under a per-call execution policy (deadlines, ladder, threads,
+  /// fault spec) without mutating the session's config -- the hook
+  /// pil::service uses to ride per-request deadlines on a shared session.
+  /// The model half is untouched, so clean cached tile results stay
+  /// reusable; cached results that were served by the degradation ladder
+  /// (they carry a failure record and depend on the policy that produced
+  /// them) are dropped and re-attempted under the new policy. Throws
+  /// pil::Error when `policy` fails SolvePolicy::validate().
+  FlowResult solve(const std::vector<Method>& methods,
+                   const SolvePolicy& policy);
+
   /// Apply one wire edit to the owned layout and incrementally refresh the
   /// prep state. Throws pil::Error (leaving the session on its pre-edit
   /// state) when the edit is invalid -- e.g. it disconnects the net's

@@ -1,0 +1,51 @@
+#pragma once
+/// \file client.hpp
+/// Blocking client for the fill service: one connection, one in-flight
+/// request at a time (the protocol is strictly request/response per
+/// connection; open several clients for concurrency). Used by `pilreq`,
+/// the bench scenarios, and the protocol tests.
+
+#include <string>
+#include <string_view>
+
+#include "pil/service/protocol.hpp"
+
+namespace pil::service {
+
+class Client {
+ public:
+  /// Connect to a server's unix socket. Throws pil::Error on failure.
+  static Client connect_unix(const std::string& path);
+  /// Connect to a server's loopback TCP port.
+  static Client connect_tcp(int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Encode, send, await, decode. Throws pil::Error on transport failure
+  /// or an undecodable response; an application-level failure comes back
+  /// as Response::ok == false, not an exception.
+  Response call(const Request& request);
+
+  /// Send a raw payload and return the raw response payload -- the hook
+  /// protocol tests use to deliver malformed documents. Throws pil::Error
+  /// when the connection drops instead of answering.
+  std::string call_raw(std::string_view payload);
+
+  /// Send `n` raw bytes with no length prefix (malformed-frame tests).
+  void send_bytes(std::string_view bytes);
+
+  int fd() const { return fd_; }
+  void close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace pil::service

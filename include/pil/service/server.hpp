@@ -1,0 +1,119 @@
+#pragma once
+/// \file server.hpp
+/// The fill service daemon core: a Server owns
+///
+///   * a pool of FillSessions keyed by (layout, model) fingerprint -- many
+///     editors of the same design share one warm session and its caches,
+///   * a bounded request queue drained by a fixed worker pool, and
+///   * admission control on top of the degradation ladder: when the queue
+///     runs deep, ILP methods are served by Greedy instead (the response
+///     says so via shed/degraded); when the queue is full, callers are
+///     back-pressured (or rejected, if configured).
+///
+/// Per-request deadlines are anchored at *admission*, so time spent queued
+/// counts against the budget, and ride pil::util::Deadline through the
+/// whole solve stack. Results for admitted, non-downgraded requests are
+/// bit-identical to an in-process FillSession on the same layout/config --
+/// the server never re-orders or re-seeds anything.
+///
+/// Transport: pil.request.v1 frames (see protocol.hpp) over a Unix and/or
+/// loopback TCP listener, one handler thread per connection. The Server is
+/// embeddable (tests drive it in-process); `pilserve` is a thin CLI shell.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace pil::service {
+
+struct ServerConfig {
+  /// Unix-domain socket path; empty = no unix listener. A stale socket
+  /// file from a dead server is unlinked before bind.
+  std::string unix_socket;
+  /// Loopback TCP port; -1 = no TCP listener, 0 = ephemeral (see
+  /// Server::tcp_port()). Binds 127.0.0.1 only -- the protocol is
+  /// unauthenticated by design and must not face a network.
+  int tcp_port = -1;
+  /// Worker threads draining the request queue (each request then solves
+  /// with its session's own SolvePolicy::threads).
+  int workers = 2;
+  /// Bounded queue: requests admitted but not yet executing.
+  int queue_capacity = 64;
+  /// Load shedding threshold: a solve request entering the queue at
+  /// position >= this depth (counting itself) has its ILP methods
+  /// downgraded to Greedy. 1 sheds always -- a deterministic overload
+  /// drill for tests; <= 0 disables shedding.
+  int degrade_queue_depth = 8;
+  /// Full queue: reject with shed=true instead of back-pressuring the
+  /// connection until a slot frees.
+  bool reject_when_full = false;
+  /// FillSessions kept warm; least-recently-used idle sessions are evicted
+  /// beyond this.
+  int max_sessions = 16;
+  /// Per-frame payload ceiling (connection is closed on violation).
+  std::size_t max_frame_bytes = 16u << 20;
+  /// Deadline applied to requests that carry none; 0 = none.
+  double default_deadline_seconds = 0.0;
+  /// Allow open_session by server-side layout_path (disable when clients
+  /// are not trusted to name server files).
+  bool allow_layout_path = true;
+};
+
+/// Monotonic counters since start() (returned by stats(), also published
+/// as pil.service.* metrics when metrics are enabled).
+struct ServerStats {
+  long long requests = 0;        ///< frames decoded into requests
+  long long executed = 0;        ///< requests run by the worker pool
+  long long shed = 0;            ///< downgraded or rejected by admission
+  long long degraded = 0;        ///< responses flagged degraded
+  long long rejected = 0;        ///< turned away (queue full, shutdown)
+  long long errors = 0;          ///< responses with ok=false
+  long long sessions_opened = 0;
+  long long sessions_reused = 0;
+  long long sessions_evicted = 0;
+  int sessions_open = 0;
+  int queue_depth = 0;
+  int queue_peak = 0;
+};
+
+class Server {
+ public:
+  /// Validates the config (at least one listener, positive workers/queue).
+  /// Throws pil::Error on invalid input.
+  explicit Server(const ServerConfig& config);
+  ~Server();  ///< calls stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind listeners and start the worker pool + accept loop. Throws
+  /// pil::Error when a socket cannot be bound.
+  void start();
+
+  /// Block until a client sends a shutdown request (or stop() /
+  /// request_shutdown() is called from another thread). The shutdown
+  /// *request* only signals; the owner thread must still call stop() --
+  /// a worker cannot join itself.
+  void wait_for_shutdown();
+
+  /// Make wait_for_shutdown() return, as if a shutdown request arrived.
+  /// Safe from any thread (pilserve's signal-watcher uses it); does not
+  /// stop anything by itself.
+  void request_shutdown();
+
+  /// Stop accepting, drain the queue (queued requests are answered, new
+  /// ones rejected), join workers and connection handlers, close sockets.
+  /// Idempotent.
+  void stop();
+
+  /// Actual TCP port after start() (resolves tcp_port=0), -1 if none.
+  int tcp_port() const;
+
+  const ServerConfig& config() const;
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pil::service

@@ -27,4 +27,11 @@ long long parse_int(std::string_view s, std::string_view context = {});
 /// printf-style formatting into std::string ("%.3f" etc.).
 std::string format_double(double v, int precision);
 
+/// Shortest decimal representation that parses back to exactly `v`
+/// (non-finite values become "null"). The one double formatter for every
+/// text format that must round-trip bit-exactly -- the obs JSON writer and
+/// the .pld layout writer both emit through it, which is what lets a
+/// layout or result survive serialize/parse cycles with zero drift.
+std::string format_double_exact(double v);
+
 }  // namespace pil

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the fill service: start pilserve on a scratch unix
+# socket, drive it with pilreq, assert a clean shutdown (exit 0). Two modes:
+#
+#   serve_smoke.sh roundtrip <pilserve> <pilreq> <scratch_dir>
+#     open (inline .pld) -> solve ilp2 -> edit -> solve again -> reopen
+#     (expects warm-session reuse) -> stats -> shutdown; asserts the
+#     post-edit solve changes the placement and nothing degraded.
+#
+#   serve_smoke.sh shed <pilserve> <pilreq> <scratch_dir>
+#     server with --degrade-depth 1 (every solve is shed by admission
+#     control); asserts the response says shed + degraded + served=greedy
+#     and that --strict maps it to exit code 3.
+#
+# Used by ctest (cli.serve_roundtrip / cli.serve_shed) and runnable by hand.
+set -u
+
+MODE="${1:?mode}"; PILSERVE="${2:?pilserve}"; PILREQ="${3:?pilreq}"
+DIR="${4:?scratch dir}"
+mkdir -p "$DIR"
+SOCK="$DIR/pilserve_$MODE.sock"
+LOG="$DIR/pilserve_$MODE.log"
+PLD="$DIR/smoke_$MODE.pld"
+rm -f "$SOCK"
+
+# A small handcrafted layout with known coordinates, so the edit below is a
+# guaranteed-valid stub (it taps net n0's trunk at x=20).
+cat > "$PLD" <<'EOF'
+PLD 1
+DIE 0 0 48 48
+LAYER m3 H WIDTH 0.5 SHEETRES 0.08 THICKNESS 0.5 EPSR 3.9
+NET n0 SOURCE 4 8 RDRV 200
+  SEG m3 4 8 40 8 0.5
+  SINK 40 8 CLOAD 2
+END
+NET n1 SOURCE 4 16 RDRV 150
+  SEG m3 4 16 36 16 0.5
+  SINK 36 16 CLOAD 3
+END
+NET n2 SOURCE 6 32 RDRV 300
+  SEG m3 6 32 30 32 0.5
+  SINK 30 32 CLOAD 1.5
+END
+EOF
+
+fail() { echo "serve_smoke($MODE): $*" >&2; [ -f "$LOG" ] && cat "$LOG" >&2;
+         kill "$SERVER_PID" 2>/dev/null; exit 1; }
+
+SERVE_ARGS=(--socket "$SOCK" --workers 2)
+[ "$MODE" = shed ] && SERVE_ARGS+=(--degrade-depth 1)
+"$PILSERVE" "${SERVE_ARGS[@]}" > "$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Readiness: poll stats until the socket answers (max ~5s).
+ready=0
+for _ in $(seq 1 100); do
+  if "$PILREQ" stats --socket "$SOCK" > /dev/null 2>&1; then ready=1; break; fi
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+  sleep 0.05
+done
+[ "$ready" = 1 ] || fail "server never became ready"
+
+OPEN_JSON=$("$PILREQ" open --socket "$SOCK" --pld "$PLD" \
+            --window 16 --r 2) || fail "open failed"
+SESSION=$(printf '%s' "$OPEN_JSON" | sed -n 's/.*"session": *"\([^"]*\)".*/\1/p')
+[ -n "$SESSION" ] || fail "no session id in: $OPEN_JSON"
+
+case "$MODE" in
+  roundtrip)
+    S1=$("$PILREQ" solve --socket "$SOCK" --session "$SESSION" \
+         --methods ilp2,greedy --strict) || fail "solve 1 failed"
+    printf '%s' "$S1" | grep -q '"shed": *true' && fail "unexpected shed: $S1"
+    H1=$(printf '%s' "$S1" | sed -n 's/.*"placement_hash": *"\([0-9a-f]*\)".*/\1/p' | head -1)
+    [ -n "$H1" ] || fail "no placement hash in: $S1"
+
+    "$PILREQ" edit --socket "$SOCK" --session "$SESSION" \
+        --add "0,20,8,20,11,0.4" > /dev/null || fail "edit failed"
+
+    S2=$("$PILREQ" solve --socket "$SOCK" --session "$SESSION" \
+         --methods ilp2,greedy --strict) || fail "solve 2 failed"
+    H2=$(printf '%s' "$S2" | sed -n 's/.*"placement_hash": *"\([0-9a-f]*\)".*/\1/p' | head -1)
+    [ "$H1" != "$H2" ] || fail "edit did not change the ilp2 placement"
+
+    # A second open of the same layout + model must land on the warm session.
+    REOPEN=$("$PILREQ" open --socket "$SOCK" --pld "$PLD" \
+             --window 16 --r 2) || fail "reopen failed"
+    printf '%s' "$REOPEN" | grep -q '"reused": *true' \
+        || fail "expected session reuse, got: $REOPEN"
+
+    "$PILREQ" stats --socket "$SOCK" | grep -q '"executed"' \
+        || fail "stats missing counters"
+    ;;
+  shed)
+    OUT=$("$PILREQ" solve --socket "$SOCK" --session "$SESSION" \
+          --methods ilp2) || fail "shed solve failed"
+    printf '%s' "$OUT" | grep -q '"shed": *true' || fail "not shed: $OUT"
+    printf '%s' "$OUT" | grep -q '"degraded": *true' \
+        || fail "not degraded: $OUT"
+    printf '%s' "$OUT" | grep -q '"requested": *"ilp2"' \
+        || fail "requested method lost: $OUT"
+    printf '%s' "$OUT" | grep -q '"served": *"greedy"' \
+        || fail "ilp2 not downgraded to greedy: $OUT"
+    # --strict maps a shed/degraded (but successful) response to exit 3.
+    "$PILREQ" solve --socket "$SOCK" --session "$SESSION" \
+        --methods ilp2 --strict > /dev/null
+    [ "$?" = 3 ] || fail "--strict should exit 3 on a shed response"
+    ;;
+  *) fail "unknown mode" ;;
+esac
+
+"$PILREQ" shutdown --socket "$SOCK" > /dev/null || fail "shutdown failed"
+wait "$SERVER_PID"
+RC=$?
+[ "$RC" = 0 ] || fail "server exited $RC after shutdown"
+[ -S "$SOCK" ] && fail "socket not cleaned up"
+echo "serve_smoke($MODE): ok"
+exit 0

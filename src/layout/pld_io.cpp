@@ -131,37 +131,41 @@ Layout read_pld_file(const std::string& path) {
 }
 
 void write_pld(const Layout& layout, std::ostream& out) {
+  // Coordinates print via the shortest exact decimal representation so a
+  // write/read cycle reproduces the layout bit-for-bit -- the fill service
+  // ships layouts as .pld text and promises solves identical to an
+  // in-process session on the original.
+  const auto d = [](double v) { return format_double_exact(v); };
   out << "PLD 1\n";
-  out << std::setprecision(12);
   const auto& die = layout.die();
-  out << "DIE " << die.xlo << ' ' << die.ylo << ' ' << die.xhi << ' '
-      << die.yhi << '\n';
+  out << "DIE " << d(die.xlo) << ' ' << d(die.ylo) << ' ' << d(die.xhi) << ' '
+      << d(die.yhi) << '\n';
   for (std::size_t i = 0; i < layout.num_layers(); ++i) {
     const Layer& l = layout.layer(static_cast<LayerId>(i));
     out << "LAYER " << l.name << ' '
         << (l.preferred_direction == Orientation::kHorizontal ? 'H' : 'V')
-        << " WIDTH " << l.default_wire_width_um << " SHEETRES "
-        << l.sheet_res_ohm_sq << " THICKNESS " << l.thickness_um << " EPSR "
-        << l.eps_r << '\n';
+        << " WIDTH " << d(l.default_wire_width_um) << " SHEETRES "
+        << d(l.sheet_res_ohm_sq) << " THICKNESS " << d(l.thickness_um)
+        << " EPSR " << d(l.eps_r) << '\n';
   }
   for (const Blockage& b : layout.blockages()) {
-    out << "BLOCKAGE " << layout.layer(b.layer).name << ' ' << b.rect.xlo
-        << ' ' << b.rect.ylo << ' ' << b.rect.xhi << ' ' << b.rect.yhi
+    out << "BLOCKAGE " << layout.layer(b.layer).name << ' ' << d(b.rect.xlo)
+        << ' ' << d(b.rect.ylo) << ' ' << d(b.rect.xhi) << ' ' << d(b.rect.yhi)
         << (b.is_metal ? " METAL" : "") << '\n';
   }
   for (std::size_t i = 0; i < layout.num_nets(); ++i) {
     const Net& n = layout.net(static_cast<NetId>(i));
-    out << "NET " << n.name << " SOURCE " << n.source.x << ' ' << n.source.y
-        << " RDRV " << n.driver_res_ohm << '\n';
+    out << "NET " << n.name << " SOURCE " << d(n.source.x) << ' '
+        << d(n.source.y) << " RDRV " << d(n.driver_res_ohm) << '\n';
     for (const SegmentId sid : n.segments) {
       const WireSegment& s = layout.segment(sid);
-      out << "  SEG " << layout.layer(s.layer).name << ' ' << s.a.x << ' '
-          << s.a.y << ' ' << s.b.x << ' ' << s.b.y << ' ' << s.width_um
-          << '\n';
+      out << "  SEG " << layout.layer(s.layer).name << ' ' << d(s.a.x) << ' '
+          << d(s.a.y) << ' ' << d(s.b.x) << ' ' << d(s.b.y) << ' '
+          << d(s.width_um) << '\n';
     }
     for (const SinkPin& s : n.sinks) {
-      out << "  SINK " << s.location.x << ' ' << s.location.y << " CLOAD "
-          << s.load_cap_ff << '\n';
+      out << "  SINK " << d(s.location.x) << ' ' << d(s.location.y)
+          << " CLOAD " << d(s.load_cap_ff) << '\n';
     }
     out << "END\n";
   }

@@ -29,6 +29,8 @@ const char* to_string(JournalEventKind kind) {
     case JournalEventKind::kSessionEdit: return "session_edit";
     case JournalEventKind::kBasisHit: return "basis_hit";
     case JournalEventKind::kBasisMiss: return "basis_miss";
+    case JournalEventKind::kServiceRequest: return "service_request";
+    case JournalEventKind::kServiceResponse: return "service_response";
   }
   return "unknown";
 }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "pil/util/error.hpp"
+#include "pil/util/strings.hpp"
 
 namespace pil::obs {
 
@@ -35,19 +36,7 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[40];
-  // %.17g round-trips every double; trim to %g when it is exact already.
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  double back = std::strtod(buf, nullptr);
-  if (back == v) {
-    char shorter[40];
-    std::snprintf(shorter, sizeof shorter, "%g", v);
-    if (std::strtod(shorter, nullptr) == v) return shorter;
-  }
-  return buf;
-}
+std::string json_number(double v) { return format_double_exact(v); }
 
 void JsonWriter::newline_indent() {
   if (!pretty_) return;

@@ -19,41 +19,94 @@ const char* to_string(TargetEngine e) {
   return "?";
 }
 
-void FlowConfig::validate() const {
-  PIL_REQUIRE(std::isfinite(window_um) && window_um > 0,
-              "window_um must be positive and finite");
-  PIL_REQUIRE(r >= 1, "dissection factor r must be >= 1");
-  rules.validate();
-  PIL_REQUIRE(std::isfinite(switch_factor) && switch_factor > 0,
-              "switch_factor must be positive and finite");
+namespace {
+
+/// Validation failures carry a machine-usable field path ("config field
+/// <path>: <why>") so a service response can echo which knob was wrong.
+/// extract_config_field_path() below is the matching reader.
+[[noreturn]] void bad_field(const char* path, const std::string& why) {
+  throw Error(std::string("config field ") + path + ": " + why);
+}
+
+void check_field(bool ok, const char* path, const char* why) {
+  if (!ok) bad_field(path, why);
+}
+
+}  // namespace
+
+std::string extract_config_field_path(std::string_view error_message) {
+  constexpr std::string_view kMarker = "config field ";
+  const std::size_t at = error_message.find(kMarker);
+  if (at == std::string_view::npos) return {};
+  const std::size_t start = at + kMarker.size();
+  const std::size_t colon = error_message.find(':', start);
+  if (colon == std::string_view::npos) return {};
+  return std::string(error_message.substr(start, colon - start));
+}
+
+void ModelConfig::validate() const {
+  check_field(std::isfinite(window_um) && window_um > 0, "model.window_um",
+              "must be positive and finite");
+  check_field(r >= 1, "model.r", "dissection factor must be >= 1");
+  check_field(rules.feature_um > 0, "model.rules.feature_um",
+              "must be positive");
+  check_field(rules.gap_um > 0, "model.rules.gap_um", "must be positive");
+  check_field(rules.buffer_um >= 0, "model.rules.buffer_um",
+              "must be non-negative");
+  check_field(std::isfinite(switch_factor) && switch_factor > 0,
+              "model.switch_factor", "must be positive and finite");
   for (const double c : net_criticality)
-    PIL_REQUIRE(std::isfinite(c) && c >= 0,
-                "net_criticality values must be finite and non-negative");
+    check_field(std::isfinite(c) && c >= 0, "model.net_criticality",
+                "values must be finite and non-negative");
   for (const int f : required_per_tile)
-    PIL_REQUIRE(f >= 0, "negative fill requirement");
-  PIL_REQUIRE(std::isfinite(tile_deadline_seconds) &&
+    check_field(f >= 0, "model.required_per_tile",
+                "fill requirements must be non-negative");
+}
+
+void ModelConfig::validate(const layout::Layout& layout,
+                           const std::vector<Method>& methods) const {
+  validate();
+  check_field(layer != layout::kInvalidLayer && layer >= 0 &&
+                  static_cast<std::size_t>(layer) < layout.num_layers(),
+              "model.layer", "is not a layer of the layout");
+  if (!required_per_tile.empty()) {
+    const grid::Dissection dis(layout.die(), window_um, r);
+    check_field(static_cast<int>(required_per_tile.size()) ==
+                    dis.num_tiles(),
+                "model.required_per_tile",
+                "size must match the dissection");
+  }
+  flow_detail::require_methods_supported(*this, methods);
+}
+
+void SolvePolicy::validate() const {
+  check_field(threads >= 0, "policy.threads", "must be non-negative");
+  check_field(std::isfinite(tile_deadline_seconds) &&
                   tile_deadline_seconds >= 0,
-              "tile_deadline_seconds must be finite and non-negative");
-  PIL_REQUIRE(std::isfinite(flow_deadline_seconds) &&
+              "policy.tile_deadline_seconds",
+              "must be finite and non-negative");
+  check_field(std::isfinite(flow_deadline_seconds) &&
                   flow_deadline_seconds >= 0,
-              "flow_deadline_seconds must be finite and non-negative");
-  if (!fault_spec.empty())
-    util::FaultPlan::parse(fault_spec);  // throws on a malformed spec
+              "policy.flow_deadline_seconds",
+              "must be finite and non-negative");
+  if (!fault_spec.empty()) {
+    try {
+      util::FaultPlan::parse(fault_spec);
+    } catch (const Error& e) {
+      bad_field("policy.fault_spec", e.what());
+    }
+  }
+}
+
+void FlowConfig::validate() const {
+  model().validate();
+  policy().validate();
 }
 
 void FlowConfig::validate(const layout::Layout& layout,
                           const std::vector<Method>& methods) const {
-  validate();
-  PIL_REQUIRE(layer != layout::kInvalidLayer && layer >= 0 &&
-                  static_cast<std::size_t>(layer) < layout.num_layers(),
-              "config.layer is not a layer of the layout");
-  if (!required_per_tile.empty()) {
-    const grid::Dissection dis(layout.die(), window_um, r);
-    PIL_REQUIRE(static_cast<int>(required_per_tile.size()) ==
-                    dis.num_tiles(),
-                "required_per_tile size must match the dissection");
-  }
-  flow_detail::require_methods_supported(*this, methods);
+  model().validate(layout, methods);
+  policy().validate();
 }
 
 FlowResult run_pil_fill_flow(const layout::Layout& layout,

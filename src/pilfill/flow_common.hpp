@@ -26,7 +26,7 @@ namespace pil::pilfill::flow_detail {
 /// Reject method/style combinations the solvers cannot model: ILP-I,
 /// ILP-II, and Convex price fill through the convex floating-fill charge
 /// model, so grounded fill is limited to Normal and Greedy.
-inline void require_methods_supported(const FlowConfig& config,
+inline void require_methods_supported(const ModelConfig& config,
                                       const std::vector<Method>& methods) {
   if (config.style != cap::FillStyle::kGrounded) return;
   for (const Method m : methods)

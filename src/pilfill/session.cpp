@@ -312,8 +312,30 @@ struct FillSession::Impl {
     }
   }
 
-  FlowResult solve(const std::vector<Method>& methods) {
-    flow_detail::require_methods_supported(config, methods);
+  FlowResult solve(const std::vector<Method>& methods,
+                   const SolvePolicy* policy_override) {
+    // A per-call policy swaps only the SolvePolicy slice; the model half --
+    // everything the cached prep and solves were built from -- is shared
+    // with the session config by construction.
+    FlowConfig effective;
+    if (policy_override != nullptr) {
+      policy_override->validate();
+      effective = config;
+      effective.policy() = *policy_override;
+      if (!policy_override->fault_spec.empty())
+        util::set_fault_plan(util::FaultPlan::parse(
+            policy_override->fault_spec, config.seed));
+      // Ladder-served cache entries are artifacts of the policy that
+      // produced them (a tighter deadline degrades tiles a looser one
+      // would solve); under a per-call policy they are re-attempted.
+      for (auto& [m, mcache] : cache)
+        for (auto it = mcache.begin(); it != mcache.end();)
+          it = it->second.failure.has_value() ? mcache.erase(it)
+                                              : std::next(it);
+    }
+    const FlowConfig& cfg = policy_override != nullptr ? effective : config;
+
+    flow_detail::require_methods_supported(cfg, methods);
     FlowResult result;
     result.density_before = wires->stats();
     result.total_capacity = global->total_capacity();
@@ -324,10 +346,10 @@ struct FillSession::Impl {
     // The flow budget covers this solve() call: the clock starts here, and
     // tiles solved after it expires are served by the degradation ladder.
     std::optional<util::Deadline> flow_deadline;
-    if (config.flow_deadline_seconds > 0)
-      flow_deadline = util::Deadline::after(config.flow_deadline_seconds);
+    if (cfg.flow_deadline_seconds > 0)
+      flow_deadline = util::Deadline::after(cfg.flow_deadline_seconds);
     const SolverContext ctx = flow_detail::make_context(
-        config, *model, *lut, flow_deadline ? &*flow_deadline : nullptr);
+        cfg, *model, *lut, flow_deadline ? &*flow_deadline : nullptr);
 
     // One flow correlation id per solve() call; the worker pool copies
     // the scope into its threads so every tile event links back here.
@@ -363,7 +385,7 @@ struct FillSession::Impl {
           basis_hints[method];
       std::vector<std::shared_ptr<const lp::Basis>> warm_roots;
       long long basis_hits = 0;
-      if (config.ilp.warm_start && !todo.empty()) {
+      if (cfg.ilp.warm_start && !todo.empty()) {
         warm_roots.reserve(todo.size());
         const bool journaling = obs::journal_armed();
         obs::JournalCorrelation tile_corr = obs::journal_correlation();
@@ -383,7 +405,7 @@ struct FillSession::Impl {
       }
       std::vector<TileSolveResult> solved =
           flow_detail::solve_instances_parallel(
-              method, todo, ctx, *model, config,
+              method, todo, ctx, *model, cfg,
               warm_roots.empty() ? nullptr : &warm_roots);
       for (std::size_t i = 0; i < todo.size(); ++i) {
         // Harvest the new root basis for the next re-solve of this tile
@@ -412,7 +434,7 @@ struct FillSession::Impl {
         flow_detail::accumulate_tile_stats(tsr, mr);
         mr.placement.features_per_tile[tile] = tsr.placed;
         flow_detail::append_rects(inst, tsr.counts, solver_slack(),
-                                  config.rules, mr.placement.features);
+                                  cfg.rules, mr.placement.features);
       }
 
       {
@@ -713,7 +735,12 @@ FillSession::FillSession(FillSession&&) noexcept = default;
 FillSession& FillSession::operator=(FillSession&&) noexcept = default;
 
 FlowResult FillSession::solve(const std::vector<Method>& methods) {
-  return impl_->solve(methods);
+  return impl_->solve(methods, nullptr);
+}
+
+FlowResult FillSession::solve(const std::vector<Method>& methods,
+                              const SolvePolicy& policy) {
+  return impl_->solve(methods, &policy);
 }
 
 EditStats FillSession::apply_edit(const WireEdit& edit) {

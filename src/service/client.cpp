@@ -1,0 +1,98 @@
+#include "pil/service/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "pil/util/error.hpp"
+
+namespace pil::service {
+
+Client Client::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PIL_REQUIRE(fd >= 0, "socket(AF_UNIX) failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PIL_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot connect to unix socket " + path + ": " + why);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PIL_REQUIRE(fd >= 0, "socket(AF_INET) failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error("cannot connect to 127.0.0.1:" + std::to_string(port) +
+                ": " + why);
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      max_frame_bytes_(other.max_frame_bytes_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    max_frame_bytes_ = other.max_frame_bytes_;
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Response Client::call(const Request& request) {
+  return decode_response(call_raw(encode_request(request)));
+}
+
+std::string Client::call_raw(std::string_view payload) {
+  PIL_REQUIRE(fd_ >= 0, "client is closed");
+  write_frame(fd_, payload);
+  std::string response;
+  const FrameReadStatus status = read_frame(fd_, response, max_frame_bytes_);
+  PIL_REQUIRE(status == FrameReadStatus::kOk,
+              std::string("service connection dropped while awaiting a "
+                          "response (") +
+                  to_string(status) + ")");
+  return response;
+}
+
+void Client::send_bytes(std::string_view bytes) {
+  PIL_REQUIRE(fd_ >= 0, "client is closed");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    PIL_REQUIRE(w > 0, "send failed: " + std::string(std::strerror(errno)));
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace pil::service

@@ -1,0 +1,769 @@
+#include "pil/service/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "pil/layout/pld_io.hpp"
+#include "pil/layout/synthetic.hpp"
+#include "pil/obs/journal.hpp"
+#include "pil/obs/json.hpp"
+#include "pil/obs/metrics.hpp"
+#include "pil/pilfill/session.hpp"
+#include "pil/service/protocol.hpp"
+#include "pil/util/deadline.hpp"
+#include "pil/util/error.hpp"
+
+namespace pil::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Downgrade target for ILP-class methods under load: Greedy keeps the
+/// column-cost model (it reads the same cost table as ILP-II) at a tiny
+/// fraction of the work, which is exactly the ladder's first step.
+bool is_downgradable(pilfill::Method m) {
+  return m == pilfill::Method::kIlp1 || m == pilfill::Method::kIlp2 ||
+         m == pilfill::Method::kConvex;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(const ServerConfig& cfg) : config(cfg) {}
+
+  // ------------------------------------------------------------ sessions --
+  struct SessionEntry {
+    std::mutex mu;  ///< serializes edits/solves on the one FillSession
+    std::unique_ptr<pilfill::FillSession> session;
+    std::string id;
+    std::string key;
+    std::uint64_t layout_hash = 0;
+    Clock::time_point last_used = Clock::now();
+  };
+
+  // ---------------------------------------------------------------- jobs --
+  struct Job {
+    Request request;
+    util::Deadline deadline;  ///< anchored at admission
+    bool has_deadline = false;
+    bool downgraded = false;  ///< admission downgraded ILP methods
+    Clock::time_point admitted = Clock::now();
+    std::promise<Response> promise;
+  };
+
+  ServerConfig config;
+
+  std::mutex mu;  // guards queue, sessions, stats, stopping
+  std::condition_variable queue_cv;   ///< workers wait: job available
+  std::condition_variable space_cv;   ///< producers wait: queue slot free
+  std::condition_variable stop_cv;    ///< wait_for_shutdown
+  std::deque<std::unique_ptr<Job>> queue;
+  bool stopping = false;
+  bool shutdown_requested = false;
+
+  std::map<std::string, std::shared_ptr<SessionEntry>> sessions;  // by id
+  std::map<std::string, std::string> key_index;  // pool key -> session id
+  std::uint64_t next_session = 0;
+
+  ServerStats counters;
+
+  // ------------------------------------------------------------- threads --
+  std::vector<std::thread> workers;
+  std::thread acceptor;
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  int bound_tcp_port = -1;
+  bool started = false;
+
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+  };
+  std::mutex conns_mu;
+  std::vector<std::unique_ptr<Conn>> conns;
+
+  // ---------------------------------------------------------------- metrics
+  void count_request(Op op) {
+    if (!obs::metrics_enabled()) return;
+    obs::metrics()
+        .counter(obs::labeled("pil.service.requests", {{"op", to_string(op)}}))
+        .add();
+  }
+
+  void observe_handled(Op op, const Response& resp, double seconds) {
+    if (!obs::metrics_enabled()) return;
+    auto& m = obs::metrics();
+    m.histogram(
+         obs::labeled("pil.service.handle_seconds", {{"op", to_string(op)}}))
+        .observe(seconds);
+    if (resp.shed) m.counter("pil.service.shed").add();
+    if (resp.degraded) m.counter("pil.service.degraded").add();
+    if (!resp.ok) m.counter("pil.service.errors").add();
+  }
+
+  void publish_gauges() {
+    if (!obs::metrics_enabled()) return;
+    auto& m = obs::metrics();
+    m.gauge("pil.service.queue_depth")
+        .set(static_cast<double>(counters.queue_depth));
+    m.gauge("pil.service.sessions")
+        .set(static_cast<double>(counters.sessions_open));
+  }
+
+  // -------------------------------------------------------------- admission
+  /// Admit one decoded request into the bounded queue, applying load
+  /// shedding, and return the future carrying its response. Returns an
+  /// immediate response instead when the request is rejected.
+  std::future<Response> admit(Request&& request, Response& immediate,
+                              bool& rejected) {
+    auto job = std::make_unique<Job>();
+    job->request = std::move(request);
+    const double deadline_s =
+        job->request.deadline_ms > 0 ? job->request.deadline_ms / 1000.0
+                                     : config.default_deadline_seconds;
+    if (deadline_s > 0) {
+      job->deadline = util::Deadline::after(deadline_s);
+      job->has_deadline = true;
+    }
+
+    std::unique_lock<std::mutex> lock(mu);
+    counters.requests += 1;
+    if (config.reject_when_full) {
+      if (!stopping &&
+          static_cast<int>(queue.size()) >= config.queue_capacity) {
+        counters.shed += 1;
+        counters.rejected += 1;
+        immediate = make_rejection(job->request, "queue full", true);
+        rejected = true;
+        return {};
+      }
+    } else {
+      space_cv.wait(lock, [&] {
+        return stopping ||
+               static_cast<int>(queue.size()) < config.queue_capacity;
+      });
+    }
+    if (stopping) {
+      counters.rejected += 1;
+      immediate = make_rejection(job->request, "server shutting down", false);
+      rejected = true;
+      return {};
+    }
+    // Load shedding: under queue pressure, serve ILP-class methods with
+    // Greedy and say so. The request itself stays admitted -- shedding
+    // trades solution quality for latency, not availability. The depth
+    // counts the incoming request, so degrade_queue_depth=1 sheds every
+    // solve (a deterministic overload drill).
+    if (config.degrade_queue_depth > 0 &&
+        static_cast<int>(queue.size()) + 1 >= config.degrade_queue_depth &&
+        job->request.op == Op::kSolve) {
+      for (pilfill::Method m : job->request.methods)
+        if (is_downgradable(m)) {
+          job->downgraded = true;
+          break;
+        }
+      if (job->downgraded) counters.shed += 1;
+    }
+    rejected = false;
+    std::future<Response> future = job->promise.get_future();
+    queue.push_back(std::move(job));
+    counters.queue_depth = static_cast<int>(queue.size());
+    counters.queue_peak = std::max(counters.queue_peak, counters.queue_depth);
+    publish_gauges();
+    queue_cv.notify_one();
+    return future;
+  }
+
+  static Response make_rejection(const Request& request,
+                                 const std::string& why, bool shed) {
+    Response resp;
+    resp.id = request.id;
+    resp.op = request.op;
+    resp.ok = false;
+    resp.shed = shed;
+    resp.error = why;
+    return resp;
+  }
+
+  // ---------------------------------------------------------------- workers
+  void worker_loop(int index) {
+    obs::journal_set_thread_name("serve-" + std::to_string(index));
+    for (;;) {
+      std::unique_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        queue_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        // Drain the queue even while stopping: every admitted request has
+        // a connection thread blocked on its future.
+        if (queue.empty()) return;
+        job = std::move(queue.front());
+        queue.pop_front();
+        counters.queue_depth = static_cast<int>(queue.size());
+        publish_gauges();
+      }
+      space_cv.notify_one();
+      Response resp = execute(*job);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        counters.executed += 1;
+        if (resp.degraded) counters.degraded += 1;
+        if (!resp.ok) counters.errors += 1;
+      }
+      job->promise.set_value(std::move(resp));
+    }
+  }
+
+  Response execute(Job& job) {
+    const Request& req = job.request;
+    const Clock::time_point t0 = Clock::now();
+    obs::journal_record(obs::JournalEventKind::kServiceRequest,
+                        static_cast<std::uint16_t>(req.op), 0, req.id);
+    Response resp;
+    resp.id = req.id;
+    resp.op = req.op;
+    try {
+      switch (req.op) {
+        case Op::kOpenSession: do_open_session(job, resp); break;
+        case Op::kApplyEdit: do_apply_edit(job, resp); break;
+        case Op::kSolve: do_solve(job, resp); break;
+        case Op::kStats: do_stats(resp); break;
+        case Op::kShutdown: do_shutdown(resp); break;
+      }
+    } catch (const Error& e) {
+      resp.ok = false;
+      resp.error = e.what();
+      resp.error_field = pilfill::extract_config_field_path(e.what());
+    } catch (const std::exception& e) {
+      resp.ok = false;
+      resp.error = e.what();
+    }
+    const double seconds = seconds_since(t0);
+    const std::uint32_t bits = (resp.ok ? 1u : 0u) |
+                               (resp.degraded ? 2u : 0u) |
+                               (resp.shed ? 4u : 0u);
+    obs::journal_record(obs::JournalEventKind::kServiceResponse,
+                        static_cast<std::uint16_t>(req.op), bits, req.id,
+                        seconds);
+    observe_handled(req.op, resp, seconds);
+    return resp;
+  }
+
+  // ------------------------------------------------------------ operations
+  void do_open_session(Job& job, Response& resp) {
+    const Request& req = job.request;
+    const int sources = (!req.layout_pld.empty() ? 1 : 0) +
+                        (!req.layout_path.empty() ? 1 : 0) +
+                        (req.gen.has_value() ? 1 : 0);
+    PIL_REQUIRE(sources == 1,
+                "open_session needs exactly one of layout_pld, layout_path, "
+                "gen");
+    PIL_REQUIRE(req.layout_path.empty() || config.allow_layout_path,
+                "layout_path is disabled on this server");
+
+    layout::Layout layout;
+    if (!req.layout_pld.empty()) {
+      std::istringstream is(req.layout_pld);
+      layout = layout::read_pld(is);
+    } else if (!req.layout_path.empty()) {
+      layout = layout::read_pld_file(req.layout_path);
+    } else {
+      layout = layout::generate_synthetic_layout(req.gen->to_config());
+    }
+
+    const std::uint64_t layout_hash = layout_fingerprint(layout);
+    const std::uint64_t model_hash = model_fingerprint(req.config.model());
+    std::string key = req.session_key;
+    if (key.empty()) {
+      char buf[34];
+      std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                    static_cast<unsigned long long>(layout_hash),
+                    static_cast<unsigned long long>(model_hash));
+      key = buf;
+    }
+
+    // Fast path: an existing session under this key is reused untouched --
+    // its layout may have drifted via apply_edit, which is the point of
+    // sharing (collaborating editors see each other's edits).
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto ki = key_index.find(key);
+      if (ki != key_index.end()) {
+        auto entry = sessions.at(ki->second);
+        entry->last_used = Clock::now();
+        resp.ok = true;
+        resp.session = entry->id;
+        resp.reused = true;
+        resp.layout_hash = entry->layout_hash;
+        resp.tiles = entry->session->tiles_total();
+        resp.prep_seconds = entry->session->prep_seconds();
+        counters.sessions_reused += 1;
+        return;
+      }
+    }
+
+    // Build outside the pool lock (prep can take seconds), then publish;
+    // a racing open of the same key keeps the first-published session.
+    auto entry = std::make_shared<SessionEntry>();
+    entry->key = key;
+    entry->layout_hash = layout_hash;
+    entry->session =
+        std::make_unique<pilfill::FillSession>(layout, req.config);
+
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto ki = key_index.find(key);
+      if (ki != key_index.end()) {
+        auto existing = sessions.at(ki->second);
+        existing->last_used = Clock::now();
+        resp.ok = true;
+        resp.session = existing->id;
+        resp.reused = true;
+        resp.layout_hash = existing->layout_hash;
+        resp.tiles = existing->session->tiles_total();
+        resp.prep_seconds = existing->session->prep_seconds();
+        counters.sessions_reused += 1;
+        return;  // entry (and its prep work) is discarded
+      }
+      entry->id = "s" + std::to_string(++next_session);
+      sessions.emplace(entry->id, entry);
+      key_index.emplace(key, entry->id);
+      counters.sessions_opened += 1;
+      counters.sessions_open = static_cast<int>(sessions.size());
+      evict_locked();
+      publish_gauges();
+      resp.ok = true;
+      resp.session = entry->id;
+      resp.reused = false;
+      resp.layout_hash = layout_hash;
+      resp.tiles = entry->session->tiles_total();
+      resp.prep_seconds = entry->session->prep_seconds();
+    }
+  }
+
+  /// LRU eviction beyond max_sessions. try_lock: a session mid-solve is
+  /// busy, not idle -- skip it rather than stall the pool.
+  void evict_locked() {
+    while (static_cast<int>(sessions.size()) >
+           std::max(1, config.max_sessions)) {
+      std::string victim;
+      Clock::time_point oldest = Clock::time_point::max();
+      for (const auto& [id, entry] : sessions)
+        if (entry->last_used < oldest && entry->mu.try_lock()) {
+          entry->mu.unlock();
+          oldest = entry->last_used;
+          victim = id;
+        }
+      if (victim.empty()) return;  // everything busy; try again next open
+      key_index.erase(sessions.at(victim)->key);
+      sessions.erase(victim);
+      counters.sessions_evicted += 1;
+      counters.sessions_open = static_cast<int>(sessions.size());
+    }
+  }
+
+  std::shared_ptr<SessionEntry> find_session(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = sessions.find(id);
+    PIL_REQUIRE(it != sessions.end(),
+                "unknown session \"" + id + "\" (evicted or never opened)");
+    it->second->last_used = Clock::now();
+    return it->second;
+  }
+
+  void do_apply_edit(Job& job, Response& resp) {
+    auto entry = find_session(job.request.session);
+    std::lock_guard<std::mutex> lock(entry->mu);
+    const pilfill::EditStats stats =
+        entry->session->apply_edit(job.request.edit);
+    resp.ok = true;
+    resp.session = entry->id;
+    EditSummary s;
+    s.segment = stats.segment;
+    s.columns_rescanned = stats.columns_rescanned;
+    s.tiles_retargeted = stats.tiles_retargeted;
+    s.tiles_dirty = stats.tiles_dirty;
+    s.seconds = stats.seconds;
+    resp.edit = s;
+  }
+
+  void do_solve(Job& job, Response& resp) {
+    const Request& req = job.request;
+    PIL_REQUIRE(!req.methods.empty(), "solve needs at least one method");
+    auto entry = find_session(req.session);
+
+    // Admission downgrade: ILP-class methods are served by Greedy.
+    std::vector<pilfill::Method> served;
+    served.reserve(req.methods.size());
+    for (pilfill::Method m : req.methods)
+      served.push_back(job.downgraded && is_downgradable(m)
+                           ? pilfill::Method::kGreedy
+                           : m);
+    std::vector<pilfill::Method> unique_serve;
+    for (pilfill::Method m : served)
+      if (std::find(unique_serve.begin(), unique_serve.end(), m) ==
+          unique_serve.end())
+        unique_serve.push_back(m);
+
+    std::lock_guard<std::mutex> lock(entry->mu);
+
+    // Per-request policy on top of the session's base policy. The request
+    // deadline was anchored at admission, so queue wait has already been
+    // spent; an expired budget buys a near-zero one (0 means unlimited).
+    pilfill::SolvePolicy policy = entry->session->config().policy();
+    if (job.has_deadline) {
+      const double remaining = job.deadline.remaining_seconds();
+      policy.flow_deadline_seconds = std::max(remaining, 1e-9);
+    }
+    if (req.tile_deadline_ms > 0)
+      policy.tile_deadline_seconds = req.tile_deadline_ms / 1000.0;
+    if (req.no_degrade) policy.degrade_on_failure = false;
+
+    const pilfill::FlowResult result =
+        entry->session->solve(unique_serve, policy);
+
+    resp.ok = true;
+    resp.session = entry->id;
+    resp.shed = job.downgraded;
+    for (std::size_t i = 0; i < req.methods.size(); ++i) {
+      const auto it = std::find_if(
+          result.methods.begin(), result.methods.end(),
+          [&](const pilfill::MethodResult& mr) {
+            return mr.method == served[i];
+          });
+      PIL_ASSERT(it != result.methods.end(), "served method missing");
+      MethodSummary s =
+          summarize_method(*it, req.methods[i], req.include_placement);
+      resp.methods.push_back(std::move(s));
+      if (req.methods[i] != served[i] || it->tiles_degraded > 0 ||
+          it->tiles_failed > 0)
+        resp.degraded = true;
+    }
+  }
+
+  void do_stats(Response& resp) {
+    ServerStats snap;
+    int open_sessions;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      snap = counters;
+      open_sessions = static_cast<int>(sessions.size());
+    }
+    std::ostringstream os;
+    obs::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.kv("requests", snap.requests);
+    w.kv("executed", snap.executed);
+    w.kv("shed", snap.shed);
+    w.kv("degraded", snap.degraded);
+    w.kv("rejected", snap.rejected);
+    w.kv("errors", snap.errors);
+    w.kv("sessions_open", open_sessions);
+    w.kv("sessions_opened", snap.sessions_opened);
+    w.kv("sessions_reused", snap.sessions_reused);
+    w.kv("sessions_evicted", snap.sessions_evicted);
+    w.kv("queue_depth", snap.queue_depth);
+    w.kv("queue_peak", snap.queue_peak);
+    w.kv("workers", config.workers);
+    w.kv("queue_capacity", config.queue_capacity);
+    w.kv("degrade_queue_depth", config.degrade_queue_depth);
+    w.end_object();
+    resp.ok = true;
+    resp.stats_json = os.str();
+  }
+
+  void do_shutdown(Response& resp) {
+    // Only acknowledge here. The connection thread signals the actual
+    // shutdown after this response has been written back -- signaling now
+    // would race stop() against the response frame and the client could
+    // see the connection drop instead of its acknowledgement.
+    resp.ok = true;
+  }
+
+  void signal_shutdown() {
+    std::lock_guard<std::mutex> lock(mu);
+    shutdown_requested = true;
+    stop_cv.notify_all();
+  }
+
+  // ------------------------------------------------------------ transport
+  void accept_loop() {
+    obs::journal_set_thread_name("serve-accept");
+    while (true) {
+      // Wait on both listeners without poll(): accept one at a time via
+      // blocking accept on whichever exists; with both, use poll(2).
+      int fd = -1;
+      if (unix_fd >= 0 && tcp_fd >= 0) {
+        fd = accept_either();
+      } else {
+        const int lfd = unix_fd >= 0 ? unix_fd : tcp_fd;
+        fd = lfd >= 0 ? ::accept(lfd, nullptr, nullptr) : -1;
+      }
+      if (fd < 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping) return;
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;  // listener closed
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      Conn* raw = conn.get();
+      conn->thread = std::thread([this, raw] { serve_connection(raw->fd); });
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.push_back(std::move(conn));
+    }
+  }
+
+  int accept_either() {
+    for (;;) {
+      fd_set rfds;
+      FD_ZERO(&rfds);
+      FD_SET(unix_fd, &rfds);
+      FD_SET(tcp_fd, &rfds);
+      const int nfds = std::max(unix_fd, tcp_fd) + 1;
+      const int rc = ::select(nfds, &rfds, nullptr, nullptr, nullptr);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return -1;
+      }
+      if (FD_ISSET(unix_fd, &rfds)) return ::accept(unix_fd, nullptr, nullptr);
+      if (FD_ISSET(tcp_fd, &rfds)) return ::accept(tcp_fd, nullptr, nullptr);
+    }
+  }
+
+  void serve_connection(int fd) {
+    obs::journal_set_thread_name("serve-conn");
+    std::string payload;
+    for (;;) {
+      const FrameReadStatus status =
+          read_frame(fd, payload, config.max_frame_bytes);
+      if (status == FrameReadStatus::kClosed) break;
+      if (status == FrameReadStatus::kOversize) {
+        // One parting diagnostic, then hang up: the stream position after
+        // an oversize announcement cannot be trusted.
+        Response resp;
+        resp.ok = false;
+        resp.error = "frame of " + payload + " bytes exceeds limit of " +
+                     std::to_string(config.max_frame_bytes);
+        try {
+          write_frame(fd, encode_response(resp));
+        } catch (const Error&) {
+        }
+        break;
+      }
+      if (status != FrameReadStatus::kOk) break;  // truncated / error
+
+      Response resp;
+      bool have_resp = false;
+      std::future<Response> future;
+      try {
+        Request req = decode_request(payload);
+        count_request(req.op);
+        bool rejected = false;
+        future = admit(std::move(req), resp, rejected);
+        have_resp = rejected;
+      } catch (const Error& e) {
+        resp.ok = false;
+        resp.error = e.what();
+        resp.error_field = pilfill::extract_config_field_path(e.what());
+        have_resp = true;
+        std::lock_guard<std::mutex> lock(mu);
+        counters.requests += 1;
+        counters.errors += 1;
+      }
+      if (!have_resp) resp = future.get();
+      const bool shutdown_after = resp.op == Op::kShutdown && resp.ok;
+      try {
+        write_frame(fd, encode_response(resp));
+      } catch (const Error&) {
+        if (shutdown_after) signal_shutdown();
+        break;  // peer went away mid-response
+      }
+      if (shutdown_after) {
+        // Acknowledgement flushed; now wake the owner to stop the server.
+        signal_shutdown();
+        break;
+      }
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    // The fd itself is closed by stop() (or here if already stopping is
+    // irrelevant -- closing twice is avoided by marking it).
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      for (auto& c : conns)
+        if (c->fd == fd) {
+          ::close(fd);
+          c->fd = -1;
+          break;
+        }
+    }
+  }
+
+  // -------------------------------------------------------------- sockets
+  int bind_unix(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PIL_REQUIRE(fd >= 0, "socket(AF_UNIX) failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    PIL_REQUIRE(path.size() < sizeof(addr.sun_path),
+                "unix socket path too long: " + path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());  // stale socket from a dead server
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw Error("cannot listen on unix socket " + path + ": " + why);
+    }
+    return fd;
+  }
+
+  int bind_tcp(int port, int& actual_port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    PIL_REQUIRE(fd >= 0, "socket(AF_INET) failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw Error("cannot listen on 127.0.0.1:" + std::to_string(port) +
+                  ": " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    actual_port = ntohs(bound.sin_port);
+    return fd;
+  }
+};
+
+Server::Server(const ServerConfig& config) : impl_(new Impl(config)) {
+  PIL_REQUIRE(!config.unix_socket.empty() || config.tcp_port >= 0,
+              "server needs a unix socket path or a tcp port");
+  PIL_REQUIRE(config.workers >= 1, "server needs at least one worker");
+  PIL_REQUIRE(config.queue_capacity >= 1, "queue capacity must be >= 1");
+  PIL_REQUIRE(config.max_sessions >= 1, "max_sessions must be >= 1");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  Impl& im = *impl_;
+  PIL_REQUIRE(!im.started, "server already started");
+  if (!im.config.unix_socket.empty())
+    im.unix_fd = im.bind_unix(im.config.unix_socket);
+  if (im.config.tcp_port >= 0)
+    im.tcp_fd = im.bind_tcp(im.config.tcp_port, im.bound_tcp_port);
+  im.started = true;
+  for (int i = 0; i < im.config.workers; ++i)
+    im.workers.emplace_back([&im, i] { im.worker_loop(i); });
+  im.acceptor = std::thread([&im] { im.accept_loop(); });
+}
+
+void Server::request_shutdown() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.shutdown_requested = true;
+  im.stop_cv.notify_all();
+}
+
+void Server::wait_for_shutdown() {
+  Impl& im = *impl_;
+  std::unique_lock<std::mutex> lock(im.mu);
+  im.stop_cv.wait(lock,
+                  [&] { return im.shutdown_requested || im.stopping; });
+}
+
+void Server::stop() {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (im.stopping) {
+      // Best effort double-stop protection; joins below are idempotent
+      // because the first stop() cleared the thread objects.
+      return;
+    }
+    im.stopping = true;
+    im.stop_cv.notify_all();
+    im.queue_cv.notify_all();
+    im.space_cv.notify_all();
+  }
+  // Unblock the acceptor, then the connection readers.
+  if (im.unix_fd >= 0) ::shutdown(im.unix_fd, SHUT_RDWR);
+  if (im.tcp_fd >= 0) ::shutdown(im.tcp_fd, SHUT_RDWR);
+  close_fd(im.unix_fd);
+  close_fd(im.tcp_fd);
+  if (im.acceptor.joinable()) im.acceptor.join();
+  {
+    std::lock_guard<std::mutex> lock(im.conns_mu);
+    for (auto& c : im.conns)
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+  }
+  // Workers drain whatever is queued (each queued job has a connection
+  // thread waiting on its future), then exit on empty queue + stopping.
+  im.queue_cv.notify_all();
+  for (std::thread& t : im.workers)
+    if (t.joinable()) t.join();
+  im.workers.clear();
+  for (;;) {
+    std::unique_ptr<Impl::Conn> conn;
+    {
+      std::lock_guard<std::mutex> lock(im.conns_mu);
+      if (im.conns.empty()) break;
+      conn = std::move(im.conns.back());
+      im.conns.pop_back();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (!im.config.unix_socket.empty())
+    ::unlink(im.config.unix_socket.c_str());
+}
+
+int Server::tcp_port() const { return impl_->bound_tcp_port; }
+
+const ServerConfig& Server::config() const { return impl_->config; }
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ServerStats snap = impl_->counters;
+  snap.sessions_open = static_cast<int>(impl_->sessions.size());
+  snap.queue_depth = static_cast<int>(impl_->queue.size());
+  return snap;
+}
+
+}  // namespace pil::service

@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "pil/util/error.hpp"
@@ -74,6 +76,19 @@ long long parse_int(std::string_view s, std::string_view context) {
 std::string format_double(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_double_exact(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // %.17g round-trips every double; trim to %g when it is exact already.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  if (std::strtod(buf, nullptr) == v) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof shorter, "%g", v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
   return buf;
 }
 

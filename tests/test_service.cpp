@@ -1,0 +1,708 @@
+/// \file test_service.cpp
+/// The fill service: wire protocol round-trips (including malformed,
+/// oversize, truncated, and wrong-schema frames), the FlowConfig
+/// model/policy split, server admission control and load shedding, and the
+/// headline guarantee -- solve results served over the socket are
+/// bit-identical to an in-process FillSession.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "pil/layout/pld_io.hpp"
+#include "pil/layout/synthetic.hpp"
+#include "pil/obs/json.hpp"
+#include "pil/pilfill/driver.hpp"
+#include "pil/pilfill/session.hpp"
+#include "pil/service/client.hpp"
+#include "pil/service/protocol.hpp"
+#include "pil/service/server.hpp"
+#include "pil/util/error.hpp"
+
+namespace pil::service {
+namespace {
+
+layout::Layout small_layout(std::uint64_t seed = 4) {
+  layout::SyntheticLayoutConfig cfg;
+  cfg.die_um = 96.0;
+  cfg.num_nets = 40;
+  cfg.seed = seed;
+  return layout::generate_synthetic_layout(cfg);
+}
+
+pilfill::FlowConfig small_config() {
+  pilfill::FlowConfig cfg;
+  cfg.window_um = 32.0;
+  cfg.r = 2;
+  return cfg;
+}
+
+std::string scratch_socket(const char* tag) {
+  // Unix socket paths are length-limited; /tmp keeps them short even when
+  // the build tree path is deep.
+  return "/tmp/pil_service_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// ---------------------------------------------------------------- framing --
+
+TEST(ServiceFraming, RoundTripsPayloadsThroughAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  write_frame(fds[1], "hello");
+  write_frame(fds[1], "");
+  // The 100 kB frame exceeds the pipe's buffer, so it must be drained
+  // concurrently -- which also exercises write_all's partial-write loop.
+  const std::string big(100000, 'x');
+  std::thread writer([&] {
+    write_frame(fds[1], big);
+    ::close(fds[1]);
+  });
+  std::string got;
+  EXPECT_EQ(read_frame(fds[0], got), FrameReadStatus::kOk);
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(read_frame(fds[0], got), FrameReadStatus::kOk);
+  EXPECT_EQ(got, "");
+  EXPECT_EQ(read_frame(fds[0], got), FrameReadStatus::kOk);
+  EXPECT_EQ(got, big);
+  EXPECT_EQ(read_frame(fds[0], got), FrameReadStatus::kClosed);
+  writer.join();
+  ::close(fds[0]);
+}
+
+TEST(ServiceFraming, ReportsOversizeWithoutReadingThePayload) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  write_frame(fds[1], "0123456789");
+  std::string got;
+  EXPECT_EQ(read_frame(fds[0], got, /*max_bytes=*/5),
+            FrameReadStatus::kOversize);
+  EXPECT_EQ(got, "10");  // announced length, for diagnostics
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServiceFraming, ReportsTruncationInsideHeaderAndPayload) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const char partial_header[2] = {0, 0};
+  ASSERT_EQ(::write(fds[1], partial_header, 2), 2);
+  ::close(fds[1]);
+  std::string got;
+  EXPECT_EQ(read_frame(fds[0], got), FrameReadStatus::kTruncated);
+  ::close(fds[0]);
+
+  ASSERT_EQ(::pipe(fds), 0);
+  const char header_then_half[6] = {0, 0, 0, 4, 'a', 'b'};
+  ASSERT_EQ(::write(fds[1], header_then_half, 6), 6);
+  ::close(fds[1]);
+  EXPECT_EQ(read_frame(fds[0], got), FrameReadStatus::kTruncated);
+  ::close(fds[0]);
+}
+
+// --------------------------------------------------------------- protocol --
+
+TEST(ServiceProtocol, RequestRoundTripsEveryField) {
+  Request req;
+  req.op = Op::kOpenSession;
+  req.id = 42;
+  req.layout_pld = "PLD 1\n";
+  GenSpec gen;
+  gen.die_um = 128.0;
+  gen.num_nets = 77;
+  gen.seed = 9;
+  gen.num_macros = 2;
+  req.gen = gen;
+  req.config.window_um = 24.0;
+  req.config.r = 3;
+  req.config.seed = 123;
+  req.config.objective = pilfill::Objective::kWeighted;
+  req.config.style = cap::FillStyle::kGrounded;
+  req.config.threads = 4;
+  req.config.fault_spec = "tile_solve:throw:0.5";
+  req.config.required_per_tile = {1, 2, 3};
+  req.config.net_criticality = {0.5, 2.0};
+  req.session_key = "team-a";
+
+  const Request back = decode_request(encode_request(req));
+  EXPECT_EQ(back.op, Op::kOpenSession);
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.layout_pld, "PLD 1\n");
+  ASSERT_TRUE(back.gen.has_value());
+  EXPECT_EQ(back.gen->num_nets, 77);
+  EXPECT_EQ(back.gen->num_macros, 2);
+  EXPECT_EQ(back.config.window_um, 24.0);
+  EXPECT_EQ(back.config.r, 3);
+  EXPECT_EQ(back.config.seed, 123u);
+  EXPECT_EQ(back.config.objective, pilfill::Objective::kWeighted);
+  EXPECT_EQ(back.config.style, cap::FillStyle::kGrounded);
+  EXPECT_EQ(back.config.threads, 4);
+  EXPECT_EQ(back.config.fault_spec, "tile_solve:throw:0.5");
+  EXPECT_EQ(back.config.required_per_tile, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(back.config.net_criticality, (std::vector<double>{0.5, 2.0}));
+  EXPECT_EQ(back.session_key, "team-a");
+}
+
+TEST(ServiceProtocol, SolveRequestRoundTripsMethodsAndBudgets) {
+  Request req;
+  req.op = Op::kSolve;
+  req.session = "s7";
+  req.methods = {pilfill::Method::kIlp2, pilfill::Method::kGreedy};
+  req.deadline_ms = 1500.0;
+  req.tile_deadline_ms = 40.0;
+  req.no_degrade = true;
+  req.include_placement = true;
+  const Request back = decode_request(encode_request(req));
+  EXPECT_EQ(back.session, "s7");
+  EXPECT_EQ(back.methods,
+            (std::vector<pilfill::Method>{pilfill::Method::kIlp2,
+                                          pilfill::Method::kGreedy}));
+  EXPECT_EQ(back.deadline_ms, 1500.0);
+  EXPECT_EQ(back.tile_deadline_ms, 40.0);
+  EXPECT_TRUE(back.no_degrade);
+  EXPECT_TRUE(back.include_placement);
+}
+
+TEST(ServiceProtocol, EditRequestRoundTripsAllKinds) {
+  Request req;
+  req.op = Op::kApplyEdit;
+  req.session = "s1";
+  req.edit = pilfill::WireEdit::add_segment(3, {1.25, 2.5}, {1.25, 7.5}, 0.4);
+  Request back = decode_request(encode_request(req));
+  EXPECT_EQ(back.edit.kind, pilfill::WireEdit::Kind::kAddSegment);
+  EXPECT_EQ(back.edit.net, 3);
+  EXPECT_EQ(back.edit.a.x, 1.25);
+  EXPECT_EQ(back.edit.b.y, 7.5);
+  EXPECT_EQ(back.edit.width_um, 0.4);
+
+  req.edit = pilfill::WireEdit::move_segment(11, -0.125, 3.0);
+  back = decode_request(encode_request(req));
+  EXPECT_EQ(back.edit.kind, pilfill::WireEdit::Kind::kMoveSegment);
+  EXPECT_EQ(back.edit.segment, 11);
+  EXPECT_EQ(back.edit.dx, -0.125);
+  EXPECT_EQ(back.edit.dy, 3.0);
+}
+
+TEST(ServiceProtocol, ResponseRoundTripsBitExactDoubles) {
+  Response resp;
+  resp.op = Op::kSolve;
+  resp.id = 7;
+  resp.ok = true;
+  resp.degraded = true;
+  resp.session = "s3";
+  MethodSummary m;
+  m.requested = pilfill::Method::kIlp2;
+  m.served = pilfill::Method::kGreedy;
+  m.placed = 123;
+  m.delay_ps = 0.1 + 0.2;  // not exactly 0.3 in binary
+  m.solve_seconds = 1e-9;
+  m.placement_hash = 0xdeadbeefcafe1234ull;
+  m.placement = {{0.1, 0.2, 0.30000000000000004, 1e300}};
+  resp.methods.push_back(m);
+  const Response back = decode_response(encode_response(resp));
+  ASSERT_EQ(back.methods.size(), 1u);
+  EXPECT_EQ(back.methods[0].requested, pilfill::Method::kIlp2);
+  EXPECT_EQ(back.methods[0].served, pilfill::Method::kGreedy);
+  EXPECT_EQ(back.methods[0].delay_ps, 0.1 + 0.2);
+  EXPECT_EQ(back.methods[0].solve_seconds, 1e-9);
+  EXPECT_EQ(back.methods[0].placement_hash, 0xdeadbeefcafe1234ull);
+  ASSERT_EQ(back.methods[0].placement.size(), 1u);
+  EXPECT_EQ(back.methods[0].placement[0].xhi, 0.30000000000000004);
+  EXPECT_EQ(back.methods[0].placement[0].yhi, 1e300);
+  EXPECT_TRUE(back.degraded);
+}
+
+TEST(ServiceProtocol, RejectsWrongSchemaAndMalformedDocuments) {
+  EXPECT_THROW(decode_request("{\"schema\":\"pil.request.v2\",\"op\":\"stats\"}"),
+               Error);
+  EXPECT_THROW(decode_request("{\"op\":\"stats\"}"), Error);  // no schema
+  EXPECT_THROW(decode_request("not json at all"), Error);
+  EXPECT_THROW(decode_request("[1,2,3]"), Error);
+  EXPECT_THROW(decode_request(
+                   "{\"schema\":\"pil.request.v1\",\"op\":\"levitate\"}"),
+               Error);
+  EXPECT_THROW(decode_response("{\"schema\":\"pil.request.v1\"}"), Error);
+}
+
+TEST(ServiceProtocol, IgnoresUnknownFieldsButRejectsUnknownConfigKeys) {
+  // Unknown top-level fields: forward compatibility, ignored.
+  const Request r = decode_request(
+      "{\"schema\":\"pil.request.v1\",\"op\":\"stats\",\"future\":123}");
+  EXPECT_EQ(r.op, Op::kStats);
+  // Unknown config keys would silently change the problem: rejected.
+  EXPECT_THROW(
+      decode_request("{\"schema\":\"pil.request.v1\",\"op\":\"open_session\","
+                     "\"config\":{\"windw_um\":32}}"),
+      Error);
+}
+
+TEST(ServiceProtocol, MethodWireNamesRoundTrip) {
+  for (pilfill::Method m :
+       {pilfill::Method::kNormal, pilfill::Method::kIlp1,
+        pilfill::Method::kIlp2, pilfill::Method::kGreedy,
+        pilfill::Method::kConvex})
+    EXPECT_EQ(method_from_wire(method_wire_name(m)), m);
+  EXPECT_THROW(method_from_wire("ILP-II"), Error);  // display names are not
+                                                    // wire names
+}
+
+TEST(ServiceProtocol, FingerprintsSeparateModelFromPolicy) {
+  pilfill::FlowConfig a = small_config();
+  pilfill::FlowConfig b = a;
+  b.threads = 8;
+  b.flow_deadline_seconds = 2.0;
+  // Policy differences must not split the session pool.
+  EXPECT_EQ(model_fingerprint(a.model()), model_fingerprint(b.model()));
+  b.window_um = 16.0;
+  EXPECT_NE(model_fingerprint(a.model()), model_fingerprint(b.model()));
+
+  const layout::Layout l1 = small_layout(4);
+  const layout::Layout l2 = small_layout(5);
+  EXPECT_EQ(layout_fingerprint(l1), layout_fingerprint(small_layout(4)));
+  EXPECT_NE(layout_fingerprint(l1), layout_fingerprint(l2));
+}
+
+// ----------------------------------------------------- FlowConfig split ----
+
+TEST(ConfigSplit, ValidationErrorsNameTheOffendingFieldPath) {
+  pilfill::FlowConfig cfg = small_config();
+  cfg.window_um = -1.0;
+  try {
+    cfg.validate();
+    FAIL() << "expected validation error";
+  } catch (const Error& e) {
+    EXPECT_EQ(pilfill::extract_config_field_path(e.what()), "model.window_um");
+  }
+  cfg = small_config();
+  cfg.threads = -2;
+  try {
+    cfg.validate();
+    FAIL() << "expected validation error";
+  } catch (const Error& e) {
+    EXPECT_EQ(pilfill::extract_config_field_path(e.what()), "policy.threads");
+  }
+  cfg = small_config();
+  cfg.fault_spec = "bogus-spec";
+  try {
+    cfg.validate();
+    FAIL() << "expected validation error";
+  } catch (const Error& e) {
+    EXPECT_EQ(pilfill::extract_config_field_path(e.what()),
+              "policy.fault_spec");
+  }
+  EXPECT_EQ(pilfill::extract_config_field_path("some unrelated error"), "");
+}
+
+TEST(ConfigSplit, ModelAndPolicySlicesAliasTheFlatFields) {
+  pilfill::FlowConfig cfg;
+  cfg.model().window_um = 48.0;
+  cfg.policy().threads = 3;
+  EXPECT_EQ(cfg.window_um, 48.0);
+  EXPECT_EQ(cfg.threads, 3);
+  cfg.fail_fast = true;
+  EXPECT_TRUE(cfg.policy().fail_fast);
+}
+
+TEST(ConfigSplit, SessionSolveAcceptsPerCallPolicy) {
+  const layout::Layout layout = small_layout();
+  pilfill::FlowConfig cfg = small_config();
+  pilfill::FillSession session(layout, cfg);
+  const std::vector<pilfill::Method> methods = {pilfill::Method::kGreedy};
+  const pilfill::FlowResult base = session.solve(methods);
+
+  pilfill::SolvePolicy policy = cfg.policy();
+  policy.threads = 2;
+  const pilfill::FlowResult with_policy = session.solve(methods, policy);
+  EXPECT_TRUE(pilfill::flow_results_equivalent(base, with_policy));
+
+  pilfill::SolvePolicy bad;
+  bad.threads = -1;
+  EXPECT_THROW(session.solve(methods, bad), Error);
+}
+
+// ------------------------------------------------------------- end to end --
+
+struct ServerFixture {
+  explicit ServerFixture(ServerConfig cfg = {}) {
+    if (cfg.unix_socket.empty() && cfg.tcp_port < 0) cfg.tcp_port = 0;
+    server = std::make_unique<Server>(cfg);
+    server->start();
+  }
+  ~ServerFixture() { server->stop(); }
+  Client connect() { return Client::connect_tcp(server->tcp_port()); }
+  std::unique_ptr<Server> server;
+};
+
+Request open_request(const layout::Layout& layout,
+                     const pilfill::FlowConfig& cfg) {
+  Request req;
+  req.op = Op::kOpenSession;
+  std::ostringstream pld;
+  layout::write_pld(layout, pld);
+  req.layout_pld = pld.str();
+  req.config = cfg;
+  return req;
+}
+
+TEST(ServiceServer, SolvesBitIdenticalToInProcessSession) {
+  const layout::Layout layout = small_layout();
+  const pilfill::FlowConfig cfg = small_config();
+  const std::vector<pilfill::Method> methods = {pilfill::Method::kIlp2,
+                                                pilfill::Method::kGreedy};
+  pilfill::FillSession direct(layout, cfg);
+  const pilfill::FlowResult expect = direct.solve(methods);
+
+  ServerFixture fx;
+  Client client = fx.connect();
+  const Response opened = client.call(open_request(layout, cfg));
+  ASSERT_TRUE(opened.ok) << opened.error;
+  EXPECT_FALSE(opened.reused);
+  EXPECT_EQ(opened.layout_hash, layout_fingerprint(layout));
+  EXPECT_GT(opened.tiles, 0);
+
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = opened.session;
+  solve.methods = methods;
+  solve.include_placement = true;
+  const Response solved = client.call(solve);
+  ASSERT_TRUE(solved.ok) << solved.error;
+  EXPECT_FALSE(solved.shed);
+  EXPECT_FALSE(solved.degraded);
+  ASSERT_EQ(solved.methods.size(), methods.size());
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    const MethodSummary& got = solved.methods[i];
+    const pilfill::MethodResult& want = expect.methods[i];
+    EXPECT_EQ(got.requested, methods[i]);
+    EXPECT_EQ(got.served, methods[i]);
+    EXPECT_EQ(got.placed, want.placed);
+    // Bit-identical: exact doubles and the exact placement rectangles.
+    EXPECT_EQ(got.delay_ps, want.impact.delay_ps);
+    EXPECT_EQ(got.weighted_delay_ps, want.impact.weighted_delay_ps);
+    EXPECT_EQ(got.placement_hash,
+              placement_fingerprint(want.placement.features));
+    ASSERT_EQ(got.placement.size(), want.placement.features.size());
+    for (std::size_t j = 0; j < got.placement.size(); ++j) {
+      EXPECT_EQ(got.placement[j].xlo, want.placement.features[j].xlo);
+      EXPECT_EQ(got.placement[j].yhi, want.placement.features[j].yhi);
+    }
+  }
+}
+
+TEST(ServiceServer, EditThenSolveMatchesInProcessEditedSession) {
+  const layout::Layout layout = small_layout();
+  const pilfill::FlowConfig cfg = small_config();
+  const std::vector<pilfill::Method> methods = {pilfill::Method::kGreedy};
+
+  // Find a valid stub edit: tap the first long horizontal segment.
+  pilfill::WireEdit edit;
+  bool found = false;
+  for (const auto& seg : layout.segments()) {
+    if (seg.layer != 0 || seg.removed()) continue;
+    if (seg.orientation() != layout::Orientation::kHorizontal) continue;
+    if (seg.length() < 10.0) continue;
+    const double tap = (seg.a.x + seg.b.x) / 2;
+    edit = pilfill::WireEdit::add_segment(seg.net, {tap, seg.a.y},
+                                          {tap, seg.a.y + 2.0}, 0.4);
+    found = true;
+    break;
+  }
+  ASSERT_TRUE(found);
+
+  pilfill::FillSession direct(layout, cfg);
+  direct.apply_edit(edit);
+  const pilfill::FlowResult expect = direct.solve(methods);
+
+  ServerFixture fx;
+  Client client = fx.connect();
+  const Response opened = client.call(open_request(layout, cfg));
+  ASSERT_TRUE(opened.ok) << opened.error;
+
+  Request edit_req;
+  edit_req.op = Op::kApplyEdit;
+  edit_req.session = opened.session;
+  edit_req.edit = edit;
+  const Response edited = client.call(edit_req);
+  ASSERT_TRUE(edited.ok) << edited.error;
+  ASSERT_TRUE(edited.edit.has_value());
+  EXPECT_GT(edited.edit->tiles_dirty, 0);
+
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = opened.session;
+  solve.methods = methods;
+  const Response solved = client.call(solve);
+  ASSERT_TRUE(solved.ok) << solved.error;
+  EXPECT_EQ(solved.methods.at(0).placement_hash,
+            placement_fingerprint(expect.methods.at(0).placement.features));
+}
+
+TEST(ServiceServer, ReusesWarmSessionsByLayoutAndModel) {
+  const layout::Layout layout = small_layout();
+  const pilfill::FlowConfig cfg = small_config();
+  ServerFixture fx;
+  Client a = fx.connect();
+  Client b = fx.connect();
+  const Response first = a.call(open_request(layout, cfg));
+  ASSERT_TRUE(first.ok) << first.error;
+  const Response second = b.call(open_request(layout, cfg));
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_TRUE(second.reused);
+  EXPECT_EQ(second.session, first.session);
+
+  // A different model half must get its own session.
+  pilfill::FlowConfig other = cfg;
+  other.window_um = 16.0;
+  const Response third = a.call(open_request(layout, other));
+  ASSERT_TRUE(third.ok) << third.error;
+  EXPECT_FALSE(third.reused);
+  EXPECT_NE(third.session, first.session);
+
+  // A different policy half must NOT split the pool.
+  pilfill::FlowConfig policy_only = cfg;
+  policy_only.threads = 4;
+  const Response fourth = b.call(open_request(layout, policy_only));
+  ASSERT_TRUE(fourth.ok) << fourth.error;
+  EXPECT_TRUE(fourth.reused);
+  EXPECT_EQ(fourth.session, first.session);
+}
+
+TEST(ServiceServer, ValidationErrorsCarryTheFieldPath) {
+  ServerFixture fx;
+  Client client = fx.connect();
+  pilfill::FlowConfig bad = small_config();
+  bad.window_um = -3.0;
+  const Response resp = client.call(open_request(small_layout(), bad));
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error_field, "model.window_um");
+}
+
+TEST(ServiceServer, UnknownSessionAndBadFramesAreHandled) {
+  ServerFixture fx;
+  Client client = fx.connect();
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = "s999";
+  solve.methods = {pilfill::Method::kGreedy};
+  const Response resp = client.call(solve);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("unknown session"), std::string::npos);
+
+  // Malformed JSON in a well-formed frame: an error response, connection
+  // stays usable? No -- the server answers and keeps the connection; the
+  // next valid request must still work.
+  const Response err = decode_response(client.call_raw("this is not json"));
+  EXPECT_FALSE(err.ok);
+  Request stats;
+  stats.op = Op::kStats;
+  const Response ok = client.call(stats);
+  EXPECT_TRUE(ok.ok);
+
+  // Wrong schema version: rejected with a versioned error.
+  const Response wrong = decode_response(client.call_raw(
+      "{\"schema\":\"pil.request.v2\",\"op\":\"stats\"}"));
+  EXPECT_FALSE(wrong.ok);
+  EXPECT_NE(wrong.error.find("pil.request.v1"), std::string::npos);
+}
+
+TEST(ServiceServer, OversizeFrameGetsDiagnosedThenDisconnected) {
+  ServerConfig cfg;
+  cfg.max_frame_bytes = 64;
+  ServerFixture fx(cfg);
+  Client client = fx.connect();
+  const std::string big(1000, 'x');
+  const std::string raw = client.call_raw(big);  // frame announces 1000 > 64
+  const Response resp = decode_response(raw);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("exceeds"), std::string::npos);
+  // After the diagnostic the server hangs up.
+  std::string more;
+  EXPECT_EQ(read_frame(client.fd(), more), FrameReadStatus::kClosed);
+}
+
+TEST(ServiceServer, TruncatedFrameDoesNotWedgeTheServer) {
+  ServerFixture fx;
+  {
+    Client client = fx.connect();
+    // Announce 100 bytes, send 3, hang up.
+    const char partial[7] = {0, 0, 0, 100, 'a', 'b', 'c'};
+    client.send_bytes(std::string_view(partial, 7));
+  }  // close
+  Client fresh = fx.connect();
+  Request stats;
+  stats.op = Op::kStats;
+  EXPECT_TRUE(fresh.call(stats).ok);
+}
+
+TEST(ServiceServer, ShedsIlpToGreedyUnderPressureBitIdentically) {
+  const layout::Layout layout = small_layout();
+  const pilfill::FlowConfig cfg = small_config();
+  pilfill::FillSession direct(layout, cfg);
+  const pilfill::FlowResult greedy =
+      direct.solve({pilfill::Method::kGreedy});
+
+  ServerConfig scfg;
+  scfg.degrade_queue_depth = 1;  // deterministic: every solve sheds
+  ServerFixture fx(scfg);
+  Client client = fx.connect();
+  const Response opened = client.call(open_request(layout, cfg));
+  ASSERT_TRUE(opened.ok) << opened.error;
+
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = opened.session;
+  solve.methods = {pilfill::Method::kIlp2};
+  const Response resp = client.call(solve);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_TRUE(resp.shed);
+  EXPECT_TRUE(resp.degraded);
+  ASSERT_EQ(resp.methods.size(), 1u);
+  EXPECT_EQ(resp.methods[0].requested, pilfill::Method::kIlp2);
+  EXPECT_EQ(resp.methods[0].served, pilfill::Method::kGreedy);
+  // The shed solve is exactly the greedy solve, not some approximation.
+  EXPECT_EQ(resp.methods[0].placement_hash,
+            placement_fingerprint(greedy.methods.at(0).placement.features));
+
+  const ServerStats stats = fx.server->stats();
+  EXPECT_GE(stats.shed, 1);
+}
+
+TEST(ServiceServer, RejectsWhenFullIfConfigured) {
+  ServerConfig scfg;
+  scfg.workers = 1;
+  scfg.queue_capacity = 1;
+  scfg.reject_when_full = true;
+  ServerFixture fx(scfg);
+
+  // Saturate the single worker + the single queue slot with opens of
+  // distinct layouts, then watch later requests bounce.
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 6; ++i)
+    clients.emplace_back([&fx, &rejected, i] {
+      Client c = fx.connect();
+      Request req = open_request(small_layout(static_cast<std::uint64_t>(i)),
+                                 small_config());
+      const Response resp = c.call(req);
+      if (!resp.ok && resp.shed) rejected.fetch_add(1);
+    });
+  for (auto& t : clients) t.join();
+  // With 6 concurrent prep-heavy opens against capacity 2 (1 executing +
+  // 1 queued), at least one must have been turned away.
+  EXPECT_GE(rejected.load(), 1);
+  EXPECT_GE(fx.server->stats().rejected, 1);
+}
+
+TEST(ServiceServer, ConcurrentEditorsOnSharedSessionStaySerialized) {
+  const layout::Layout layout = small_layout();
+  const pilfill::FlowConfig cfg = small_config();
+  ServerFixture fx;
+
+  Client opener = fx.connect();
+  const Response opened = opener.call(open_request(layout, cfg));
+  ASSERT_TRUE(opened.ok) << opened.error;
+
+  // N concurrent solvers of the same warm session: all must succeed and
+  // all must return the same bits (no one observes a half-applied state).
+  constexpr int kEditors = 8;
+  std::vector<std::string> hashes(kEditors);
+  std::vector<std::thread> editors;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kEditors; ++i)
+    editors.emplace_back([&fx, &opened, &hashes, &failures, i] {
+      try {
+        Client c = fx.connect();
+        Request solve;
+        solve.op = Op::kSolve;
+        solve.session = opened.session;
+        solve.methods = {pilfill::Method::kGreedy};
+        const Response resp = c.call(solve);
+        if (!resp.ok || resp.methods.size() != 1) {
+          failures.fetch_add(1);
+          return;
+        }
+        std::ostringstream os;
+        os << std::hex << resp.methods[0].placement_hash;
+        hashes[static_cast<std::size_t>(i)] = os.str();
+      } catch (const Error&) {
+        failures.fetch_add(1);
+      }
+    });
+  for (auto& t : editors) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int i = 1; i < kEditors; ++i) EXPECT_EQ(hashes[0], hashes[i]);
+
+  pilfill::FillSession direct(layout, cfg);
+  const pilfill::FlowResult expect =
+      direct.solve({pilfill::Method::kGreedy});
+  std::ostringstream want;
+  want << std::hex
+       << placement_fingerprint(expect.methods.at(0).placement.features);
+  EXPECT_EQ(hashes[0], want.str());
+}
+
+TEST(ServiceServer, PerRequestDeadlineDegradesInsteadOfErroring) {
+  const layout::Layout layout = small_layout();
+  ServerFixture fx;
+  Client client = fx.connect();
+  const Response opened =
+      client.call(open_request(layout, small_config()));
+  ASSERT_TRUE(opened.ok) << opened.error;
+
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = opened.session;
+  solve.methods = {pilfill::Method::kIlp2};
+  solve.deadline_ms = 1e-3;  // hopelessly tight: expires in the queue
+  const Response resp = client.call(solve);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  // The ladder serves every tile from its cheap end; the response says
+  // degraded rather than failing the request.
+  EXPECT_TRUE(resp.degraded);
+  EXPECT_EQ(resp.methods.at(0).tiles_failed, 0);
+}
+
+TEST(ServiceServer, StatsAndShutdownRoundTrip) {
+  ServerFixture fx;
+  Client client = fx.connect();
+  Request stats;
+  stats.op = Op::kStats;
+  const Response s = client.call(stats);
+  ASSERT_TRUE(s.ok);
+  const obs::JsonValue doc = obs::parse_json(s.stats_json);
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.find("executed") != nullptr);
+  EXPECT_TRUE(doc.find("queue_peak") != nullptr);
+
+  Request shutdown;
+  shutdown.op = Op::kShutdown;
+  const Response down = client.call(shutdown);
+  EXPECT_TRUE(down.ok);
+  fx.server->wait_for_shutdown();  // must return promptly
+  fx.server->stop();
+}
+
+TEST(ServiceServer, UnixSocketTransportWorks) {
+  const std::string path = scratch_socket("unix");
+  ServerConfig scfg;
+  scfg.unix_socket = path;
+  {
+    Server server(scfg);
+    server.start();
+    Client client = Client::connect_unix(path);
+    Request stats;
+    stats.op = Op::kStats;
+    EXPECT_TRUE(client.call(stats).ok);
+    server.stop();
+  }
+  // Clean shutdown removes the socket file.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace pil::service

@@ -1,0 +1,217 @@
+/// \file pilreq_cli.cpp
+/// The `pilreq` client: one pil.request.v1 request per invocation against a
+/// running `pilserve`, raw response JSON on stdout. The scriptable half of
+/// the service smoke tests and of docs/SERVICE.md's quick start.
+///
+///   pilreq open     (--socket P | --port N) (--pld FILE | --gen | --path F)
+///                   [--die D] [--nets N] [--gen-seed S] [--macros M]
+///                   [--window W] [--r R] [--layer L] [--seed S]
+///                   [--threads N] [--key KEY]
+///   pilreq edit     (--socket P | --port N) --session ID
+///                   (--add "net,x0,y0,x1,y1,w" | --remove SEG
+///                    | --move "seg,dx,dy")
+///   pilreq solve    (--socket P | --port N) --session ID --methods m1,m2
+///                   [--deadline-ms X] [--tile-deadline-ms X] [--no-degrade]
+///                   [--placement] [--strict]
+///   pilreq stats    (--socket P | --port N)
+///   pilreq shutdown (--socket P | --port N)
+///
+/// Exit codes: 0 request ok, 1 request failed (response ok=false or
+/// transport error), 2 usage error, 3 response flagged degraded/shed under
+/// --strict (same taxonomy as pilfill/pilbench).
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pil/pil.hpp"
+
+namespace {
+
+using namespace pil;
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitDegraded = 3;
+
+int usage() {
+  std::cerr
+      << "usage: pilreq <open|edit|solve|stats|shutdown> "
+         "(--socket PATH | --port N) [options]\n"
+         "  open:  --pld FILE | --gen [--die D --nets N --gen-seed S "
+         "--macros M] | --path SERVER_FILE\n"
+         "         [--window W] [--r R] [--layer L] [--seed S] [--threads N] "
+         "[--key KEY]\n"
+         "  edit:  --session ID --add \"net,x0,y0,x1,y1,w\" | --remove SEG | "
+         "--move \"seg,dx,dy\"\n"
+         "  solve: --session ID --methods normal,ilp1,ilp2,greedy,convex\n"
+         "         [--deadline-ms X] [--tile-deadline-ms X] [--no-degrade] "
+         "[--placement] [--strict]\n"
+         "  stats | shutdown\n"
+         "Response JSON goes to stdout; exit 3 = degraded under --strict.\n";
+  return kExitUsage;
+}
+
+std::vector<double> parse_csv_doubles(const std::string& s,
+                                      std::size_t expect, const char* what) {
+  std::vector<double> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(parse_double(item, what));
+  PIL_REQUIRE(out.size() == expect,
+              std::string(what) + ": expected " + std::to_string(expect) +
+                  " comma-separated values");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string op_name = argv[1];
+  std::map<std::string, std::string> opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      std::cerr << "pilreq: unexpected argument: " << a << "\n";
+      return usage();
+    }
+    const std::string name = a.substr(2);
+    if (name == "gen" || name == "no-degrade" || name == "placement" ||
+        name == "strict" || name == "help") {
+      opts[name] = "1";
+    } else {
+      if (i + 1 >= argc) {
+        std::cerr << "pilreq: option --" << name << " needs a value\n";
+        return usage();
+      }
+      opts[name] = argv[++i];
+    }
+  }
+  if (op_name == "help" || opts.count("help")) return usage();
+
+  try {
+    service::Request req;
+    // CLI verbs are short; the wire uses the full op names.
+    req.op = op_name == "open"   ? service::Op::kOpenSession
+             : op_name == "edit" ? service::Op::kApplyEdit
+                                 : service::op_from_name(op_name);
+    if (opts.count("id"))
+      req.id = static_cast<std::uint64_t>(parse_int(opts.at("id"), "--id"));
+
+    switch (req.op) {
+      case service::Op::kOpenSession: {
+        if (opts.count("pld")) {
+          std::ifstream in(opts.at("pld"));
+          PIL_REQUIRE(in.good(), "cannot open " + opts.at("pld"));
+          std::ostringstream text;
+          text << in.rdbuf();
+          req.layout_pld = text.str();
+        } else if (opts.count("path")) {
+          req.layout_path = opts.at("path");
+        } else if (opts.count("gen")) {
+          service::GenSpec gen;
+          if (opts.count("die"))
+            gen.die_um = parse_double(opts.at("die"), "--die");
+          if (opts.count("nets"))
+            gen.num_nets =
+                static_cast<int>(parse_int(opts.at("nets"), "--nets"));
+          if (opts.count("gen-seed"))
+            gen.seed = static_cast<std::uint64_t>(
+                parse_int(opts.at("gen-seed"), "--gen-seed"));
+          if (opts.count("macros"))
+            gen.num_macros =
+                static_cast<int>(parse_int(opts.at("macros"), "--macros"));
+          req.gen = gen;
+        } else {
+          std::cerr << "pilreq open: need --pld, --gen, or --path\n";
+          return usage();
+        }
+        if (opts.count("window"))
+          req.config.window_um = parse_double(opts.at("window"), "--window");
+        if (opts.count("r"))
+          req.config.r = static_cast<int>(parse_int(opts.at("r"), "--r"));
+        if (opts.count("layer"))
+          req.config.layer = static_cast<layout::LayerId>(
+              parse_int(opts.at("layer"), "--layer"));
+        if (opts.count("seed"))
+          req.config.seed = static_cast<std::uint64_t>(
+              parse_int(opts.at("seed"), "--seed"));
+        if (opts.count("threads"))
+          req.config.threads =
+              static_cast<int>(parse_int(opts.at("threads"), "--threads"));
+        req.session_key = opts.count("key") ? opts.at("key") : "";
+        break;
+      }
+      case service::Op::kApplyEdit: {
+        PIL_REQUIRE(opts.count("session") > 0, "edit needs --session");
+        req.session = opts.at("session");
+        if (opts.count("add")) {
+          const auto v = parse_csv_doubles(opts.at("add"), 6, "--add");
+          req.edit = pilfill::WireEdit::add_segment(
+              static_cast<layout::NetId>(v[0]), {v[1], v[2]}, {v[3], v[4]},
+              v[5]);
+        } else if (opts.count("remove")) {
+          req.edit = pilfill::WireEdit::remove_segment(
+              static_cast<layout::SegmentId>(
+                  parse_int(opts.at("remove"), "--remove")));
+        } else if (opts.count("move")) {
+          const auto v = parse_csv_doubles(opts.at("move"), 3, "--move");
+          req.edit = pilfill::WireEdit::move_segment(
+              static_cast<layout::SegmentId>(v[0]), v[1], v[2]);
+        } else {
+          std::cerr << "pilreq edit: need --add, --remove, or --move\n";
+          return usage();
+        }
+        break;
+      }
+      case service::Op::kSolve: {
+        PIL_REQUIRE(opts.count("session") > 0, "solve needs --session");
+        req.session = opts.at("session");
+        std::stringstream ss(
+            opts.count("methods") ? opts.at("methods") : "ilp2");
+        std::string item;
+        while (std::getline(ss, item, ','))
+          req.methods.push_back(service::method_from_wire(item));
+        if (opts.count("deadline-ms"))
+          req.deadline_ms =
+              parse_double(opts.at("deadline-ms"), "--deadline-ms");
+        if (opts.count("tile-deadline-ms"))
+          req.tile_deadline_ms = parse_double(opts.at("tile-deadline-ms"),
+                                              "--tile-deadline-ms");
+        req.no_degrade = opts.count("no-degrade") > 0;
+        req.include_placement = opts.count("placement") > 0;
+        break;
+      }
+      case service::Op::kStats:
+      case service::Op::kShutdown:
+        break;
+    }
+
+    service::Client client =
+        opts.count("socket")
+            ? service::Client::connect_unix(opts.at("socket"))
+            : (opts.count("port")
+                   ? service::Client::connect_tcp(static_cast<int>(
+                         parse_int(opts.at("port"), "--port")))
+                   : throw Error("pilreq: need --socket PATH or --port N"));
+
+    const std::string raw = client.call_raw(service::encode_request(req));
+    std::cout << raw << "\n";
+    const service::Response resp = service::decode_response(raw);
+    if (!resp.ok) {
+      std::cerr << "pilreq: " << resp.error << "\n";
+      return kExitError;
+    }
+    if (opts.count("strict") && (resp.degraded || resp.shed))
+      return kExitDegraded;
+    return kExitOk;
+  } catch (const Error& e) {
+    std::cerr << "pilreq: " << e.what() << "\n";
+    return kExitError;
+  }
+}

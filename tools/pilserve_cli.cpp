@@ -1,0 +1,146 @@
+/// \file pilserve_cli.cpp
+/// The `pilserve` daemon: fill synthesis as a service. Owns a pool of warm
+/// FillSessions behind the versioned pil.request.v1 protocol (length-
+/// prefixed JSON frames over a unix socket and/or loopback TCP), with a
+/// bounded request queue and load shedding on the degradation ladder.
+/// Drive it with `pilreq` (see docs/SERVICE.md).
+///
+///   pilserve [--socket PATH] [--tcp PORT] [--workers N] [--queue N]
+///            [--degrade-depth N] [--reject-when-full] [--max-sessions N]
+///            [--default-deadline-ms X] [--max-frame-mb N]
+///            [--no-layout-path] [--metrics] [--log-level LEVEL]
+///
+/// Prints one "listening ..." line per bound endpoint (with the resolved
+/// port for --tcp 0), then serves until a client sends a shutdown request
+/// or the process receives SIGINT/SIGTERM. Exit codes follow the repo
+/// taxonomy: 0 clean shutdown, 1 runtime error, 2 usage error.
+
+#include <csignal>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pil/pil.hpp"
+
+namespace {
+
+using namespace pil;
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+
+int usage() {
+  std::cerr
+      << "usage: pilserve [--socket PATH] [--tcp PORT] [--workers N]\n"
+         "                [--queue N] [--degrade-depth N] "
+         "[--reject-when-full]\n"
+         "                [--max-sessions N] [--default-deadline-ms X]\n"
+         "                [--max-frame-mb N] [--no-layout-path] [--metrics]\n"
+         "                [--log-level debug|info|warn|error|off]\n"
+         "At least one of --socket / --tcp is required; --tcp 0 picks an\n"
+         "ephemeral port (printed on the 'listening' line).\n";
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      std::cerr << "pilserve: unexpected argument: " << a << "\n";
+      return usage();
+    }
+    const std::string name = a.substr(2);
+    if (name == "reject-when-full" || name == "no-layout-path" ||
+        name == "metrics" || name == "help") {
+      opts[name] = "1";
+    } else {
+      if (i + 1 >= argc) {
+        std::cerr << "pilserve: option --" << name << " needs a value\n";
+        return usage();
+      }
+      opts[name] = argv[++i];
+    }
+  }
+  if (opts.count("help")) return usage();
+
+  try {
+    if (opts.count("log-level"))
+      set_log_level(parse_log_level(opts.at("log-level")));
+    if (opts.count("metrics")) obs::set_metrics_enabled(true);
+
+    service::ServerConfig config;
+    if (opts.count("socket")) config.unix_socket = opts.at("socket");
+    if (opts.count("tcp"))
+      config.tcp_port =
+          static_cast<int>(parse_int(opts.at("tcp"), "--tcp"));
+    if (config.unix_socket.empty() && config.tcp_port < 0) {
+      std::cerr << "pilserve: need --socket PATH and/or --tcp PORT\n";
+      return usage();
+    }
+    if (opts.count("workers"))
+      config.workers =
+          static_cast<int>(parse_int(opts.at("workers"), "--workers"));
+    if (opts.count("queue"))
+      config.queue_capacity =
+          static_cast<int>(parse_int(opts.at("queue"), "--queue"));
+    if (opts.count("degrade-depth"))
+      config.degrade_queue_depth = static_cast<int>(
+          parse_int(opts.at("degrade-depth"), "--degrade-depth"));
+    if (opts.count("max-sessions"))
+      config.max_sessions = static_cast<int>(
+          parse_int(opts.at("max-sessions"), "--max-sessions"));
+    if (opts.count("default-deadline-ms"))
+      config.default_deadline_seconds =
+          parse_double(opts.at("default-deadline-ms"),
+                             "--default-deadline-ms") /
+          1000.0;
+    if (opts.count("max-frame-mb"))
+      config.max_frame_bytes =
+          static_cast<std::size_t>(parse_int(opts.at("max-frame-mb"),
+                                                   "--max-frame-mb"))
+          << 20;
+    config.reject_when_full = opts.count("reject-when-full") > 0;
+    config.allow_layout_path = opts.count("no-layout-path") == 0;
+
+    service::Server server(config);
+
+    // Route SIGINT/SIGTERM through a dedicated sigwait thread: a signal
+    // then behaves exactly like a client shutdown request, and the main
+    // thread performs the one orderly stop(). (A raw handler could not
+    // safely touch the server's mutexes.)
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGINT);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+    std::thread([&server, sigs] {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      server.request_shutdown();
+    }).detach();
+
+    server.start();
+    if (!config.unix_socket.empty())
+      std::cout << "listening unix " << config.unix_socket << "\n";
+    if (config.tcp_port >= 0)
+      std::cout << "listening tcp 127.0.0.1:" << server.tcp_port() << "\n";
+    std::cout.flush();
+
+    server.wait_for_shutdown();
+    server.stop();
+    const service::ServerStats stats = server.stats();
+    std::cout << "served " << stats.executed << " requests ("
+              << stats.shed << " shed, " << stats.errors << " errors), "
+              << stats.sessions_opened << " sessions\n";
+    return kExitOk;
+  } catch (const Error& e) {
+    std::cerr << "pilserve: " << e.what() << "\n";
+    return kExitError;
+  }
+}
