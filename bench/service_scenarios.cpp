@@ -12,6 +12,13 @@
 ///   service.overload.shed          8 editors x 2 ilp2 solves against
 ///                                  --degrade-depth 1: every solve is shed
 ///                                  to greedy; expects shed_rate == 1.
+///   service.closedloop.e8.greedy.accesslog
+///                                  the closedloop twin with the access log
+///                                  and stats endpoint enabled; comparing
+///                                  the pair bounds the observability-plane
+///                                  overhead (target: within 2%).
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -150,6 +157,22 @@ void register_service_scenarios(Registry& r) {
          [] {
            service::ServerConfig config;
            config.workers = 4;
+           return fleet_setup(config, pilfill::Method::kGreedy,
+                              /*editors=*/8, /*solves_per_editor=*/4);
+         }});
+
+  r.add({"service.closedloop.e8.greedy.accesslog",
+         "closedloop twin with pil.access.v1 logging + stats endpoint on: "
+         "same fleet, same extras; the delta vs the bare scenario is the "
+         "observability overhead",
+         [] {
+           service::ServerConfig config;
+           config.workers = 4;
+           // Scratch log per run; the bench measures the write path, the
+           // file itself is throwaway.
+           config.access_log = "/tmp/pil_bench_access_" +
+                               std::to_string(::getpid()) + ".jsonl";
+           config.http_port = 0;  // bound but unscraped: idle-listener cost
            return fleet_setup(config, pilfill::Method::kGreedy,
                               /*editors=*/8, /*solves_per_editor=*/4);
          }});

@@ -50,6 +50,10 @@ struct FlightEvent {
   std::string kind;
   std::string method;
   std::string detail;
+  /// 16-hex-char request trace id (service_request / service_response
+  /// events only) -- the same string clients see as `trace_id` on the
+  /// wire, so a dump greps by trace.
+  std::string trace;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t c = 0;

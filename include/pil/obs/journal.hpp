@@ -56,9 +56,11 @@ enum class JournalEventKind : std::uint16_t {
   kSessionEdit,       ///< c = edited segment id, v = edit seconds
   kBasisHit,          ///< a = method (cached root basis reused)
   kBasisMiss,         ///< a = method (no reusable root basis)
-  kServiceRequest,    ///< a = pil::service Op, c = client request id
+  kServiceRequest,    ///< a = pil::service Op, b = low 32 bits of the
+                      ///< client request id, c = trace id (dumped as a
+                      ///< hex "trace" member; flow = request correlation)
   kServiceResponse,   ///< a = Op, b = bit0 ok, bit1 degraded, bit2 shed;
-                      ///< c = client request id, v = handling seconds
+                      ///< c = trace id, v = handling seconds
 };
 
 /// Stable lower_snake_case name used as the "kind" string in dumps.

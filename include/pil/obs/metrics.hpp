@@ -172,6 +172,9 @@ void set_metrics_enabled(bool enabled) noexcept;
 ///   labeled("pilfill.tile_solve_seconds",
 ///           {{"method", "ILP-II"}, {"thread", "0"}})
 ///     == "pilfill.tile_solve_seconds{method=ILP-II,thread=0}"
+/// Separator characters inside a label *value* (',', '=', '}', '\\') are
+/// backslash-escaped so the OpenMetrics writer can split the composite
+/// name back into real label dimensions losslessly.
 std::string labeled(
     std::string_view base,
     std::initializer_list<std::pair<std::string_view, std::string_view>>

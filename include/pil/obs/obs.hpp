@@ -11,4 +11,5 @@
 #include "pil/obs/json.hpp"
 #include "pil/obs/metrics.hpp"
 #include "pil/obs/prof.hpp"
+#include "pil/obs/slo.hpp"
 #include "pil/obs/trace.hpp"

@@ -1,0 +1,119 @@
+#pragma once
+/// \file slo.hpp
+/// Rolling SLO windows: a per-second bucket ring that aggregates request
+/// latency histograms, error / shed / degraded counts, and queue depth, so
+/// a live daemon can answer "what were p50/p99, the shed rate, and the
+/// error rate over the last 10s / 60s / 300s" without keeping per-request
+/// history. This is the data source behind `pilserve`'s `/slo` endpoint
+/// (`pil.slo.v1`, see docs/SERVICE.md) and the `piltop` display.
+///
+/// Design:
+///  - One bucket per wall second of a monotonic clock anchored at ring
+///    construction (wall-clock jumps cannot smear or duplicate buckets).
+///    A bucket holds counters plus a 64-slot log2 latency histogram --
+///    the same bucketing as obs::Histogram, so window percentiles reuse
+///    Histogram::Snapshot::quantile.
+///  - The ring holds `capacity_seconds` buckets; writing into the current
+///    second lazily retires whatever stale second previously occupied the
+///    slot. A window merges the last N buckets at read time.
+///  - Updates take a mutex. Requests to a fill service are milliseconds to
+///    seconds each, so contention is nil, and a mutex keeps record() /
+///    window() exact and TSan-clean -- unlike the registry's lock-free
+///    histograms, windows must read consistent (count, bucket) pairs.
+///  - Every mutator/reader has an `_at(now_ns)` variant taking explicit
+///    monotonic nanoseconds since the ring's epoch, so tests drive bucket
+///    rotation and expiry deterministically.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "pil/obs/metrics.hpp"
+
+namespace pil::obs {
+
+class SloRing {
+ public:
+  /// Ring with `capacity_seconds` one-second buckets (the widest window it
+  /// can answer). Throws nothing; capacity is clamped to >= 1.
+  explicit SloRing(int capacity_seconds = 300);
+
+  /// Monotonic nanoseconds since this ring's construction -- the time base
+  /// every `_at` variant expects.
+  std::uint64_t now_ns() const noexcept;
+
+  int capacity_seconds() const noexcept { return capacity_seconds_; }
+
+  /// Record one finished request into the current second's bucket.
+  void record(double latency_seconds, bool error, bool shed, bool degraded);
+  void record_at(std::uint64_t now_ns, double latency_seconds, bool error,
+                 bool shed, bool degraded);
+
+  /// Fold a queue-depth observation into the current second (kept as the
+  /// per-second peak). Sample on enqueue/dequeue, not on a timer.
+  void sample_queue_depth(int depth);
+  void sample_queue_depth_at(std::uint64_t now_ns, int depth);
+
+  /// Aggregate over the trailing `window_seconds` buckets (including the
+  /// current, still-filling second). An empty window reports zero counts,
+  /// zero rates, and zero percentiles.
+  struct WindowStats {
+    int window_seconds = 0;
+    long long requests = 0;
+    long long errors = 0;
+    long long shed = 0;
+    long long degraded = 0;
+    double rate_per_second = 0.0;  ///< requests / window_seconds
+    double error_rate = 0.0;       ///< errors / requests (0 when empty)
+    double shed_rate = 0.0;        ///< shed / requests (0 when empty)
+    double latency_p50 = 0.0;      ///< seconds; log2-bucket estimates
+    double latency_p90 = 0.0;
+    double latency_p99 = 0.0;
+    double latency_max = 0.0;      ///< exact
+    double latency_mean = 0.0;     ///< exact (sum / requests)
+    int queue_depth_peak = 0;
+  };
+
+  WindowStats window(int window_seconds) const;
+  WindowStats window_at(std::uint64_t now_ns, int window_seconds) const;
+
+  /// Requests recorded over the ring's whole lifetime (not just retained
+  /// buckets) -- a cheap liveness probe for health endpoints.
+  long long total_requests() const;
+
+ private:
+  struct Bucket {
+    static constexpr std::uint64_t kIdle = ~0ull;
+    std::uint64_t second = kIdle;  ///< absolute second index; kIdle = empty
+    long long requests = 0;
+    long long errors = 0;
+    long long shed = 0;
+    long long degraded = 0;
+    double latency_sum = 0.0;
+    double latency_min = 0.0;
+    double latency_max = 0.0;
+    int queue_depth_peak = 0;
+    std::array<long long, Histogram::kNumBuckets> latency{};
+  };
+
+  /// The bucket for `second`, retiring a stale occupant. Caller holds mu_.
+  Bucket& bucket_for_locked(std::uint64_t second);
+
+  int capacity_seconds_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Bucket> buckets_;
+  long long total_requests_ = 0;
+};
+
+class JsonWriter;
+
+/// Append `"windows": [...]` members for the given window widths to an
+/// open JSON object -- the shared core of the `pil.slo.v1` document (the
+/// service wraps it with schema / uptime / pool fields).
+void write_slo_windows(JsonWriter& w, const SloRing& ring,
+                       const std::vector<int>& window_seconds);
+
+}  // namespace pil::obs

@@ -44,6 +44,7 @@
 /// The one-shot flows (run_pil_fill_flow & friends) are thin wrappers over
 /// a FillSession: construct, solve, discard.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
@@ -144,8 +145,15 @@ class FillSession {
   /// (they carry a failure record and depend on the policy that produced
   /// them) are dropped and re-attempted under the new policy. Throws
   /// pil::Error when `policy` fails SolvePolicy::validate().
+  ///
+  /// `journal_flow_id` sets the flow correlation id stamped on every
+  /// journal event this solve records (0 = allocate a fresh one). The
+  /// service passes its per-request id here so a request's solver events
+  /// -- down to the tile cause chains in a flight dump -- share one flow
+  /// with the request's service_request/service_response events.
   FlowResult solve(const std::vector<Method>& methods,
-                   const SolvePolicy& policy);
+                   const SolvePolicy& policy,
+                   std::uint32_t journal_flow_id = 0);
 
   /// Apply one wire edit to the owned layout and incrementally refresh the
   /// prep state. Throws pil::Error (leaving the session on its pre-edit

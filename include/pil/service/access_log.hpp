@@ -1,0 +1,58 @@
+#pragma once
+/// \file access_log.hpp
+/// `pil.access.v1` structured access log: one JSON object per line, one
+/// line per request the daemon answered -- executed, rejected, or failed
+/// to decode. The line carries the trace id, so `grep <trace_id>` joins
+/// the access log against the response the client saw, the journal
+/// events, and a flight dump's cause chains.
+///
+/// Fields (absent = zero/false/empty):
+///   schema      "pil.access.v1"
+///   ts_ms       wall-clock epoch milliseconds at response time
+///   trace_id    16-hex-char request trace
+///   op          "solve" / "open_session" / ...
+///   id          client request id
+///   session     session id, when the request named or opened one
+///   ok, shed, degraded
+///   error       first line of the error, when !ok
+///   methods     requested methods, for solve
+///   stages      {queue_ms, admission_ms, session_ms, solve_ms, write_ms}
+///   total_ms    receipt -> response encoded
+///
+/// Rotation: when the file would exceed `max_bytes` it is renamed to
+/// `<path>.1` (replacing any previous `.1`) and a fresh file is started,
+/// bounding disk use at ~2x max_bytes without an external logrotate.
+
+#include <cstddef>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace pil::service {
+
+class AccessLog {
+ public:
+  /// Opens `path` for appending; throws pil::Error when it cannot.
+  AccessLog(std::string path, std::size_t max_bytes);
+  ~AccessLog();
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Append one pre-serialized pil.access.v1 object (no trailing newline;
+  /// write() adds it) and rotate if the size cap was crossed. Thread-safe;
+  /// write errors are swallowed -- logging must never fail a request.
+  void write(const std::string& json_line) noexcept;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void rotate_locked() noexcept;
+
+  std::string path_;
+  std::size_t max_bytes_;
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::size_t bytes_ = 0;  ///< size of the current file
+};
+
+}  // namespace pil::service

@@ -80,8 +80,14 @@ struct GenSpec {
 struct Request {
   Op op = Op::kStats;
   /// Client-chosen correlation id, echoed verbatim in the response (and
-  /// recorded in the flight journal as the request's `c` payload).
+  /// recorded in the flight journal as the request's `b` payload).
   std::uint64_t id = 0;
+  /// Request trace id (16-hex-char string on the wire, like layout_hash).
+  /// 0 = unset; the server then assigns one and returns it, so every
+  /// response carries a nonzero trace_id that correlates the response,
+  /// the access-log line, the journal events, and the flight-dump cause
+  /// chain for this request.
+  std::uint64_t trace_id = 0;
 
   // open_session ------------------------------------------------------------
   std::string layout_pld;   ///< inline .pld text
@@ -151,6 +157,27 @@ struct MethodSummary {
   std::vector<geom::Rect> placement;
 };
 
+/// Per-stage server-side handling time for one request, milliseconds.
+/// Stage boundaries (see docs/SERVICE.md):
+///   admission_ms  frame decoded -> job enqueued (includes any blocking
+///                 backpressure wait at a full queue)
+///   queue_ms      enqueued -> dequeued by a worker
+///   session_ms    session-pool lookup / build + session lock acquisition
+///   solve_ms      the FillSession call itself (solve / apply_edit / prep)
+///   write_ms      response summary construction (the socket write cannot
+///                 observe itself, so it is excluded -- by design)
+struct StageBreakdown {
+  double queue_ms = 0.0;
+  double admission_ms = 0.0;
+  double session_ms = 0.0;
+  double solve_ms = 0.0;
+  double write_ms = 0.0;
+
+  double total_ms() const {
+    return queue_ms + admission_ms + session_ms + solve_ms + write_ms;
+  }
+};
+
 /// One decoded pil.response.v1 document.
 struct Response {
   std::uint64_t id = 0;
@@ -163,6 +190,13 @@ struct Response {
   bool degraded = false;
   std::string error;        ///< human-readable, when !ok
   std::string error_field;  ///< "model.x"/"policy.y" for validation errors
+  /// Echo of the request's trace id (server-assigned when the client sent
+  /// none). Nonzero on every response the server produced, including
+  /// rejections and decode errors.
+  std::uint64_t trace_id = 0;
+  /// Per-stage handling time; absent on responses the server never
+  /// executed (decode errors, queue-full rejections).
+  std::optional<StageBreakdown> stages;
 
   // open_session / apply_edit / solve ---------------------------------------
   std::string session;

@@ -57,6 +57,17 @@ struct ServerConfig {
   /// Allow open_session by server-side layout_path (disable when clients
   /// are not trusted to name server files).
   bool allow_layout_path = true;
+
+  // Observability plane (see docs/SERVICE.md) -------------------------------
+  /// Plain-HTTP stats endpoint (/metrics, /healthz, /slo) on loopback;
+  /// -1 = off, 0 = ephemeral (see Server::http_port()).
+  int http_port = -1;
+  /// Stats endpoint on a unix socket instead of / in addition to TCP.
+  std::string http_socket;
+  /// pil.access.v1 JSONL path; empty = no access log.
+  std::string access_log;
+  /// Rotate the access log to `<path>.1` beyond this size; 0 = never.
+  std::size_t access_log_max_bytes = 64u << 20;
 };
 
 /// Monotonic counters since start() (returned by stats(), also published
@@ -107,6 +118,16 @@ class Server {
 
   /// Actual TCP port after start() (resolves tcp_port=0), -1 if none.
   int tcp_port() const;
+
+  /// Actual stats-endpoint TCP port after start(), -1 when the endpoint
+  /// is off or unix-only.
+  int http_port() const;
+
+  /// The `pil.slo.v1` document the /slo route serves: rolling 10s/60s/300s
+  /// request-rate, error/shed-rate, and latency-percentile windows plus
+  /// current queue/session gauges. Callable whether or not the HTTP
+  /// endpoint is enabled (tests and embedders poll it directly).
+  std::string slo_json() const;
 
   const ServerConfig& config() const;
   ServerStats stats() const;

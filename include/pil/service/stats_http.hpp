@@ -1,0 +1,72 @@
+#pragma once
+/// \file stats_http.hpp
+/// Minimal plain-HTTP/1.0 stats endpoint for the fill daemon, plus the
+/// matching one-shot GET client. Deliberately tiny: GET only, one request
+/// per connection, no keep-alive, no TLS -- just enough for a Prometheus
+/// scrape, a load balancer health probe, and `piltop`. Binds 127.0.0.1 or
+/// a Unix socket only, like the request listener: the endpoint is
+/// unauthenticated by design and must not face a network.
+///
+/// Routing is the owner's problem: the server calls one handler closure
+/// with the request path ("/metrics", "/healthz", ...) and writes back
+/// whatever HttpContent it returns. Anything the handler does not claim
+/// is a 404.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace pil::service {
+
+/// What a stats route returns: a body plus its media type. `status` 200
+/// unless the handler says otherwise.
+struct HttpContent {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// path -> content. Called on the endpoint's accept thread -- keep it
+/// fast and thread-safe against the rest of the server (snapshots, not
+/// locks held across solves). Return status 404 to decline a path.
+using HttpHandler = std::function<HttpContent(const std::string& path)>;
+
+class StatsHttpServer {
+ public:
+  struct Config {
+    /// Loopback TCP port; -1 = no TCP listener, 0 = ephemeral.
+    int tcp_port = -1;
+    /// Unix-domain socket path; empty = none. Stale files are unlinked.
+    std::string unix_socket;
+  };
+
+  /// Validates that at least one listener is configured; throws pil::Error
+  /// on invalid input. Listeners bind in start().
+  StatsHttpServer(const Config& config, HttpHandler handler);
+  ~StatsHttpServer();  ///< calls stop()
+  StatsHttpServer(const StatsHttpServer&) = delete;
+  StatsHttpServer& operator=(const StatsHttpServer&) = delete;
+
+  /// Bind and start the accept thread. Throws pil::Error on bind failure.
+  void start();
+  /// Close listeners and join. Idempotent.
+  void stop();
+
+  /// Actual TCP port after start() (resolves tcp_port=0), -1 if none.
+  int tcp_port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot HTTP/1.0 GET against a loopback port or Unix socket (exactly
+/// one of `port` >= 0 / non-empty `unix_socket`). Returns the response
+/// body and fills `status` when non-null. Throws pil::Error on connect
+/// failure, timeout, or an unparseable response. This is the client half
+/// `piltop`, the scrape smoke, and the tests use -- no curl dependency.
+std::string http_get(const std::string& path, int port,
+                     const std::string& unix_socket, int* status = nullptr,
+                     double timeout_seconds = 5.0);
+
+}  // namespace pil::service

@@ -12,11 +12,21 @@
 #     control); asserts the response says shed + degraded + served=greedy
 #     and that --strict maps it to exit code 3.
 #
-# Used by ctest (cli.serve_roundtrip / cli.serve_shed) and runnable by hand.
+#   serve_smoke.sh scrape <pilserve> <pilreq> <scratch_dir> <piltop>
+#     server with the stats endpoint, access log, and a shutdown flight
+#     dump; drives solves, then asserts /healthz answers, /metrics is
+#     OpenMetrics with nonzero request counters, /slo reports a nonzero
+#     request rate with percentiles, and that a forced-failure request's
+#     client-pinned trace id shows up in the response, the access log,
+#     and the flight dump.
+#
+# Used by ctest (cli.serve_roundtrip / cli.serve_shed / cli.serve_scrape)
+# and runnable by hand.
 set -u
 
 MODE="${1:?mode}"; PILSERVE="${2:?pilserve}"; PILREQ="${3:?pilreq}"
 DIR="${4:?scratch dir}"
+PILTOP="${5:-}"  # scrape mode only
 mkdir -p "$DIR"
 SOCK="$DIR/pilserve_$MODE.sock"
 LOG="$DIR/pilserve_$MODE.log"
@@ -48,6 +58,15 @@ fail() { echo "serve_smoke($MODE): $*" >&2; [ -f "$LOG" ] && cat "$LOG" >&2;
 
 SERVE_ARGS=(--socket "$SOCK" --workers 2)
 [ "$MODE" = shed ] && SERVE_ARGS+=(--degrade-depth 1)
+if [ "$MODE" = scrape ]; then
+  : "${PILTOP:?scrape mode needs a piltop path}"
+  HTTP_SOCK="$DIR/pilserve_http.sock"
+  ACCESS="$DIR/pilserve_access.jsonl"
+  FLIGHT="$DIR/pilserve_flight.json"
+  rm -f "$HTTP_SOCK" "$ACCESS" "$FLIGHT"
+  SERVE_ARGS+=(--http-socket "$HTTP_SOCK" --metrics
+               --access-log "$ACCESS" --flight-dump "$FLIGHT")
+fi
 "$PILSERVE" "${SERVE_ARGS[@]}" > "$LOG" 2>&1 &
 SERVER_PID=$!
 
@@ -105,6 +124,48 @@ case "$MODE" in
         --methods ilp2 --strict > /dev/null
     [ "$?" = 3 ] || fail "--strict should exit 3 on a shed response"
     ;;
+  scrape)
+    # Some real traffic for the windows: a couple of solves and an edit.
+    "$PILREQ" solve --socket "$SOCK" --session "$SESSION" \
+        --methods ilp2,greedy > /dev/null || fail "solve failed"
+    "$PILREQ" edit --socket "$SOCK" --session "$SESSION" \
+        --add "0,20,8,20,11,0.4" > /dev/null || fail "edit failed"
+    "$PILREQ" solve --socket "$SOCK" --session "$SESSION" \
+        --methods greedy > /dev/null || fail "solve 2 failed"
+
+    # The stats endpoint: liveness, OpenMetrics, and the SLO windows.
+    "$PILTOP" --socket "$HTTP_SOCK" --get /healthz | grep -q ok \
+        || fail "/healthz not ok"
+    METRICS=$("$PILTOP" --socket "$HTTP_SOCK" --get /metrics) \
+        || fail "/metrics scrape failed"
+    printf '%s' "$METRICS" | grep -q '^# EOF' \
+        || fail "/metrics is not OpenMetrics (no # EOF): $METRICS"
+    printf '%s' "$METRICS" | \
+        grep -q '^pil_service_requests_total{op="solve"} [1-9]' \
+        || fail "request counter missing/zero in /metrics: $METRICS"
+    SLO=$("$PILTOP" --socket "$HTTP_SOCK" --raw --once) \
+        || fail "/slo scrape failed"
+    printf '%s' "$SLO" | grep -q '"schema": *"pil.slo.v1"' \
+        || fail "no pil.slo.v1 schema in: $SLO"
+    printf '%s' "$SLO" | grep -q '"rate_per_second": *0\.0*[1-9]' \
+        || printf '%s' "$SLO" | grep -q '"rate_per_second": *[1-9]' \
+        || fail "zero request rate in /slo: $SLO"
+    printf '%s' "$SLO" | grep -q '"latency_p99_seconds": *[0-9.]*[1-9]' \
+        || fail "no p99 latency in /slo: $SLO"
+    "$PILTOP" --socket "$HTTP_SOCK" --once | grep -q 'req/s' \
+        || fail "piltop render missing header"
+
+    # A forced failure with a pinned trace id: the trace must appear in
+    # the response, the access log, and (after shutdown) the flight dump.
+    TRACE=deadbeef12345678
+    BAD=$("$PILREQ" solve --socket "$SOCK" --session no_such_session \
+          --methods greedy --trace-id "$TRACE" 2>/dev/null)
+    [ $? = 1 ] || fail "bogus-session solve should fail"
+    printf '%s' "$BAD" | grep -q "\"trace_id\": *\"$TRACE\"" \
+        || fail "trace id not echoed in response: $BAD"
+    grep -q "$TRACE" "$ACCESS" || fail "trace id not in access log"
+    grep -q '"pil.access.v1"' "$ACCESS" || fail "access log schema missing"
+    ;;
   *) fail "unknown mode" ;;
 esac
 
@@ -113,5 +174,12 @@ wait "$SERVER_PID"
 RC=$?
 [ "$RC" = 0 ] || fail "server exited $RC after shutdown"
 [ -S "$SOCK" ] && fail "socket not cleaned up"
+if [ "$MODE" = scrape ]; then
+  # The shutdown flight dump must carry the pinned trace on the failed
+  # request's journal events -- the grep-by-trace postmortem workflow.
+  [ -f "$FLIGHT" ] || fail "no flight dump written"
+  grep -q '"pil.flight.v1"' "$FLIGHT" || fail "flight dump schema missing"
+  grep -q "$TRACE" "$FLIGHT" || fail "trace id not in flight dump"
+fi
 echo "serve_smoke($MODE): ok"
 exit 0

@@ -48,6 +48,15 @@ void write_event(JsonWriter& w, const JournalEvent& e, JournalNamer namer) {
   }
   if (e.c != 0) w.kv("c", static_cast<unsigned long long>(e.c));
   if (e.v != 0.0) w.kv("v", e.v);
+  // Service events carry the request trace id in c; mirror it as the
+  // 16-hex-char form clients see on the wire so a dump greps by trace_id.
+  if (e.c != 0 && (e.kind == JournalEventKind::kServiceRequest ||
+                   e.kind == JournalEventKind::kServiceResponse)) {
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(e.c));
+    w.kv("trace", hex);
+  }
   w.end_object();
 }
 
@@ -150,6 +159,10 @@ void signal_dump_ring(void* ctx, std::uint64_t head,
     }
     if (e.c != 0) signal_putf(state.fd, ",\"c\":%" PRIu64, e.c);
     if (e.v != 0.0) signal_putf(state.fd, ",\"v\":%.9g", e.v);
+    if (e.c != 0 && (e.kind == JournalEventKind::kServiceRequest ||
+                     e.kind == JournalEventKind::kServiceResponse))
+      signal_putf(state.fd, ",\"trace\":\"%016llx\"",
+                  static_cast<unsigned long long>(e.c));
     signal_put(state.fd, "}", 1);
   }
 }
@@ -221,6 +234,7 @@ FlightDump parse_flight_json(std::string_view text) {
       fe.kind = str_or(ev, "kind");
       fe.method = str_or(ev, "method");
       fe.detail = str_or(ev, "detail");
+      fe.trace = str_or(ev, "trace");
       fe.a = static_cast<std::uint64_t>(num_or(ev, "a", 0));
       fe.b = static_cast<std::uint64_t>(num_or(ev, "b", 0));
       fe.c = static_cast<std::uint64_t>(num_or(ev, "c", 0));
@@ -305,6 +319,7 @@ void write_flight_json(std::ostream& os, const FlightDump& dump) {
     }
     if (e.c != 0) w.kv("c", static_cast<unsigned long long>(e.c));
     if (e.v != 0.0) w.kv("v", e.v);
+    if (!e.trace.empty()) w.kv("trace", e.trace);
     w.end_object();
   }
   w.end_array();

@@ -221,7 +221,14 @@ std::string labeled(
     first = false;
     out.append(k);
     out.push_back('=');
-    out.append(v);
+    // Backslash-escape the composite-name separators so a value containing
+    // ',', '=', or '}' (a fault spec, a file path, ...) survives the split
+    // back into label dimensions in the OpenMetrics writer.
+    for (char ch : v) {
+      if (ch == '\\' || ch == ',' || ch == '=' || ch == '}')
+        out.push_back('\\');
+      out.push_back(ch);
+    }
   }
   out.push_back('}');
   return out;

@@ -34,7 +34,8 @@ std::string sanitize_name(std::string_view name) {
   return out;
 }
 
-/// Label *values* keep their text but need the exposition-format escapes.
+/// Label *values* keep their text but need the exposition-format escapes
+/// (backslash, double quote, and newline, per the OpenMetrics spec).
 std::string escape_label_value(std::string_view v) {
   std::string out;
   out.reserve(v.size());
@@ -52,7 +53,9 @@ std::string escape_label_value(std::string_view v) {
 }
 
 /// Split an internal composite name "base{k=v,k2=v2}" into the family
-/// name and an OpenMetrics label block ("" when unlabeled).
+/// name and an OpenMetrics label block ("" when unlabeled). obs::labeled()
+/// backslash-escapes ',', '=', '}', and '\\' inside values, so the scan
+/// honors those escapes instead of splitting on separator bytes blindly.
 void split_series(std::string_view full, std::string& family,
                   std::string& labels) {
   const std::size_t brace = full.find('{');
@@ -65,20 +68,33 @@ void split_series(std::string_view full, std::string& family,
   std::string_view body = full.substr(brace + 1, full.size() - brace - 2);
   std::string out(1, '{');
   bool first = true;
-  while (!body.empty()) {
-    const std::size_t comma = body.find(',');
-    std::string_view item = body.substr(0, comma);
-    body = comma == std::string_view::npos ? std::string_view()
-                                           : body.substr(comma + 1);
-    const std::size_t eq = item.find('=');
-    if (eq == std::string_view::npos) continue;
-    if (!first) out += ",";
-    first = false;
-    out += sanitize_name(item.substr(0, eq));
-    out += "=\"";
-    out += escape_label_value(item.substr(eq + 1));
-    out += "\"";
+  std::string key, value, *dst = &key;
+  auto flush = [&] {
+    if (dst == &value) {  // saw an '=': a complete k=v item
+      if (!first) out += ",";
+      first = false;
+      out += sanitize_name(key);
+      out += "=\"";
+      out += escape_label_value(value);
+      out += "\"";
+    }
+    key.clear();
+    value.clear();
+    dst = &key;
+  };
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char ch = body[i];
+    if (ch == '\\' && i + 1 < body.size()) {
+      dst->push_back(body[++i]);  // escaped separator: keep it literal
+    } else if (ch == ',') {
+      flush();
+    } else if (ch == '=' && dst == &key) {
+      dst = &value;
+    } else {
+      dst->push_back(ch);
+    }
   }
+  flush();
   out += "}";
   labels = first ? std::string() : std::move(out);
 }

@@ -1,0 +1,152 @@
+#include "pil/obs/slo.hpp"
+
+#include <algorithm>
+
+#include "pil/obs/json.hpp"
+
+namespace pil::obs {
+
+namespace {
+
+constexpr std::uint64_t kNsPerSecond = 1000000000ull;
+
+}  // namespace
+
+SloRing::SloRing(int capacity_seconds)
+    : capacity_seconds_(std::max(1, capacity_seconds)),
+      epoch_(std::chrono::steady_clock::now()),
+      buckets_(static_cast<std::size_t>(capacity_seconds_)) {}
+
+std::uint64_t SloRing::now_ns() const noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+SloRing::Bucket& SloRing::bucket_for_locked(std::uint64_t second) {
+  Bucket& b = buckets_[second % static_cast<std::uint64_t>(capacity_seconds_)];
+  if (b.second != second) {
+    b = Bucket{};  // retire whichever stale second occupied this slot
+    b.second = second;
+  }
+  return b;
+}
+
+void SloRing::record(double latency_seconds, bool error, bool shed,
+                     bool degraded) {
+  record_at(now_ns(), latency_seconds, error, shed, degraded);
+}
+
+void SloRing::record_at(std::uint64_t now_ns, double latency_seconds,
+                        bool error, bool shed, bool degraded) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = bucket_for_locked(now_ns / kNsPerSecond);
+  if (b.requests == 0 || latency_seconds < b.latency_min)
+    b.latency_min = latency_seconds;
+  b.latency_max = std::max(b.latency_max, latency_seconds);
+  b.requests += 1;
+  if (error) b.errors += 1;
+  if (shed) b.shed += 1;
+  if (degraded) b.degraded += 1;
+  b.latency_sum += latency_seconds;
+  b.latency[static_cast<std::size_t>(
+      Histogram::bucket_index(latency_seconds))] += 1;
+  total_requests_ += 1;
+}
+
+void SloRing::sample_queue_depth(int depth) {
+  sample_queue_depth_at(now_ns(), depth);
+}
+
+void SloRing::sample_queue_depth_at(std::uint64_t now_ns, int depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = bucket_for_locked(now_ns / kNsPerSecond);
+  b.queue_depth_peak = std::max(b.queue_depth_peak, depth);
+}
+
+SloRing::WindowStats SloRing::window(int window_seconds) const {
+  return window_at(now_ns(), window_seconds);
+}
+
+SloRing::WindowStats SloRing::window_at(std::uint64_t now_ns,
+                                        int window_seconds) const {
+  WindowStats out;
+  out.window_seconds = std::clamp(window_seconds, 1, capacity_seconds_);
+  const std::uint64_t now_second = now_ns / kNsPerSecond;
+  const std::uint64_t oldest =
+      now_second >= static_cast<std::uint64_t>(out.window_seconds - 1)
+          ? now_second - static_cast<std::uint64_t>(out.window_seconds - 1)
+          : 0;
+
+  // Merge the window's live buckets into one Histogram snapshot so the
+  // percentile math is shared with the registry's histograms.
+  Histogram::Snapshot merged;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Bucket& b : buckets_) {
+    if (b.second == Bucket::kIdle || b.second < oldest ||
+        b.second > now_second)
+      continue;  // idle slot, or a stale second not yet overwritten
+    out.requests += b.requests;
+    out.errors += b.errors;
+    out.shed += b.shed;
+    out.degraded += b.degraded;
+    out.queue_depth_peak = std::max(out.queue_depth_peak, b.queue_depth_peak);
+    if (b.requests > 0) {
+      if (merged.count == 0 || b.latency_min < merged.min)
+        merged.min = b.latency_min;
+      merged.max = std::max(merged.max, b.latency_max);
+    }
+    merged.count += b.requests;
+    merged.sum += b.latency_sum;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i)
+      merged.buckets[static_cast<std::size_t>(i)] +=
+          b.latency[static_cast<std::size_t>(i)];
+  }
+  out.rate_per_second =
+      static_cast<double>(out.requests) / out.window_seconds;
+  if (out.requests > 0) {
+    out.error_rate =
+        static_cast<double>(out.errors) / static_cast<double>(out.requests);
+    out.shed_rate =
+        static_cast<double>(out.shed) / static_cast<double>(out.requests);
+    out.latency_p50 = merged.quantile(0.50);
+    out.latency_p90 = merged.quantile(0.90);
+    out.latency_p99 = merged.quantile(0.99);
+    out.latency_max = merged.max;
+    out.latency_mean = merged.mean();
+  }
+  return out;
+}
+
+long long SloRing::total_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_requests_;
+}
+
+void write_slo_windows(JsonWriter& w, const SloRing& ring,
+                       const std::vector<int>& window_seconds) {
+  w.key("windows");
+  w.begin_array();
+  for (int seconds : window_seconds) {
+    const SloRing::WindowStats s = ring.window(seconds);
+    w.begin_object();
+    w.kv("window_seconds", s.window_seconds);
+    w.kv("requests", s.requests);
+    w.kv("errors", s.errors);
+    w.kv("shed", s.shed);
+    w.kv("degraded", s.degraded);
+    w.kv("rate_per_second", s.rate_per_second);
+    w.kv("error_rate", s.error_rate);
+    w.kv("shed_rate", s.shed_rate);
+    w.kv("latency_p50_seconds", s.latency_p50);
+    w.kv("latency_p90_seconds", s.latency_p90);
+    w.kv("latency_p99_seconds", s.latency_p99);
+    w.kv("latency_max_seconds", s.latency_max);
+    w.kv("latency_mean_seconds", s.latency_mean);
+    w.kv("queue_depth_peak", s.queue_depth_peak);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace pil::obs

@@ -313,7 +313,8 @@ struct FillSession::Impl {
   }
 
   FlowResult solve(const std::vector<Method>& methods,
-                   const SolvePolicy* policy_override) {
+                   const SolvePolicy* policy_override,
+                   std::uint32_t journal_flow_id) {
     // A per-call policy swaps only the SolvePolicy slice; the model half --
     // everything the cached prep and solves were built from -- is shared
     // with the session config by construction.
@@ -351,10 +352,13 @@ struct FillSession::Impl {
     const SolverContext ctx = flow_detail::make_context(
         cfg, *model, *lut, flow_deadline ? &*flow_deadline : nullptr);
 
-    // One flow correlation id per solve() call; the worker pool copies
-    // the scope into its threads so every tile event links back here.
+    // One flow correlation id per solve() call (callers like pil::service
+    // may supply their own to tie solver events to a request); the worker
+    // pool copies the scope into its threads so every tile event links
+    // back here.
     obs::JournalScope journal_scope(
-        {journal_session_id, obs::journal_new_id(), -1});
+        {journal_session_id,
+         journal_flow_id != 0 ? journal_flow_id : obs::journal_new_id(), -1});
     Stopwatch flow_watch;
     obs::journal_record(obs::JournalEventKind::kFlowBegin, 0, 0,
                         static_cast<std::uint64_t>(instances.size()));
@@ -735,12 +739,13 @@ FillSession::FillSession(FillSession&&) noexcept = default;
 FillSession& FillSession::operator=(FillSession&&) noexcept = default;
 
 FlowResult FillSession::solve(const std::vector<Method>& methods) {
-  return impl_->solve(methods, nullptr);
+  return impl_->solve(methods, nullptr, 0);
 }
 
 FlowResult FillSession::solve(const std::vector<Method>& methods,
-                              const SolvePolicy& policy) {
-  return impl_->solve(methods, &policy);
+                              const SolvePolicy& policy,
+                              std::uint32_t journal_flow_id) {
+  return impl_->solve(methods, &policy, journal_flow_id);
 }
 
 EditStats FillSession::apply_edit(const WireEdit& edit) {

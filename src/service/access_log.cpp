@@ -1,0 +1,53 @@
+#include "pil/service/access_log.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "pil/util/error.hpp"
+
+namespace pil::service {
+
+AccessLog::AccessLog(std::string path, std::size_t max_bytes)
+    : path_(std::move(path)), max_bytes_(max_bytes) {
+  file_ = std::fopen(path_.c_str(), "a");
+  PIL_REQUIRE(file_ != nullptr, "cannot open access log " + path_ + ": " +
+                                    std::strerror(errno));
+  struct stat st{};
+  if (::stat(path_.c_str(), &st) == 0)
+    bytes_ = static_cast<std::size_t>(st.st_size);
+}
+
+AccessLog::~AccessLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void AccessLog::write(const std::string& json_line) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  if (max_bytes_ > 0 && bytes_ + json_line.size() + 1 > max_bytes_ &&
+      bytes_ > 0)
+    rotate_locked();
+  if (std::fwrite(json_line.data(), 1, json_line.size(), file_) ==
+      json_line.size())
+    std::fputc('\n', file_);
+  // Flush per line: the log's consumers (the scrape smoke, a postmortem
+  // tail) read it while the daemon is live, and line rates are bounded by
+  // solve rates, not I/O.
+  std::fflush(file_);
+  bytes_ += json_line.size() + 1;
+}
+
+void AccessLog::rotate_locked() noexcept {
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string old = path_ + ".1";
+  std::remove(old.c_str());
+  std::rename(path_.c_str(), old.c_str());
+  file_ = std::fopen(path_.c_str(), "a");
+  bytes_ = 0;
+}
+
+}  // namespace pil::service

@@ -452,6 +452,7 @@ std::string encode_request(const Request& request) {
   w.kv("schema", kRequestSchema);
   w.kv("op", to_string(request.op));
   w.kv("id", static_cast<unsigned long long>(request.id));
+  if (request.trace_id != 0) w.kv("trace_id", hex_u64(request.trace_id));
   if (!request.layout_pld.empty()) w.kv("layout_pld", request.layout_pld);
   if (!request.layout_path.empty()) w.kv("layout_path", request.layout_path);
   if (request.gen.has_value()) {
@@ -501,6 +502,7 @@ Request decode_request(std::string_view json) {
   Request r;
   r.op = op_from_name(get_str(doc, "op"));
   r.id = static_cast<std::uint64_t>(get_num(doc, "id", 0.0));
+  r.trace_id = parse_hex_u64(get_str(doc, "trace_id", "0"), "trace_id");
   r.layout_pld = get_str(doc, "layout_pld");
   r.layout_path = get_str(doc, "layout_path");
   if (const JsonValue* gen = doc.find("gen"); gen != nullptr) {
@@ -544,6 +546,7 @@ std::string encode_response(const Response& response) {
   w.kv("op", to_string(response.op));
   w.kv("id", static_cast<unsigned long long>(response.id));
   w.kv("ok", response.ok);
+  if (response.trace_id != 0) w.kv("trace_id", hex_u64(response.trace_id));
   if (response.shed) w.kv("shed", true);
   if (response.degraded) w.kv("degraded", true);
   if (!response.error.empty()) w.kv("error", response.error);
@@ -573,6 +576,16 @@ std::string encode_response(const Response& response) {
       encode_method_summary(w, s);
     w.end_array();
   }
+  if (response.stages.has_value()) {
+    w.key("stages");
+    w.begin_object();
+    w.kv("queue_ms", response.stages->queue_ms);
+    w.kv("admission_ms", response.stages->admission_ms);
+    w.kv("session_ms", response.stages->session_ms);
+    w.kv("solve_ms", response.stages->solve_ms);
+    w.kv("write_ms", response.stages->write_ms);
+    w.end_object();
+  }
   if (!response.stats_json.empty()) {
     w.key("stats");
     w.raw(response.stats_json);
@@ -591,6 +604,7 @@ Response decode_response(std::string_view json) {
   r.op = op_from_name(get_str(doc, "op", "stats"));
   r.id = static_cast<std::uint64_t>(get_num(doc, "id", 0.0));
   r.ok = get_bool(doc, "ok", false);
+  r.trace_id = parse_hex_u64(get_str(doc, "trace_id", "0"), "trace_id");
   r.shed = get_bool(doc, "shed", false);
   r.degraded = get_bool(doc, "degraded", false);
   r.error = get_str(doc, "error");
@@ -617,6 +631,16 @@ Response decode_response(std::string_view json) {
     PIL_REQUIRE(methods->is_array(), "methods: expected an array");
     for (const JsonValue& item : methods->items)
       r.methods.push_back(decode_method_summary(item));
+  }
+  if (const JsonValue* stages = doc.find("stages"); stages != nullptr) {
+    PIL_REQUIRE(stages->is_object(), "stages: expected an object");
+    StageBreakdown b;
+    b.queue_ms = get_num(*stages, "queue_ms", 0.0);
+    b.admission_ms = get_num(*stages, "admission_ms", 0.0);
+    b.session_ms = get_num(*stages, "session_ms", 0.0);
+    b.solve_ms = get_num(*stages, "solve_ms", 0.0);
+    b.write_ms = get_num(*stages, "write_ms", 0.0);
+    r.stages = b;
   }
   if (const JsonValue* stats = doc.find("stats"); stats != nullptr) {
     // Re-serialize verbatim-ish: keep the raw object for the caller.

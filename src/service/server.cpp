@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -26,8 +27,12 @@
 #include "pil/obs/journal.hpp"
 #include "pil/obs/json.hpp"
 #include "pil/obs/metrics.hpp"
+#include "pil/obs/slo.hpp"
+#include "pil/obs/trace.hpp"
 #include "pil/pilfill/session.hpp"
+#include "pil/service/access_log.hpp"
 #include "pil/service/protocol.hpp"
+#include "pil/service/stats_http.hpp"
 #include "pil/util/deadline.hpp"
 #include "pil/util/error.hpp"
 
@@ -56,6 +61,24 @@ void close_fd(int& fd) {
   }
 }
 
+double ms_since(Clock::time_point t0) { return seconds_since(t0) * 1e3; }
+
+/// splitmix64 finalizer: turns a (seed + counter) sequence into
+/// well-spread nonzero trace ids.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -77,7 +100,12 @@ struct Server::Impl {
     util::Deadline deadline;  ///< anchored at admission
     bool has_deadline = false;
     bool downgraded = false;  ///< admission downgraded ILP methods
-    Clock::time_point admitted = Clock::now();
+    Clock::time_point admitted = Clock::now();  ///< decoded (job created)
+    Clock::time_point enqueued;  ///< pushed into the queue
+    /// Journal flow id for this request's events; set by execute() and
+    /// passed into the session solve so solver tile events share it.
+    std::uint32_t flow = 0;
+    StageBreakdown stages;
     std::promise<Response> promise;
   };
 
@@ -96,6 +124,26 @@ struct Server::Impl {
   std::uint64_t next_session = 0;
 
   ServerStats counters;
+
+  // -------------------------------------------------------- observability --
+  const Clock::time_point started_at = Clock::now();
+  /// Rolling per-second SLO windows; always on (recording is one mutexed
+  /// bucket update per request -- noise against a solve).
+  obs::SloRing slo{300};
+  std::unique_ptr<AccessLog> access;
+  std::unique_ptr<StatsHttpServer> http;
+  /// Server-assigned trace ids: a mixed (entropy, counter) sequence so
+  /// concurrent daemons produce disjoint traces.
+  std::atomic<std::uint64_t> trace_seq{
+      static_cast<std::uint64_t>(Clock::now().time_since_epoch().count())};
+
+  std::uint64_t next_trace() {
+    std::uint64_t t;
+    do {
+      t = mix64(trace_seq.fetch_add(1, std::memory_order_relaxed));
+    } while (t == 0);
+    return t;
+  }
 
   // ------------------------------------------------------------- threads --
   std::vector<std::thread> workers;
@@ -138,6 +186,94 @@ struct Server::Impl {
         .set(static_cast<double>(counters.queue_depth));
     m.gauge("pil.service.sessions")
         .set(static_cast<double>(counters.sessions_open));
+  }
+
+  /// One pil.access.v1 line (see access_log.hpp for the field reference).
+  std::string access_line(const Response& resp,
+                          const std::vector<pilfill::Method>& methods,
+                          bool decoded, double total_seconds) {
+    std::ostringstream os;
+    obs::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.kv("schema", "pil.access.v1");
+    w.kv("ts_ms",
+         static_cast<long long>(
+             std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::system_clock::now().time_since_epoch())
+                 .count()));
+    w.kv("trace_id", hex16(resp.trace_id));
+    w.kv("op", decoded ? to_string(resp.op) : "invalid");
+    w.kv("id", static_cast<unsigned long long>(resp.id));
+    if (!resp.session.empty()) w.kv("session", resp.session);
+    w.kv("ok", resp.ok);
+    if (resp.shed) w.kv("shed", true);
+    if (resp.degraded) w.kv("degraded", true);
+    if (!resp.error.empty()) w.kv("error", resp.error);
+    if (!methods.empty()) {
+      w.key("methods");
+      w.begin_array();
+      for (pilfill::Method m : methods) w.value(method_wire_name(m));
+      w.end_array();
+    }
+    if (resp.stages.has_value()) {
+      w.key("stages");
+      w.begin_object();
+      w.kv("queue_ms", resp.stages->queue_ms);
+      w.kv("admission_ms", resp.stages->admission_ms);
+      w.kv("session_ms", resp.stages->session_ms);
+      w.kv("solve_ms", resp.stages->solve_ms);
+      w.kv("write_ms", resp.stages->write_ms);
+      w.end_object();
+    }
+    w.kv("total_ms", total_seconds * 1e3);
+    w.end_object();
+    return os.str();
+  }
+
+  std::string slo_json() {
+    std::ostringstream os;
+    obs::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.kv("schema", "pil.slo.v1");
+    w.kv("uptime_seconds", seconds_since(started_at));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      w.kv("queue_depth", counters.queue_depth);
+      w.kv("queue_capacity", config.queue_capacity);
+      w.kv("workers", config.workers);
+      w.kv("sessions_open", static_cast<int>(sessions.size()));
+      w.kv("requests_total", counters.requests);
+      w.kv("executed_total", counters.executed);
+      w.kv("shed_total", counters.shed);
+      w.kv("rejected_total", counters.rejected);
+      w.kv("errors_total", counters.errors);
+    }
+    obs::write_slo_windows(w, slo, {10, 60, 300});
+    w.end_object();
+    return os.str();
+  }
+
+  HttpContent handle_http(const std::string& path) {
+    HttpContent content;
+    if (path == "/healthz") {
+      // Liveness, not readiness: the accept loops are running (this
+      // response proves it) and the worker pool exists.
+      content.body = "ok\n";
+    } else if (path == "/metrics") {
+      std::ostringstream os;
+      obs::metrics().write_openmetrics(os);
+      content.content_type =
+          "application/openmetrics-text; version=1.0.0; charset=utf-8";
+      content.body = os.str();
+    } else if (path == "/slo") {
+      content.content_type = "application/json";
+      content.body = slo_json() + "\n";
+    } else {
+      content.status = 404;
+      content.body = "unknown path " + path +
+                     " (routes: /healthz /metrics /slo)\n";
+    }
+    return content;
   }
 
   // -------------------------------------------------------------- admission
@@ -195,10 +331,13 @@ struct Server::Impl {
       if (job->downgraded) counters.shed += 1;
     }
     rejected = false;
+    job->stages.admission_ms = ms_since(job->admitted);
+    job->enqueued = Clock::now();
     std::future<Response> future = job->promise.get_future();
     queue.push_back(std::move(job));
     counters.queue_depth = static_cast<int>(queue.size());
     counters.queue_peak = std::max(counters.queue_peak, counters.queue_depth);
+    slo.sample_queue_depth(counters.queue_depth);
     publish_gauges();
     queue_cv.notify_one();
     return future;
@@ -209,6 +348,7 @@ struct Server::Impl {
     Response resp;
     resp.id = request.id;
     resp.op = request.op;
+    resp.trace_id = request.trace_id;
     resp.ok = false;
     resp.shed = shed;
     resp.error = why;
@@ -229,8 +369,10 @@ struct Server::Impl {
         job = std::move(queue.front());
         queue.pop_front();
         counters.queue_depth = static_cast<int>(queue.size());
+        slo.sample_queue_depth(counters.queue_depth);
         publish_gauges();
       }
+      job->stages.queue_ms = ms_since(job->enqueued);
       space_cv.notify_one();
       Response resp = execute(*job);
       {
@@ -246,11 +388,26 @@ struct Server::Impl {
   Response execute(Job& job) {
     const Request& req = job.request;
     const Clock::time_point t0 = Clock::now();
+    // One journal flow id per request: the service events below carry it,
+    // and do_solve hands it to the session so every solver event -- down
+    // to the per-tile cause chains in a flight dump -- links back to this
+    // request (and through the `trace` member, to the client's trace id).
+    job.flow = obs::journal_new_id();
+    obs::JournalScope journal_scope({0, job.flow, -1});
+    // Perfetto-style span per executed request, tagged with the wire
+    // trace id so a trace viewer shows the same key as the access log
+    // and flight dumps. Args are only built when a session is attached.
+    obs::TraceSpan span(to_string(req.op),
+                        obs::trace_session() != nullptr
+                            ? "{\"trace\":\"" + hex16(req.trace_id) + "\"}"
+                            : std::string());
     obs::journal_record(obs::JournalEventKind::kServiceRequest,
-                        static_cast<std::uint16_t>(req.op), 0, req.id);
+                        static_cast<std::uint16_t>(req.op),
+                        static_cast<std::uint32_t>(req.id), req.trace_id);
     Response resp;
     resp.id = req.id;
     resp.op = req.op;
+    resp.trace_id = req.trace_id;
     try {
       switch (req.op) {
         case Op::kOpenSession: do_open_session(job, resp); break;
@@ -267,13 +424,14 @@ struct Server::Impl {
       resp.ok = false;
       resp.error = e.what();
     }
+    resp.stages = job.stages;
     const double seconds = seconds_since(t0);
     const std::uint32_t bits = (resp.ok ? 1u : 0u) |
                                (resp.degraded ? 2u : 0u) |
                                (resp.shed ? 4u : 0u);
     obs::journal_record(obs::JournalEventKind::kServiceResponse,
-                        static_cast<std::uint16_t>(req.op), bits, req.id,
-                        seconds);
+                        static_cast<std::uint16_t>(req.op), bits,
+                        req.trace_id, seconds);
     observe_handled(req.op, resp, seconds);
     return resp;
   }
@@ -281,6 +439,7 @@ struct Server::Impl {
   // ------------------------------------------------------------ operations
   void do_open_session(Job& job, Response& resp) {
     const Request& req = job.request;
+    const Clock::time_point t0 = Clock::now();
     const int sources = (!req.layout_pld.empty() ? 1 : 0) +
                         (!req.layout_path.empty() ? 1 : 0) +
                         (req.gen.has_value() ? 1 : 0);
@@ -327,17 +486,21 @@ struct Server::Impl {
         resp.tiles = entry->session->tiles_total();
         resp.prep_seconds = entry->session->prep_seconds();
         counters.sessions_reused += 1;
+        job.stages.session_ms = ms_since(t0);
         return;
       }
     }
 
     // Build outside the pool lock (prep can take seconds), then publish;
     // a racing open of the same key keeps the first-published session.
+    job.stages.session_ms = ms_since(t0);
+    const Clock::time_point t_build = Clock::now();
     auto entry = std::make_shared<SessionEntry>();
     entry->key = key;
     entry->layout_hash = layout_hash;
     entry->session =
         std::make_unique<pilfill::FillSession>(layout, req.config);
+    job.stages.solve_ms = ms_since(t_build);
 
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -401,10 +564,14 @@ struct Server::Impl {
   }
 
   void do_apply_edit(Job& job, Response& resp) {
+    const Clock::time_point t0 = Clock::now();
     auto entry = find_session(job.request.session);
     std::lock_guard<std::mutex> lock(entry->mu);
+    job.stages.session_ms = ms_since(t0);
+    const Clock::time_point t_edit = Clock::now();
     const pilfill::EditStats stats =
         entry->session->apply_edit(job.request.edit);
+    job.stages.solve_ms = ms_since(t_edit);
     resp.ok = true;
     resp.session = entry->id;
     EditSummary s;
@@ -419,6 +586,7 @@ struct Server::Impl {
   void do_solve(Job& job, Response& resp) {
     const Request& req = job.request;
     PIL_REQUIRE(!req.methods.empty(), "solve needs at least one method");
+    const Clock::time_point t0 = Clock::now();
     auto entry = find_session(req.session);
 
     // Admission downgrade: ILP-class methods are served by Greedy.
@@ -435,6 +603,7 @@ struct Server::Impl {
         unique_serve.push_back(m);
 
     std::lock_guard<std::mutex> lock(entry->mu);
+    job.stages.session_ms = ms_since(t0);
 
     // Per-request policy on top of the session's base policy. The request
     // deadline was anchored at admission, so queue wait has already been
@@ -448,9 +617,12 @@ struct Server::Impl {
       policy.tile_deadline_seconds = req.tile_deadline_ms / 1000.0;
     if (req.no_degrade) policy.degrade_on_failure = false;
 
+    const Clock::time_point t_solve = Clock::now();
     const pilfill::FlowResult result =
-        entry->session->solve(unique_serve, policy);
+        entry->session->solve(unique_serve, policy, job.flow);
+    job.stages.solve_ms = ms_since(t_solve);
 
+    const Clock::time_point t_write = Clock::now();
     resp.ok = true;
     resp.session = entry->id;
     resp.shed = job.downgraded;
@@ -468,6 +640,7 @@ struct Server::Impl {
           it->tiles_failed > 0)
         resp.degraded = true;
     }
+    job.stages.write_ms = ms_since(t_write);
   }
 
   void do_stats(Response& resp) {
@@ -582,17 +755,26 @@ struct Server::Impl {
       }
       if (status != FrameReadStatus::kOk) break;  // truncated / error
 
+      const Clock::time_point received = Clock::now();
       Response resp;
       bool have_resp = false;
+      bool decoded = false;
+      std::vector<pilfill::Method> methods;
       std::future<Response> future;
       try {
         Request req = decode_request(payload);
+        decoded = true;
+        // Every request gets a nonzero trace id -- the client's, or one
+        // assigned here so rejections and failures are greppable too.
+        if (req.trace_id == 0) req.trace_id = next_trace();
+        methods = req.methods;
         count_request(req.op);
         bool rejected = false;
         future = admit(std::move(req), resp, rejected);
         have_resp = rejected;
       } catch (const Error& e) {
         resp.ok = false;
+        resp.trace_id = next_trace();
         resp.error = e.what();
         resp.error_field = pilfill::extract_config_field_path(e.what());
         have_resp = true;
@@ -602,17 +784,22 @@ struct Server::Impl {
       }
       if (!have_resp) resp = future.get();
       const bool shutdown_after = resp.op == Op::kShutdown && resp.ok;
+      bool peer_gone = false;
       try {
         write_frame(fd, encode_response(resp));
       } catch (const Error&) {
-        if (shutdown_after) signal_shutdown();
-        break;  // peer went away mid-response
+        peer_gone = true;  // peer went away mid-response
       }
+      const double total_seconds = seconds_since(received);
+      slo.record(total_seconds, !resp.ok, resp.shed, resp.degraded);
+      if (access != nullptr)
+        access->write(access_line(resp, methods, decoded, total_seconds));
       if (shutdown_after) {
         // Acknowledgement flushed; now wake the owner to stop the server.
         signal_shutdown();
         break;
       }
+      if (peer_gone) break;
     }
     ::shutdown(fd, SHUT_RDWR);
     // The fd itself is closed by stop() (or here if already stopping is
@@ -684,10 +871,22 @@ Server::~Server() { stop(); }
 void Server::start() {
   Impl& im = *impl_;
   PIL_REQUIRE(!im.started, "server already started");
+  if (!im.config.access_log.empty())
+    im.access = std::make_unique<AccessLog>(im.config.access_log,
+                                            im.config.access_log_max_bytes);
   if (!im.config.unix_socket.empty())
     im.unix_fd = im.bind_unix(im.config.unix_socket);
   if (im.config.tcp_port >= 0)
     im.tcp_fd = im.bind_tcp(im.config.tcp_port, im.bound_tcp_port);
+  if (im.config.http_port >= 0 || !im.config.http_socket.empty()) {
+    StatsHttpServer::Config http_cfg;
+    http_cfg.tcp_port = im.config.http_port;
+    http_cfg.unix_socket = im.config.http_socket;
+    im.http = std::make_unique<StatsHttpServer>(
+        http_cfg,
+        [&im](const std::string& path) { return im.handle_http(path); });
+    im.http->start();
+  }
   im.started = true;
   for (int i = 0; i < im.config.workers; ++i)
     im.workers.emplace_back([&im, i] { im.worker_loop(i); });
@@ -722,6 +921,9 @@ void Server::stop() {
     im.queue_cv.notify_all();
     im.space_cv.notify_all();
   }
+  // The stats endpoint goes first -- scrapes of a stopping server would
+  // only observe teardown.
+  if (im.http != nullptr) im.http->stop();
   // Unblock the acceptor, then the connection readers.
   if (im.unix_fd >= 0) ::shutdown(im.unix_fd, SHUT_RDWR);
   if (im.tcp_fd >= 0) ::shutdown(im.tcp_fd, SHUT_RDWR);
@@ -755,6 +957,12 @@ void Server::stop() {
 }
 
 int Server::tcp_port() const { return impl_->bound_tcp_port; }
+
+int Server::http_port() const {
+  return impl_->http != nullptr ? impl_->http->tcp_port() : -1;
+}
+
+std::string Server::slo_json() const { return impl_->slo_json(); }
 
 const ServerConfig& Server::config() const { return impl_->config; }
 

@@ -1,0 +1,309 @@
+#include "pil/service/stats_http.hpp"
+
+#include <netinet/in.h>
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "pil/util/error.hpp"
+
+namespace pil::service {
+
+namespace {
+
+/// send() with SIGPIPE suppressed; plain write() for non-sockets.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, data, n);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void set_io_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+  }
+  return "OK";
+}
+
+/// Read until the end of the request head ("\r\n\r\n") or the cap; the
+/// request line is all this server ever looks at.
+std::string read_request_head(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 16 * 1024) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    head.append(buf, static_cast<std::size_t>(r));
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos)
+      break;
+  }
+  return head;
+}
+
+void write_response(int fd, const HttpContent& content) {
+  std::string head = "HTTP/1.0 " + std::to_string(content.status) + " " +
+                     status_text(content.status) +
+                     "\r\nContent-Type: " + content.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(content.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (write_all(fd, head.data(), head.size()))
+    write_all(fd, content.body.data(), content.body.size());
+}
+
+}  // namespace
+
+struct StatsHttpServer::Impl {
+  Config config;
+  HttpHandler handler;
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  int bound_tcp_port = -1;
+  bool started = false;
+  bool stopping = false;
+  std::thread acceptor;
+
+  void serve_one(int fd) {
+    set_io_timeout(fd, 5.0);
+    const std::string head = read_request_head(fd);
+    // Request line: METHOD SP PATH SP VERSION. Anything else is a 400.
+    const std::size_t sp1 = head.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : head.find(' ', sp1 + 1);
+    HttpContent content;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      content.status = 400;
+      content.body = "malformed request\n";
+    } else if (head.substr(0, sp1) != "GET") {
+      content.status = 405;
+      content.body = "GET only\n";
+    } else {
+      std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t q = path.find('?');  // query strings are ignored
+      if (q != std::string::npos) path.resize(q);
+      try {
+        content = handler(path);
+      } catch (const std::exception& e) {
+        content = HttpContent{};
+        content.status = 500;
+        content.body = std::string(e.what()) + "\n";
+      }
+    }
+    write_response(fd, content);
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+
+  /// Sequential accept: one scrape at a time. Scrapers poll at seconds
+  /// granularity and handlers only snapshot counters, so a connection
+  /// backlog here would mean something much worse is already wrong.
+  void accept_loop() {
+    while (true) {
+      int fd = -1;
+      if (unix_fd >= 0 && tcp_fd >= 0) {
+        fd_set rfds;
+        FD_ZERO(&rfds);
+        FD_SET(unix_fd, &rfds);
+        FD_SET(tcp_fd, &rfds);
+        const int nfds = (unix_fd > tcp_fd ? unix_fd : tcp_fd) + 1;
+        const int rc = ::select(nfds, &rfds, nullptr, nullptr, nullptr);
+        if (rc < 0) {
+          if (errno == EINTR) continue;
+          return;
+        }
+        const int lfd = FD_ISSET(unix_fd, &rfds) ? unix_fd : tcp_fd;
+        fd = ::accept(lfd, nullptr, nullptr);
+      } else {
+        const int lfd = unix_fd >= 0 ? unix_fd : tcp_fd;
+        fd = lfd >= 0 ? ::accept(lfd, nullptr, nullptr) : -1;
+      }
+      if (fd < 0) {
+        if (stopping) return;
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;  // listener closed
+      }
+      serve_one(fd);
+    }
+  }
+};
+
+StatsHttpServer::StatsHttpServer(const Config& config, HttpHandler handler)
+    : impl_(new Impl) {
+  PIL_REQUIRE(config.tcp_port >= 0 || !config.unix_socket.empty(),
+              "stats endpoint needs a tcp port or a unix socket path");
+  PIL_REQUIRE(handler != nullptr, "stats endpoint needs a handler");
+  impl_->config = config;
+  impl_->handler = std::move(handler);
+}
+
+StatsHttpServer::~StatsHttpServer() { stop(); }
+
+void StatsHttpServer::start() {
+  Impl& im = *impl_;
+  PIL_REQUIRE(!im.started, "stats endpoint already started");
+  if (!im.config.unix_socket.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PIL_REQUIRE(fd >= 0, "socket(AF_UNIX) failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    PIL_REQUIRE(im.config.unix_socket.size() < sizeof(addr.sun_path),
+                "unix socket path too long: " + im.config.unix_socket);
+    std::strncpy(addr.sun_path, im.config.unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(im.config.unix_socket.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw Error("cannot listen on unix socket " + im.config.unix_socket +
+                  ": " + why);
+    }
+    im.unix_fd = fd;
+  }
+  if (im.config.tcp_port >= 0) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    PIL_REQUIRE(fd >= 0, "socket(AF_INET) failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(im.config.tcp_port));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw Error("cannot listen on 127.0.0.1:" +
+                  std::to_string(im.config.tcp_port) + ": " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    im.bound_tcp_port = ntohs(bound.sin_port);
+    im.tcp_fd = fd;
+  }
+  im.started = true;
+  im.acceptor = std::thread([&im] { im.accept_loop(); });
+}
+
+void StatsHttpServer::stop() {
+  Impl& im = *impl_;
+  if (!im.started || im.stopping) return;
+  im.stopping = true;
+  if (im.unix_fd >= 0) ::shutdown(im.unix_fd, SHUT_RDWR);
+  if (im.tcp_fd >= 0) ::shutdown(im.tcp_fd, SHUT_RDWR);
+  if (im.unix_fd >= 0) {
+    ::close(im.unix_fd);
+    im.unix_fd = -1;
+  }
+  if (im.tcp_fd >= 0) {
+    ::close(im.tcp_fd);
+    im.tcp_fd = -1;
+  }
+  if (im.acceptor.joinable()) im.acceptor.join();
+  if (!im.config.unix_socket.empty())
+    ::unlink(im.config.unix_socket.c_str());
+}
+
+int StatsHttpServer::tcp_port() const { return impl_->bound_tcp_port; }
+
+std::string http_get(const std::string& path, int port,
+                     const std::string& unix_socket, int* status,
+                     double timeout_seconds) {
+  PIL_REQUIRE(port >= 0 || !unix_socket.empty(),
+              "http_get: give a port or a unix socket");
+  int fd = -1;
+  if (!unix_socket.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PIL_REQUIRE(fd >= 0, "socket(AF_UNIX) failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    PIL_REQUIRE(unix_socket.size() < sizeof(addr.sun_path),
+                "unix socket path too long: " + unix_socket);
+    std::strncpy(addr.sun_path, unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw Error("cannot connect to " + unix_socket + ": " + why);
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    PIL_REQUIRE(fd >= 0, "socket(AF_INET) failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw Error("cannot connect to 127.0.0.1:" + std::to_string(port) +
+                  ": " + why);
+    }
+  }
+  set_io_timeout(fd, timeout_seconds);
+
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  if (!write_all(fd, request.data(), request.size())) {
+    ::close(fd);
+    throw Error("http_get: request write failed");
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0) {
+      ::close(fd);
+      throw Error("http_get: read failed (timeout?)");
+    }
+    if (r == 0) break;
+    raw.append(buf, static_cast<std::size_t>(r));
+  }
+  ::close(fd);
+
+  // "HTTP/1.x NNN ...\r\n...\r\n\r\n<body>"
+  PIL_REQUIRE(raw.compare(0, 5, "HTTP/") == 0,
+              "http_get: not an HTTP response");
+  const std::size_t sp = raw.find(' ');
+  PIL_REQUIRE(sp != std::string::npos && raw.size() > sp + 3,
+              "http_get: malformed status line");
+  if (status != nullptr) *status = std::stoi(raw.substr(sp + 1, 3));
+  std::size_t body = raw.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body == std::string::npos) {
+    body = raw.find("\n\n");
+    skip = 2;
+  }
+  PIL_REQUIRE(body != std::string::npos, "http_get: no header terminator");
+  return raw.substr(body + skip);
+}
+
+}  // namespace pil::service

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <sstream>
@@ -313,6 +314,43 @@ TEST(Metrics, LabeledNameFormat) {
   EXPECT_EQ(obs::labeled("base", {{"method", "ILP-II"}, {"thread", "0"}}),
             "base{method=ILP-II,thread=0}");
   EXPECT_EQ(obs::labeled("base", {}), "base");
+}
+
+TEST(Metrics, LabeledEscapesSeparatorBytes) {
+  // Values containing the composite-name separators must be backslash-
+  // escaped so the OpenMetrics writer can split them back losslessly.
+  EXPECT_EQ(obs::labeled("base", {{"spec", "a,b=c}d\\e"}}),
+            "base{spec=a\\,b\\=c\\}d\\\\e}");
+}
+
+TEST(Metrics, OpenMetricsLabelValueEscapeRoundTrip) {
+  // A hostile label value -- fault specs, file paths, free-text -- must
+  // survive labeled() and land as one correctly escaped OpenMetrics label,
+  // not split into phantom dimensions or break the exposition line.
+  obs::MetricsRegistry reg;
+  const std::string nasty = "tile_solve:throw:1,path=/a\\b\"c}d\ne";
+  reg.counter(obs::labeled("pil.faults.injected", {{"spec", nasty}})).add(1);
+  std::ostringstream os;
+  reg.write_openmetrics(os);
+  const std::string text = os.str();
+  // Exposition-format escapes: backslash, double quote, newline. The
+  // separator bytes (',', '=', '}') are legal inside a quoted value.
+  EXPECT_NE(
+      text.find("pil_faults_injected_total{spec=\""
+                "tile_solve:throw:1,path=/a\\\\b\\\"c}d\\ne\"} 1\n"),
+      std::string::npos)
+      << text;
+  // Exactly one label: the commas/equals inside the value never became
+  // extra `k="v"` pairs.
+  const std::size_t line = text.find("pil_faults_injected_total{");
+  ASSERT_NE(line, std::string::npos);
+  const std::string label_block = text.substr(
+      line, text.find(' ', line) - line);
+  int unescaped_quotes = 0;
+  for (std::size_t i = 0; i < label_block.size(); ++i)
+    if (label_block[i] == '"' && (i == 0 || label_block[i - 1] != '\\'))
+      ++unescaped_quotes;
+  EXPECT_EQ(unescaped_quotes, 2);
 }
 
 TEST(Metrics, HistogramPercentilesExtraction) {

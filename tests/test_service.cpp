@@ -13,15 +13,23 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
 #include "gtest/gtest.h"
 #include "pil/layout/pld_io.hpp"
 #include "pil/layout/synthetic.hpp"
+#include "pil/obs/flight.hpp"
+#include "pil/obs/journal.hpp"
 #include "pil/obs/json.hpp"
+#include "pil/obs/metrics.hpp"
 #include "pil/pilfill/driver.hpp"
 #include "pil/pilfill/session.hpp"
+#include "pil/service/access_log.hpp"
 #include "pil/service/client.hpp"
 #include "pil/service/protocol.hpp"
 #include "pil/service/server.hpp"
+#include "pil/service/stats_http.hpp"
 #include "pil/util/error.hpp"
 
 namespace pil::service {
@@ -702,6 +710,209 @@ TEST(ServiceServer, UnixSocketTransportWorks) {
   }
   // Clean shutdown removes the socket file.
   EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+// ---------------------------------------------------------- observability --
+
+TEST(ServiceProtocol, TraceIdAndStagesRoundTripTheCodec) {
+  Request req;
+  req.op = Op::kStats;
+  req.trace_id = 0xdeadbeef12345678ull;
+  const Request back = decode_request(encode_request(req));
+  EXPECT_EQ(back.trace_id, 0xdeadbeef12345678ull);
+  // trace_id 0 means unset and stays off the wire.
+  Request bare;
+  bare.op = Op::kStats;
+  EXPECT_EQ(encode_request(bare).find("trace_id"), std::string::npos);
+
+  Response resp;
+  resp.ok = true;
+  resp.op = Op::kSolve;
+  resp.trace_id = 0xff00ff00ff00ff0full;
+  StageBreakdown stages;
+  stages.queue_ms = 0.125;
+  stages.admission_ms = 0.5;
+  stages.session_ms = 1.25;
+  stages.solve_ms = 40.0;
+  stages.write_ms = 0.0625;  // representable doubles: exact round-trip
+  resp.stages = stages;
+  const Response rback = decode_response(encode_response(resp));
+  EXPECT_EQ(rback.trace_id, 0xff00ff00ff00ff0full);
+  ASSERT_TRUE(rback.stages.has_value());
+  EXPECT_EQ(rback.stages->queue_ms, 0.125);
+  EXPECT_EQ(rback.stages->admission_ms, 0.5);
+  EXPECT_EQ(rback.stages->session_ms, 1.25);
+  EXPECT_EQ(rback.stages->solve_ms, 40.0);
+  EXPECT_EQ(rback.stages->write_ms, 0.0625);
+  EXPECT_DOUBLE_EQ(rback.stages->total_ms(), stages.total_ms());
+}
+
+TEST(ServiceServer, ClientPinnedTraceIsEchoedServerAssignedOtherwise) {
+  ServerFixture fx;
+  Client client = fx.connect();
+  Request stats;
+  stats.op = Op::kStats;
+  stats.trace_id = 0xabcdef01ull;
+  EXPECT_EQ(client.call(stats).trace_id, 0xabcdef01ull);
+
+  // Without a pinned trace the server assigns distinct nonzero ids.
+  stats.trace_id = 0;
+  const std::uint64_t t1 = client.call(stats).trace_id;
+  const std::uint64_t t2 = client.call(stats).trace_id;
+  EXPECT_NE(t1, 0u);
+  EXPECT_NE(t2, 0u);
+  EXPECT_NE(t1, t2);
+}
+
+TEST(ServiceServer, ExecutedSolveCarriesStageBreakdown) {
+  ServerFixture fx;
+  Client client = fx.connect();
+  const Response opened =
+      client.call(open_request(small_layout(), small_config()));
+  ASSERT_TRUE(opened.ok) << opened.error;
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = opened.session;
+  solve.methods = {pilfill::Method::kGreedy};
+  const Response resp = client.call(solve);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_TRUE(resp.stages.has_value());
+  EXPECT_GT(resp.stages->solve_ms, 0.0);
+  EXPECT_GE(resp.stages->queue_ms, 0.0);
+  EXPECT_GE(resp.stages->admission_ms, 0.0);
+  EXPECT_GE(resp.stages->session_ms, 0.0);
+  EXPECT_GE(resp.stages->write_ms, 0.0);
+  // An error response still reports how far it got.
+  Request bad;
+  bad.op = Op::kSolve;
+  bad.session = "no_such_session";
+  bad.methods = {pilfill::Method::kGreedy};
+  const Response failed = client.call(bad);
+  ASSERT_FALSE(failed.ok);
+  EXPECT_TRUE(failed.stages.has_value());
+}
+
+TEST(ServiceAccessLog, WritesOneJsonLinePerRequestAndRotates) {
+  const std::string path =
+      "/tmp/pil_access_test_" + std::to_string(::getpid()) + ".jsonl";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  {
+    AccessLog log(path, /*max_bytes=*/256);
+    log.write("{\"schema\":\"pil.access.v1\",\"n\":1}");
+    log.write("{\"schema\":\"pil.access.v1\",\"n\":2}");
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(obs::parse_json(line).is_object()) << line;
+  }
+  EXPECT_EQ(lines, 2);
+
+  // Push past max_bytes: the log rotates to <path>.1 and keeps writing.
+  {
+    AccessLog log(path, /*max_bytes=*/256);
+    const std::string big(200, 'x');
+    for (int i = 0; i < 5; ++i)
+      log.write("{\"schema\":\"pil.access.v1\",\"pad\":\"" + big + "\"}");
+  }
+  EXPECT_EQ(::access((path + ".1").c_str(), F_OK), 0);
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(ServiceHttp, EndpointsServeHealthMetricsAndSlo) {
+  obs::set_metrics_enabled(true);
+  ServerConfig scfg;
+  scfg.http_port = 0;  // ephemeral loopback
+  ServerFixture fx(scfg);
+  const int port = fx.server->http_port();
+  ASSERT_GT(port, 0);
+
+  // Traffic first, so /slo and /metrics have something to show.
+  Client client = fx.connect();
+  const Response opened =
+      client.call(open_request(small_layout(), small_config()));
+  ASSERT_TRUE(opened.ok) << opened.error;
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = opened.session;
+  solve.methods = {pilfill::Method::kGreedy};
+  ASSERT_TRUE(client.call(solve).ok);
+
+  int status = 0;
+  EXPECT_EQ(http_get("/healthz", port, "", &status), "ok\n");
+  EXPECT_EQ(status, 200);
+
+  const std::string metrics = http_get("/metrics", port, "", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(metrics.find("# EOF"), std::string::npos);
+  EXPECT_NE(metrics.find("pil_service_requests_total"), std::string::npos);
+
+  const std::string slo = http_get("/slo", port, "", &status);
+  EXPECT_EQ(status, 200);
+  const obs::JsonValue doc = obs::parse_json(slo);
+  EXPECT_EQ(doc.at("schema").str_v, "pil.slo.v1");
+  EXPECT_GE(doc.at("requests_total").num_v, 2.0);
+  const obs::JsonValue* windows = doc.find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_EQ(windows->items.size(), 3u);
+  EXPECT_GT(windows->items[0].at("requests").num_v, 0.0);
+  EXPECT_GT(windows->items[0].at("latency_p50_seconds").num_v, 0.0);
+
+  http_get("/nope", port, "", &status);
+  EXPECT_EQ(status, 404);
+  obs::set_metrics_enabled(false);
+}
+
+// The acceptance path: a request's trace id must be findable in a flight
+// dump, and its journal flow must tie the service event to the solver's
+// per-tile events (the grep-by-trace postmortem workflow).
+TEST(ServiceFlight, RequestTraceCorrelatesWithSolverEventsInDump) {
+  obs::set_journal_armed(true);
+  constexpr std::uint64_t kTrace = 0x00000000feedf00dull;
+  {
+    ServerFixture fx;
+    Client client = fx.connect();
+    const Response opened =
+        client.call(open_request(small_layout(), small_config()));
+    ASSERT_TRUE(opened.ok) << opened.error;
+    Request solve;
+    solve.op = Op::kSolve;
+    solve.session = opened.session;
+    solve.methods = {pilfill::Method::kGreedy};
+    solve.trace_id = kTrace;
+    ASSERT_TRUE(client.call(solve).ok);
+  }  // stop() quiesces the journal before the dump below
+
+  std::ostringstream os;
+  obs::FlightWriteOptions options;
+  options.cause = "requested";
+  obs::write_flight_json(os, options);
+  const obs::FlightDump dump = obs::parse_flight_json(os.str());
+
+  const obs::FlightEvent* traced = nullptr;
+  for (const obs::FlightEvent& ev : dump.events)
+    if (ev.kind == "service_request" && ev.trace == "00000000feedf00d")
+      traced = &ev;
+  ASSERT_NE(traced, nullptr) << "pinned trace not in the dump";
+  ASSERT_NE(traced->flow, 0u);
+
+  // The same flow id must appear on solver-side tile events: that is the
+  // correlation a postmortem walks from trace -> flow -> cause chain.
+  int tile_events = 0;
+  bool response_event = false;
+  for (const obs::FlightEvent& ev : dump.events) {
+    if (ev.flow != traced->flow) continue;
+    if (ev.kind == "tile_begin" || ev.kind == "tile_end") ++tile_events;
+    if (ev.kind == "service_response" && ev.trace == traced->trace)
+      response_event = true;
+  }
+  EXPECT_GT(tile_events, 0);
+  EXPECT_TRUE(response_event);
 }
 
 }  // namespace

@@ -1,0 +1,234 @@
+// Tests for obs::SloRing: the per-second bucket ring behind pilserve's
+// /slo endpoint. Bucket rotation, window boundaries, ring expiry, empty
+// windows, queue-depth peaks, the pil.slo.v1 "windows" emission, and
+// concurrent record/window safety (meaningful under -L slow TSan builds
+// and `ctest -L tier1` alike).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "pil/obs/json.hpp"
+#include "pil/obs/slo.hpp"
+
+namespace pil {
+namespace {
+
+using obs::SloRing;
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;  // ns
+
+// ---------------------------------------------------------------- empty ----
+
+TEST(SloRing, EmptyWindowIsAllZeros) {
+  SloRing ring(60);
+  const SloRing::WindowStats w = ring.window_at(5 * kSecond, 10);
+  EXPECT_EQ(w.window_seconds, 10);
+  EXPECT_EQ(w.requests, 0);
+  EXPECT_EQ(w.errors, 0);
+  EXPECT_EQ(w.shed, 0);
+  EXPECT_EQ(w.degraded, 0);
+  EXPECT_DOUBLE_EQ(w.rate_per_second, 0.0);
+  EXPECT_DOUBLE_EQ(w.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(w.shed_rate, 0.0);
+  EXPECT_DOUBLE_EQ(w.latency_p50, 0.0);
+  EXPECT_DOUBLE_EQ(w.latency_p99, 0.0);
+  EXPECT_DOUBLE_EQ(w.latency_max, 0.0);
+  EXPECT_DOUBLE_EQ(w.latency_mean, 0.0);
+  EXPECT_EQ(w.queue_depth_peak, 0);
+  EXPECT_EQ(ring.total_requests(), 0);
+}
+
+TEST(SloRing, CapacityClampedToAtLeastOne) {
+  SloRing ring(0);
+  EXPECT_GE(ring.capacity_seconds(), 1);
+  ring.record_at(0, 0.001, false, false, false);
+  EXPECT_EQ(ring.window_at(0, 1).requests, 1);
+}
+
+// ------------------------------------------------------------- counting ----
+
+TEST(SloRing, CountsAndRatesOverOneWindow) {
+  SloRing ring(60);
+  // 8 ok + 1 error + 1 shed(degraded) inside second 2.
+  for (int i = 0; i < 8; ++i)
+    ring.record_at(2 * kSecond, 0.010, false, false, false);
+  ring.record_at(2 * kSecond, 0.500, true, false, false);
+  ring.record_at(2 * kSecond, 0.020, false, true, true);
+  const SloRing::WindowStats w = ring.window_at(2 * kSecond, 10);
+  EXPECT_EQ(w.requests, 10);
+  EXPECT_EQ(w.errors, 1);
+  EXPECT_EQ(w.shed, 1);
+  EXPECT_EQ(w.degraded, 1);
+  EXPECT_DOUBLE_EQ(w.rate_per_second, 1.0);  // 10 requests / 10 s window
+  EXPECT_DOUBLE_EQ(w.error_rate, 0.1);
+  EXPECT_DOUBLE_EQ(w.shed_rate, 0.1);
+  EXPECT_DOUBLE_EQ(w.latency_max, 0.5);
+  EXPECT_NEAR(w.latency_mean, (8 * 0.010 + 0.500 + 0.020) / 10.0, 1e-12);
+  // Log2-bucket estimates: p50 lands in the 10 ms bucket's range, p99 in
+  // the 500 ms bucket's.
+  EXPECT_GT(w.latency_p50, 0.0);
+  EXPECT_LT(w.latency_p50, 0.05);
+  EXPECT_GT(w.latency_p99, 0.1);
+  EXPECT_EQ(ring.total_requests(), 10);
+}
+
+// ---------------------------------------------------- window boundaries ----
+
+TEST(SloRing, WindowExcludesBucketsOlderThanItsSpan) {
+  SloRing ring(300);
+  ring.record_at(0 * kSecond, 0.001, false, false, false);   // second 0
+  ring.record_at(5 * kSecond, 0.001, false, false, false);   // second 5
+  ring.record_at(11 * kSecond, 0.001, false, false, false);  // second 11
+  // A 10 s window ending inside second 11 covers seconds 2..11: the
+  // second-0 record has aged out, seconds 5 and 11 remain.
+  EXPECT_EQ(ring.window_at(11 * kSecond, 10).requests, 2);
+  // A 300 s window still sees all three.
+  EXPECT_EQ(ring.window_at(11 * kSecond, 300).requests, 3);
+  // A 1 s window is just the current second.
+  EXPECT_EQ(ring.window_at(11 * kSecond, 1).requests, 1);
+}
+
+TEST(SloRing, CurrentPartialSecondIsIncluded) {
+  SloRing ring(60);
+  ring.record_at(7 * kSecond + kSecond / 2, 0.002, false, false, false);
+  EXPECT_EQ(ring.window_at(7 * kSecond + kSecond / 2, 1).requests, 1);
+  // Reading one second later: that bucket is now the previous second, so a
+  // 1 s window no longer includes it but a 2 s window does.
+  EXPECT_EQ(ring.window_at(8 * kSecond + kSecond / 2, 1).requests, 0);
+  EXPECT_EQ(ring.window_at(8 * kSecond + kSecond / 2, 2).requests, 1);
+}
+
+// ----------------------------------------------------------- ring expiry ----
+
+TEST(SloRing, LappingTheRingRetiresStaleBuckets) {
+  SloRing ring(10);  // 10-bucket ring
+  ring.record_at(3 * kSecond, 0.001, true, false, false);
+  // 13 wraps onto 3's slot: writing must retire the stale second first.
+  ring.record_at(13 * kSecond, 0.002, false, false, false);
+  const SloRing::WindowStats w = ring.window_at(13 * kSecond, 10);
+  EXPECT_EQ(w.requests, 1);
+  EXPECT_EQ(w.errors, 0);  // the error belonged to the retired second
+  // Lifetime total still counts both.
+  EXPECT_EQ(ring.total_requests(), 2);
+}
+
+TEST(SloRing, StaleBucketsAreNotReadEvenWithoutNewWrites) {
+  SloRing ring(10);
+  ring.record_at(2 * kSecond, 0.001, false, false, false);
+  // No writes since; reading far in the future must not resurrect the old
+  // bucket even though it still physically occupies its slot.
+  EXPECT_EQ(ring.window_at(500 * kSecond, 10).requests, 0);
+}
+
+TEST(SloRing, WindowWiderThanCapacityIsClamped) {
+  SloRing ring(5);
+  for (int s = 0; s < 5; ++s)
+    ring.record_at(static_cast<std::uint64_t>(s) * kSecond, 0.001, false,
+                   false, false);
+  const SloRing::WindowStats w = ring.window_at(4 * kSecond, 1000);
+  EXPECT_EQ(w.requests, 5);
+  // The rate denominator must be the requested span, not the clamp, so a
+  // short-capacity ring cannot overstate the rate.
+  EXPECT_GT(w.window_seconds, 0);
+}
+
+// ---------------------------------------------------- monotonic anchoring ----
+
+TEST(SloRing, NowNsIsMonotonicFromConstruction) {
+  SloRing ring(60);
+  const std::uint64_t a = ring.now_ns();
+  const std::uint64_t b = ring.now_ns();
+  EXPECT_GE(b, a);
+  // Fresh ring: now is near zero (well under a second of setup time).
+  EXPECT_LT(a, kSecond);
+}
+
+TEST(SloRing, WallClockEntryPointsUseTheSameEpoch) {
+  SloRing ring(60);
+  ring.record(0.001, false, false, false);
+  ring.sample_queue_depth(3);
+  const SloRing::WindowStats w = ring.window(2);
+  EXPECT_EQ(w.requests, 1);
+  EXPECT_EQ(w.queue_depth_peak, 3);
+}
+
+// ------------------------------------------------------------ queue depth ----
+
+TEST(SloRing, QueueDepthKeepsPerSecondPeak) {
+  SloRing ring(60);
+  ring.sample_queue_depth_at(4 * kSecond, 2);
+  ring.sample_queue_depth_at(4 * kSecond, 7);
+  ring.sample_queue_depth_at(4 * kSecond, 1);
+  ring.sample_queue_depth_at(5 * kSecond, 3);
+  EXPECT_EQ(ring.window_at(5 * kSecond, 10).queue_depth_peak, 7);
+  // Once second 4 ages out, the peak drops to second 5's.
+  EXPECT_EQ(ring.window_at(14 * kSecond, 10).queue_depth_peak, 3);
+}
+
+// ---------------------------------------------------------- slo.v1 emit ----
+
+TEST(SloRing, WriteSloWindowsEmitsOneObjectPerWidth) {
+  SloRing ring(300);
+  ring.record_at(1 * kSecond, 0.010, false, true, true);
+  std::ostringstream os;
+  obs::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  obs::write_slo_windows(w, ring, {10, 60, 300});
+  w.end_object();
+  const obs::JsonValue doc = obs::parse_json(os.str());
+  const obs::JsonValue* windows = doc.find("windows");
+  ASSERT_NE(windows, nullptr);
+  ASSERT_TRUE(windows->is_array());
+  ASSERT_EQ(windows->items.size(), 3u);
+  for (const obs::JsonValue& win : windows->items) {
+    for (const char* key :
+         {"window_seconds", "requests", "errors", "shed", "degraded",
+          "rate_per_second", "error_rate", "shed_rate", "latency_p50_seconds",
+          "latency_p90_seconds", "latency_p99_seconds", "latency_max_seconds",
+          "latency_mean_seconds", "queue_depth_peak"}) {
+      EXPECT_NE(win.find(key), nullptr) << "missing " << key;
+    }
+  }
+  EXPECT_DOUBLE_EQ(windows->items[0].find("window_seconds")->num_v, 10.0);
+  EXPECT_DOUBLE_EQ(windows->items[2].find("window_seconds")->num_v, 300.0);
+}
+
+// ------------------------------------------------------------ concurrency ----
+
+TEST(SloRing, ConcurrentRecordAndWindowAreExact) {
+  SloRing ring(300);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Hammer the read path while writers run; TSan checks the locking,
+    // the asserts check we never see torn (count, rate) pairs.
+    while (!stop.load()) {
+      const SloRing::WindowStats w = ring.window(300);
+      ASSERT_GE(w.requests, 0);
+      ASSERT_GE(w.latency_max, 0.0);
+      if (w.requests > 0) ASSERT_GT(w.latency_mean, 0.0);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t)
+    writers.emplace_back([&ring] {
+      for (int i = 0; i < kPerWriter; ++i)
+        ring.record(0.001 * (1 + i % 7), i % 13 == 0, i % 11 == 0,
+                    i % 11 == 0);
+    });
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(ring.total_requests(),
+            static_cast<long long>(kWriters) * kPerWriter);
+  EXPECT_EQ(ring.window(300).requests,
+            static_cast<long long>(kWriters) * kPerWriter);
+}
+
+}  // namespace
+}  // namespace pil

@@ -16,10 +16,16 @@
 ///   pilreq stats    (--socket P | --port N)
 ///   pilreq shutdown (--socket P | --port N)
 ///
+/// Every verb also takes --trace-id HEX (up to 16 hex chars) to pin the
+/// request's trace id; without it the server assigns one. The response's
+/// trace id and per-stage timing breakdown are echoed to stderr, so stdout
+/// stays raw response JSON for scripts.
+///
 /// Exit codes: 0 request ok, 1 request failed (response ok=false or
 /// transport error), 2 usage error, 3 response flagged degraded/shed under
 /// --strict (same taxonomy as pilfill/pilbench).
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -52,7 +58,10 @@ int usage() {
          "         [--deadline-ms X] [--tile-deadline-ms X] [--no-degrade] "
          "[--placement] [--strict]\n"
          "  stats | shutdown\n"
-         "Response JSON goes to stdout; exit 3 = degraded under --strict.\n";
+         "  any:   --trace-id HEX (pin the request trace; server assigns "
+         "one otherwise)\n"
+         "Response JSON goes to stdout (trace + stage breakdown to "
+         "stderr); exit 3 = degraded under --strict.\n";
   return kExitUsage;
 }
 
@@ -102,6 +111,22 @@ int main(int argc, char** argv) {
                                  : service::op_from_name(op_name);
     if (opts.count("id"))
       req.id = static_cast<std::uint64_t>(parse_int(opts.at("id"), "--id"));
+    if (opts.count("trace-id")) {
+      // Accept exactly what the wire accepts: up to 16 hex chars.
+      const std::string& hex = opts.at("trace-id");
+      std::uint64_t v = 0;
+      PIL_REQUIRE(!hex.empty() && hex.size() <= 16,
+                  "--trace-id: expected up to 16 hex chars");
+      for (char c : hex) {
+        int d;
+        if (c >= '0' && c <= '9') d = c - '0';
+        else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+        else throw Error("--trace-id: expected up to 16 hex chars");
+        v = (v << 4) | static_cast<std::uint64_t>(d);
+      }
+      req.trace_id = v;
+    }
 
     switch (req.op) {
       case service::Op::kOpenSession: {
@@ -203,6 +228,19 @@ int main(int argc, char** argv) {
     const std::string raw = client.call_raw(service::encode_request(req));
     std::cout << raw << "\n";
     const service::Response resp = service::decode_response(raw);
+    if (resp.trace_id != 0) {
+      char hex[17];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(resp.trace_id));
+      std::cerr << "trace " << hex;
+      if (resp.stages.has_value())
+        std::cerr << "  queue " << resp.stages->queue_ms << "ms, admission "
+                  << resp.stages->admission_ms << "ms, session "
+                  << resp.stages->session_ms << "ms, solve "
+                  << resp.stages->solve_ms << "ms, write "
+                  << resp.stages->write_ms << "ms";
+      std::cerr << "\n";
+    }
     if (!resp.ok) {
       std::cerr << "pilreq: " << resp.error << "\n";
       return kExitError;

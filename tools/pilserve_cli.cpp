@@ -9,10 +9,14 @@
 ///            [--degrade-depth N] [--reject-when-full] [--max-sessions N]
 ///            [--default-deadline-ms X] [--max-frame-mb N]
 ///            [--no-layout-path] [--metrics] [--log-level LEVEL]
+///            [--http PORT] [--http-socket PATH] [--access-log PATH]
+///            [--access-log-max-mb N] [--flight-dump PATH]
 ///
 /// Prints one "listening ..." line per bound endpoint (with the resolved
-/// port for --tcp 0), then serves until a client sends a shutdown request
-/// or the process receives SIGINT/SIGTERM. Exit codes follow the repo
+/// port for --tcp 0 / --http 0), then serves until a client sends a
+/// shutdown request or the process receives SIGINT/SIGTERM. With
+/// --flight-dump, a pil.flight.v1 postmortem of the run's journal is
+/// written there after the server stops. Exit codes follow the repo
 /// taxonomy: 0 clean shutdown, 1 runtime error, 2 usage error.
 
 #include <csignal>
@@ -40,8 +44,13 @@ int usage() {
          "                [--max-sessions N] [--default-deadline-ms X]\n"
          "                [--max-frame-mb N] [--no-layout-path] [--metrics]\n"
          "                [--log-level debug|info|warn|error|off]\n"
+         "                [--http PORT] [--http-socket PATH]\n"
+         "                [--access-log PATH] [--access-log-max-mb N]\n"
+         "                [--flight-dump PATH]\n"
          "At least one of --socket / --tcp is required; --tcp 0 picks an\n"
-         "ephemeral port (printed on the 'listening' line).\n";
+         "ephemeral port (printed on the 'listening' line). --http serves\n"
+         "/healthz, /metrics, and /slo on loopback; --access-log writes\n"
+         "one pil.access.v1 JSON line per request.\n";
   return kExitUsage;
 }
 
@@ -107,6 +116,18 @@ int main(int argc, char** argv) {
           << 20;
     config.reject_when_full = opts.count("reject-when-full") > 0;
     config.allow_layout_path = opts.count("no-layout-path") == 0;
+    if (opts.count("http"))
+      config.http_port =
+          static_cast<int>(parse_int(opts.at("http"), "--http"));
+    if (opts.count("http-socket")) config.http_socket = opts.at("http-socket");
+    if (opts.count("access-log")) config.access_log = opts.at("access-log");
+    if (opts.count("access-log-max-mb"))
+      config.access_log_max_bytes =
+          static_cast<std::size_t>(parse_int(opts.at("access-log-max-mb"),
+                                             "--access-log-max-mb"))
+          << 20;
+    const std::string flight_dump =
+        opts.count("flight-dump") ? opts.at("flight-dump") : "";
 
     service::Server server(config);
 
@@ -130,10 +151,22 @@ int main(int argc, char** argv) {
       std::cout << "listening unix " << config.unix_socket << "\n";
     if (config.tcp_port >= 0)
       std::cout << "listening tcp 127.0.0.1:" << server.tcp_port() << "\n";
+    if (!config.http_socket.empty())
+      std::cout << "listening http unix " << config.http_socket << "\n";
+    if (config.http_port >= 0)
+      std::cout << "listening http 127.0.0.1:" << server.http_port() << "\n";
     std::cout.flush();
 
     server.wait_for_shutdown();
     server.stop();
+    if (!flight_dump.empty()) {
+      obs::FlightWriteOptions fo;
+      fo.cause = "requested";
+      fo.detail = "pilserve shutdown dump";
+      if (!obs::write_flight_file(flight_dump, fo))
+        std::cerr << "pilserve: cannot write flight dump " << flight_dump
+                  << "\n";
+    }
     const service::ServerStats stats = server.stats();
     std::cout << "served " << stats.executed << " requests ("
               << stats.shed << " shed, " << stats.errors << " errors), "
