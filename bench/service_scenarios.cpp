@@ -17,6 +17,16 @@
 ///                                  and stats endpoint enabled; comparing
 ///                                  the pair bounds the observability-plane
 ///                                  overhead (target: within 2%).
+///   service.closedloop.e8.greedy.dedup
+///                                  the closedloop twin with idempotency
+///                                  plumbing hot: every solve carries a
+///                                  request_id and each repetition re-sends
+///                                  a setup-time edit whose request_id is
+///                                  in the dedup window (a pure
+///                                  acknowledgement, no re-application);
+///                                  the delta vs the bare scenario is the
+///                                  dedup/request_id overhead (target:
+///                                  within 2%).
 
 #include <unistd.h>
 
@@ -58,20 +68,32 @@ service::Request open_request() {
   return req;
 }
 
+/// request_id of the dedup twin's setup-time edit: re-sending it is a
+/// pure dedup-window acknowledgement, never a second application.
+constexpr std::uint64_t kDedupProbeId = 0x9e3779b97f4a7c15ull;
+
 /// One closed-loop fleet repetition: `editors` threads, each with its own
 /// connection, each issuing `solves_per_editor` solve requests back to
-/// back against the shared warm session. Publishes extra_json.
+/// back against the shared warm session. With `dedup_probe` the fleet
+/// exercises the idempotency plumbing: every solve carries a request_id,
+/// and each repetition re-sends the setup-time edit (same kDedupProbeId)
+/// concurrently with the fleet, which the server must acknowledge from
+/// its dedup window without touching the session. (Concurrently, not from
+/// an editor's loop: a closed-loop editor's wall clock grows by a full
+/// round trip per extra request, which would swamp the per-request
+/// overhead this twin exists to measure.) Publishes extra_json.
 void run_fleet(const std::shared_ptr<service::Server>& server,
                const std::string& session, pilfill::Method method,
-               int editors, int solves_per_editor) {
+               int editors, int solves_per_editor,
+               bool dedup_probe = false) {
   std::vector<double> latencies;
   std::mutex latencies_mu;
-  std::atomic<long long> shed{0}, failed{0};
+  std::atomic<long long> shed{0}, failed{0}, deduped_acks{0};
 
   std::vector<std::thread> fleet;
   fleet.reserve(static_cast<std::size_t>(editors));
   for (int e = 0; e < editors; ++e)
-    fleet.emplace_back([&] {
+    fleet.emplace_back([&, e] {
       try {
         service::Client client =
             service::Client::connect_tcp(server->tcp_port());
@@ -82,6 +104,9 @@ void run_fleet(const std::shared_ptr<service::Server>& server,
           req.op = service::Op::kSolve;
           req.session = session;
           req.methods = {method};
+          if (dedup_probe)  // idempotency plumbing on the wire
+            req.request_id = (static_cast<std::uint64_t>(e + 1) << 32) |
+                             static_cast<std::uint64_t>(i + 1);
           const Clock::time_point t0 = Clock::now();
           const service::Response resp = client.call(req);
           mine.push_back(
@@ -95,6 +120,22 @@ void run_fleet(const std::shared_ptr<service::Server>& server,
         failed.fetch_add(1);
       }
     });
+  if (dedup_probe) {
+    try {
+      service::Client prober =
+          service::Client::connect_tcp(server->tcp_port());
+      service::Request probe;
+      probe.op = service::Op::kApplyEdit;
+      probe.session = session;
+      probe.edit = pilfill::WireEdit::move_segment(0, 0.0, 0.0);
+      probe.request_id = kDedupProbeId;
+      const service::Response ack = prober.call(probe);
+      if (ack.ok && ack.deduped) deduped_acks.fetch_add(1);
+      else failed.fetch_add(1);
+    } catch (const Error&) {
+      failed.fetch_add(1);
+    }
+  }
   for (std::thread& t : fleet) t.join();
 
   std::sort(latencies.begin(), latencies.end());
@@ -117,15 +158,20 @@ void run_fleet(const std::shared_ptr<service::Server>& server,
   w.kv("latency_p99_seconds", percentile_of_sorted(latencies, 0.99));
   w.kv("latency_max_seconds",
        latencies.empty() ? 0.0 : latencies.back());
+  if (dedup_probe) w.kv("deduped_acks", deduped_acks.load());
   w.end_object();
   set_scenario_extra(extra.str());
 }
 
-/// Setup shared by both scenarios: start the server, open (and warm) the
-/// session once, return the repetition body.
+/// Setup shared by the scenarios: start the server, open (and warm) the
+/// session once, return the repetition body. With `dedup_probe` the setup
+/// also applies one zero-displacement move edit under kDedupProbeId, so
+/// every timed repetition's re-send of that id is answered from the dedup
+/// window (state never changes; repetitions stay stationary).
 std::function<void()> fleet_setup(service::ServerConfig config,
                                   pilfill::Method method, int editors,
-                                  int solves_per_editor) {
+                                  int solves_per_editor,
+                                  bool dedup_probe = false) {
   config.tcp_port = 0;  // ephemeral loopback port
   auto server = std::make_shared<service::Server>(config);
   server->start();
@@ -133,6 +179,15 @@ std::function<void()> fleet_setup(service::ServerConfig config,
   const service::Response opened = opener.call(open_request());
   PIL_REQUIRE(opened.ok, "service bench: open failed: " + opened.error);
   const std::string session = opened.session;
+  if (dedup_probe) {
+    service::Request probe;
+    probe.op = service::Op::kApplyEdit;
+    probe.session = session;
+    probe.edit = pilfill::WireEdit::move_segment(0, 0.0, 0.0);
+    probe.request_id = kDedupProbeId;
+    const service::Response ack = opener.call(probe);
+    PIL_REQUIRE(ack.ok, "service bench: probe edit failed: " + ack.error);
+  }
   // Warm the per-tile caches untimed so repetitions measure the service
   // path, not the first cold solve (the fleet's solves all hit the same
   // warm session, as a steady-state editor pool would).
@@ -143,8 +198,10 @@ std::function<void()> fleet_setup(service::ServerConfig config,
     req.methods = {pilfill::Method::kGreedy};
     PIL_REQUIRE(opener.call(req).ok, "service bench: warmup solve failed");
   }
-  return [server, session, method, editors, solves_per_editor] {
-    run_fleet(server, session, method, editors, solves_per_editor);
+  return [server, session, method, editors, solves_per_editor,
+          dedup_probe] {
+    run_fleet(server, session, method, editors, solves_per_editor,
+              dedup_probe);
   };
 }
 
@@ -175,6 +232,19 @@ void register_service_scenarios(Registry& r) {
            config.http_port = 0;  // bound but unscraped: idle-listener cost
            return fleet_setup(config, pilfill::Method::kGreedy,
                               /*editors=*/8, /*solves_per_editor=*/4);
+         }});
+
+  r.add({"service.closedloop.e8.greedy.dedup",
+         "closedloop twin with the idempotency plumbing hot: request_ids "
+         "on every solve plus a per-repetition dedup-window acknowledgement "
+         "of a setup-time edit; the delta vs the bare scenario is the "
+         "dedup/request_id overhead",
+         [] {
+           service::ServerConfig config;
+           config.workers = 4;
+           return fleet_setup(config, pilfill::Method::kGreedy,
+                              /*editors=*/8, /*solves_per_editor=*/4,
+                              /*dedup_probe=*/true);
          }});
 
   r.add({"service.overload.shed",

@@ -61,6 +61,9 @@ enum class JournalEventKind : std::uint16_t {
                       ///< hex "trace" member; flow = request correlation)
   kServiceResponse,   ///< a = Op, b = bit0 ok, bit1 degraded, bit2 shed;
                       ///< c = trace id, v = handling seconds
+  kStuckWorker,       ///< a = Op, b = low 32 bits of the client request
+                      ///< id, c = trace id, v = seconds past the flow
+                      ///< deadline when the watchdog fired
 };
 
 /// Stable lower_snake_case name used as the "kind" string in dumps.

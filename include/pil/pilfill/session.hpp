@@ -51,6 +51,10 @@
 
 #include "pil/pilfill/driver.hpp"
 
+namespace pil::util {
+class Deadline;  // pil/util/deadline.hpp
+}
+
 namespace pil::pilfill {
 
 /// One incremental wire edit on the session's fill layer.
@@ -151,9 +155,16 @@ class FillSession {
   /// service passes its per-request id here so a request's solver events
   /// -- down to the tile cause chains in a flight dump -- share one flow
   /// with the request's service_request/service_response events.
+  ///
+  /// `cancel`, when non-null, is an external cancellation token: the call
+  /// combines it (util::Deadline::sooner) with the policy's flow deadline,
+  /// so cancel->cancel() from another thread -- e.g. the service watchdog
+  /// -- makes the solve degrade to the ladder's cheap end exactly as an
+  /// expired flow deadline would. The token must outlive the call.
   FlowResult solve(const std::vector<Method>& methods,
                    const SolvePolicy& policy,
-                   std::uint32_t journal_flow_id = 0);
+                   std::uint32_t journal_flow_id = 0,
+                   const util::Deadline* cancel = nullptr);
 
   /// Apply one wire edit to the owned layout and incrementally refresh the
   /// prep state. Throws pil::Error (leaving the session on its pre-edit

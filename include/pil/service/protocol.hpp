@@ -88,6 +88,13 @@ struct Request {
   /// the access-log line, the journal events, and the flight-dump cause
   /// chain for this request.
   std::uint64_t trace_id = 0;
+  /// Client-generated idempotency key (16-hex-char string on the wire).
+  /// 0 = unset. For apply_edit, a nonzero request_id makes the request
+  /// retry-safe: the server remembers recent (request_id -> response)
+  /// pairs per session, so a retried edit whose first attempt executed
+  /// but whose response was lost is acknowledged from the dedup window
+  /// instead of being applied twice. See docs/SERVICE.md.
+  std::uint64_t request_id = 0;
 
   // open_session ------------------------------------------------------------
   std::string layout_pld;   ///< inline .pld text
@@ -197,6 +204,18 @@ struct Response {
   /// Per-stage handling time; absent on responses the server never
   /// executed (decode errors, queue-full rejections).
   std::optional<StageBreakdown> stages;
+  /// Session edit sequence number after this request (apply_edit / solve
+  /// on an open session): the count of edits applied so far. Monotonic
+  /// per session; clients use it to detect lost or re-applied edits.
+  /// 0 = not reported.
+  long long edit_seq = 0;
+  /// This response was served from the per-session request_id dedup
+  /// window -- the original attempt already executed; nothing ran again.
+  bool deduped = false;
+  /// On !ok: the failure happened before the operation executed (e.g. an
+  /// injected worker fault or a queue-full rejection), so a retry with
+  /// the same request_id is safe even without the dedup window.
+  bool retryable = false;
 
   // open_session / apply_edit / solve ---------------------------------------
   std::string session;
@@ -241,6 +260,7 @@ enum class FrameReadStatus {
   kTruncated,  ///< EOF inside a header or payload
   kOversize,   ///< announced length exceeds the limit
   kError,      ///< socket error
+  kTimeout,    ///< no complete frame within the read timeout
 };
 
 const char* to_string(FrameReadStatus status);
@@ -255,5 +275,19 @@ void write_frame(int fd, std::string_view payload);
 /// left in `payload` as decimal text for diagnostics.
 FrameReadStatus read_frame(int fd, std::string& payload,
                            std::size_t max_bytes = kDefaultMaxFrameBytes);
+
+/// As above, but gives up with kTimeout when `timeout_seconds` elapses
+/// without a complete frame (poll(2)-based; the budget spans the whole
+/// frame, so a slow-loris client trickling bytes cannot hold the
+/// connection open past it). timeout_seconds <= 0 means no timeout.
+FrameReadStatus read_frame(int fd, std::string& payload,
+                           std::size_t max_bytes, double timeout_seconds);
+
+/// Chaos helper: write a frame header announcing the full payload length
+/// but send only the first `bytes` payload bytes (the frame_truncate
+/// fault site; the peer's read_frame must report kTruncated once the
+/// writer hangs up). Throws pil::Error like write_frame.
+void write_frame_truncated(int fd, std::string_view payload,
+                           std::size_t bytes);
 
 }  // namespace pil::service

@@ -68,6 +68,24 @@ struct ServerConfig {
   std::string access_log;
   /// Rotate the access log to `<path>.1` beyond this size; 0 = never.
   std::size_t access_log_max_bytes = 64u << 20;
+
+  // Connection hygiene + retry safety (see docs/ROBUSTNESS.md) --------------
+  /// Per-connection budget for receiving one complete frame (poll-based,
+  /// so a slow-loris peer trickling bytes is bounded too). On expiry the
+  /// connection is closed and pil.service.read_timeouts incremented.
+  /// <= 0 disables the timeout.
+  double read_timeout_seconds = 300.0;
+  /// Per-session LRU window of (request_id -> response) pairs consulted
+  /// on apply_edit, so a retried edit whose response was lost is
+  /// acknowledged instead of re-applied. 0 disables deduplication.
+  int dedup_window = 128;
+  /// Watchdog: a worker whose solve overruns its flow deadline by this
+  /// grace gets a stuck_worker journal event / metric and its Deadline
+  /// cancellation token fired (the solve then degrades and returns).
+  /// <= 0 disables the watchdog thread.
+  double watchdog_grace_seconds = 2.0;
+  /// Watchdog scan period.
+  double watchdog_poll_seconds = 0.05;
 };
 
 /// Monotonic counters since start() (returned by stats(), also published
@@ -82,6 +100,11 @@ struct ServerStats {
   long long sessions_opened = 0;
   long long sessions_reused = 0;
   long long sessions_evicted = 0;
+  long long accept_errors = 0;   ///< accept(2) failures survived (EMFILE...)
+  long long read_timeouts = 0;   ///< connections closed by the read timeout
+  long long deduped = 0;         ///< responses served from the dedup window
+  long long stuck_workers = 0;   ///< watchdog overrun events
+  long long faults_injected = 0; ///< armed service-plane fault sites fired
   int sessions_open = 0;
   int queue_depth = 0;
   int queue_peak = 0;

@@ -10,7 +10,10 @@
 /// pivots / nodes regardless of thread count or wall clock. That makes the
 /// failure paths exercised by the plan reproducible in CI.
 ///
-/// Sites (see FaultSite): tile_solve, lp_pivot, bb_node, session_edit.
+/// Sites (see FaultSite): tile_solve, lp_pivot, bb_node, session_edit in
+/// the solve stack, plus the service-plane sites accept_drop,
+/// frame_truncate, frame_delay, conn_reset, and worker_throw used by the
+/// chaos drills against pilserve (see docs/ROBUSTNESS.md).
 ///
 /// Arming: either programmatically (set_fault_plan) or from the
 /// environment via arm_faults_from_env(), which reads
@@ -35,9 +38,19 @@ enum class FaultSite : int {
   kTileSolve = 0,   ///< entry of a per-tile solve (key = flat tile index)
   kLpPivot = 1,     ///< each simplex iteration (key = iteration number)
   kBbNode = 2,      ///< each branch-and-bound node (key = nodes explored)
-  kSessionEdit = 3  ///< mid FillSession::apply_edit (key = edit ordinal)
+  kSessionEdit = 3,  ///< mid FillSession::apply_edit (key = edit ordinal)
+
+  // Service-plane sites (pil::service). Keys are process-wide ordinals
+  // (the n-th accept / response / executed request), so a plan's decision
+  // sequence is reproducible even though the assignment of ordinals to
+  // connections depends on scheduling.
+  kAcceptDrop = 4,     ///< accepted connection closed before any frame
+  kFrameTruncate = 5,  ///< response frame cut short mid-payload
+  kFrameDelay = 6,     ///< stall before handling a received frame
+  kConnReset = 7,      ///< connection torn down instead of responding
+  kWorkerThrow = 8     ///< worker dispatch throws before the op runs
 };
-inline constexpr int kFaultSiteCount = 4;
+inline constexpr int kFaultSiteCount = 9;
 
 const char* to_string(FaultSite site);
 

@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Chaos soak for the fill service: pilserve with the service-plane fault
+# sites armed (accept_drop, frame_truncate, conn_reset, worker_throw)
+# versus a fleet of concurrently retrying pilreq clients, then the same
+# traffic against a fault-free twin server. The gate: every client's final
+# solved placement hash must be bit-identical between the two runs -- no
+# lost edits, no double-applied edits, despite dropped connections and
+# torn-off responses. The chaos server is stopped with SIGTERM (never a
+# shutdown request: its ack could be a fault casualty, and shutdown is the
+# one op that must not be retried) and must still exit 0.
+#
+#   chaos_soak.sh <pilserve> <pilreq> <scratch_dir> [clients] [fault_seed]
+#
+# Used by ctest (cli.chaos_soak) and the chaos-soak CI job; runnable by
+# hand with any client count / seed for longer soaks.
+set -u
+
+PILSERVE="${1:?pilserve}"; PILREQ="${2:?pilreq}"; DIR="${3:?scratch dir}"
+CLIENTS="${4:-8}"
+FAULT_SEED="${5:-1}"
+EDITS_PER_CLIENT=3
+RETRIES=12
+BACKOFF_MS=25
+FAULTS="accept_drop:throw:0.15,frame_truncate:throw:0.08"
+FAULTS="$FAULTS,conn_reset:throw:0.08,worker_throw:throw:0.08"
+
+mkdir -p "$DIR"
+PLD="$DIR/chaos.pld"
+SERVER_PID=""
+
+# Four nets with well-separated horizontal trunks: each client taps the
+# first three at a client-specific x, so every edit is a guaranteed-valid
+# stub and no net ever receives two stubs (which could close a loop).
+cat > "$PLD" <<'EOF'
+PLD 1
+DIE 0 0 64 64
+LAYER m3 H WIDTH 0.5 SHEETRES 0.08 THICKNESS 0.5 EPSR 3.9
+NET n0 SOURCE 4 8 RDRV 200
+  SEG m3 4 8 56 8 0.5
+  SINK 56 8 CLOAD 2
+END
+NET n1 SOURCE 4 16 RDRV 150
+  SEG m3 4 16 56 16 0.5
+  SINK 56 16 CLOAD 3
+END
+NET n2 SOURCE 4 24 RDRV 300
+  SEG m3 4 24 56 24 0.5
+  SINK 56 24 CLOAD 1.5
+END
+NET n3 SOURCE 4 32 RDRV 250
+  SEG m3 4 32 56 32 0.5
+  SINK 56 32 CLOAD 2.5
+END
+EOF
+
+fail() {
+  echo "chaos_soak: $*" >&2
+  [ -n "${LOG:-}" ] && [ -f "$LOG" ] && cat "$LOG" >&2
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+
+# drive_client <tag> <socket> <out_file> <use_retries>
+# open (per-client session key) -> 3 edits -> solve greedy; writes the
+# solved placement hash to <out_file>, or FAILED on any error.
+drive_client() {
+  local tag="$1" sock="$2" out="$3" use_retries="$4"
+  local retry_args=()
+  [ "$use_retries" = 1 ] && retry_args=(--retries "$RETRIES" \
+                                        --retry-backoff-ms "$BACKOFF_MS")
+  local open_json session x j y resp hash
+  open_json=$("$PILREQ" open --socket "$sock" --pld "$PLD" \
+              --window 16 --r 2 --key "client$tag" "${retry_args[@]}") \
+      || { echo FAILED > "$out"; return 1; }
+  session=$(printf '%s' "$open_json" |
+            sed -n 's/.*"session": *"\([^"]*\)".*/\1/p')
+  [ -n "$session" ] || { echo FAILED > "$out"; return 1; }
+  # Client-specific tap x keeps the edit set identical across runs while
+  # keeping clients distinct from each other.
+  x=$((18 + 2 * tag))
+  for j in $(seq 0 $((EDITS_PER_CLIENT - 1))); do
+    y=$((8 * (j + 1)))
+    "$PILREQ" edit --socket "$sock" --session "$session" \
+        --add "$j,$x,$y,$x,$((y + 3)),0.4" "${retry_args[@]}" \
+        > /dev/null || { echo FAILED > "$out"; return 1; }
+  done
+  resp=$("$PILREQ" solve --socket "$sock" --session "$session" \
+         --methods greedy "${retry_args[@]}") \
+      || { echo FAILED > "$out"; return 1; }
+  hash=$(printf '%s' "$resp" |
+         sed -n 's/.*"placement_hash": *"\([0-9a-f]*\)".*/\1/p' | head -1)
+  [ -n "$hash" ] || { echo FAILED > "$out"; return 1; }
+  echo "$hash" > "$out"
+}
+
+wait_ready() {
+  local sock="$1"
+  local ready=0
+  for _ in $(seq 1 200); do
+    if "$PILREQ" stats --socket "$sock" --retries 3 \
+        > /dev/null 2>&1; then ready=1; break; fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+    sleep 0.05
+  done
+  [ "$ready" = 1 ] || fail "server never became ready"
+}
+
+# ----- Run 1: the chaos server, concurrently retrying clients. -------------
+SOCK="$DIR/chaos.sock"
+LOG="$DIR/chaos_server.log"
+rm -f "$SOCK"
+PIL_FAULT="$FAULTS" PIL_FAULT_SEED="$FAULT_SEED" \
+    "$PILSERVE" --socket "$SOCK" --workers 2 > "$LOG" 2>&1 &
+SERVER_PID=$!
+wait_ready "$SOCK"
+
+CLIENT_PIDS=()
+for i in $(seq 0 $((CLIENTS - 1))); do
+  drive_client "$i" "$SOCK" "$DIR/chaos_client_$i.hash" 1 &
+  CLIENT_PIDS+=($!)
+done
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
+
+for i in $(seq 0 $((CLIENTS - 1))); do
+  HASH=$(cat "$DIR/chaos_client_$i.hash" 2>/dev/null)
+  [ -n "$HASH" ] && [ "$HASH" != FAILED ] \
+      || fail "client $i did not survive the chaos run"
+done
+
+# The soak only proves something if faults actually fired.
+STATS=$("$PILREQ" stats --socket "$SOCK" --retries "$RETRIES" \
+        --retry-backoff-ms "$BACKOFF_MS") || fail "stats failed"
+INJECTED=$(printf '%s' "$STATS" |
+           sed -n 's/.*"faults_injected": *\([0-9]*\).*/\1/p')
+[ -n "$INJECTED" ] || fail "no faults_injected counter in: $STATS"
+[ "$INJECTED" -gt 0 ] || fail "no faults fired; the soak proved nothing"
+DEDUPED=$(printf '%s' "$STATS" |
+          sed -n 's/.*"deduped": *\([0-9]*\).*/\1/p')
+
+# Crash-only stop: SIGTERM, never a shutdown request (see header).
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+RC=$?
+[ "$RC" = 0 ] || fail "chaos server exited $RC on SIGTERM"
+
+# ----- Run 2: the fault-free twin, same traffic. ---------------------------
+SOCK2="$DIR/twin.sock"
+LOG="$DIR/twin_server.log"
+rm -f "$SOCK2"
+"$PILSERVE" --socket "$SOCK2" --workers 2 > "$LOG" 2>&1 &
+SERVER_PID=$!
+wait_ready "$SOCK2"
+
+for i in $(seq 0 $((CLIENTS - 1))); do
+  drive_client "$i" "$SOCK2" "$DIR/twin_client_$i.hash" 0 \
+      || fail "client $i failed against the fault-free twin"
+done
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "twin server exited nonzero on SIGTERM"
+SERVER_PID=""
+
+# ----- The gate: bit-identical per-client layouts. -------------------------
+for i in $(seq 0 $((CLIENTS - 1))); do
+  CHAOS=$(cat "$DIR/chaos_client_$i.hash")
+  TWIN=$(cat "$DIR/twin_client_$i.hash")
+  [ "$CHAOS" = "$TWIN" ] || fail \
+      "client $i diverged: chaos=$CHAOS twin=$TWIN (lost or doubled edit)"
+done
+
+echo "chaos_soak: ok ($CLIENTS clients, $INJECTED faults injected," \
+     "${DEDUPED:-0} retries deduped, layouts bit-identical)"
+exit 0

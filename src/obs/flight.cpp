@@ -51,7 +51,8 @@ void write_event(JsonWriter& w, const JournalEvent& e, JournalNamer namer) {
   // Service events carry the request trace id in c; mirror it as the
   // 16-hex-char form clients see on the wire so a dump greps by trace_id.
   if (e.c != 0 && (e.kind == JournalEventKind::kServiceRequest ||
-                   e.kind == JournalEventKind::kServiceResponse)) {
+                   e.kind == JournalEventKind::kServiceResponse ||
+                   e.kind == JournalEventKind::kStuckWorker)) {
     char hex[17];
     std::snprintf(hex, sizeof(hex), "%016llx",
                   static_cast<unsigned long long>(e.c));
@@ -160,7 +161,8 @@ void signal_dump_ring(void* ctx, std::uint64_t head,
     if (e.c != 0) signal_putf(state.fd, ",\"c\":%" PRIu64, e.c);
     if (e.v != 0.0) signal_putf(state.fd, ",\"v\":%.9g", e.v);
     if (e.c != 0 && (e.kind == JournalEventKind::kServiceRequest ||
-                     e.kind == JournalEventKind::kServiceResponse))
+                     e.kind == JournalEventKind::kServiceResponse ||
+                     e.kind == JournalEventKind::kStuckWorker))
       signal_putf(state.fd, ",\"trace\":\"%016llx\"",
                   static_cast<unsigned long long>(e.c));
     signal_put(state.fd, "}", 1);

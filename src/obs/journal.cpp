@@ -31,6 +31,7 @@ const char* to_string(JournalEventKind kind) {
     case JournalEventKind::kBasisMiss: return "basis_miss";
     case JournalEventKind::kServiceRequest: return "service_request";
     case JournalEventKind::kServiceResponse: return "service_response";
+    case JournalEventKind::kStuckWorker: return "stuck_worker";
   }
   return "unknown";
 }

@@ -314,7 +314,8 @@ struct FillSession::Impl {
 
   FlowResult solve(const std::vector<Method>& methods,
                    const SolvePolicy* policy_override,
-                   std::uint32_t journal_flow_id) {
+                   std::uint32_t journal_flow_id,
+                   const util::Deadline* cancel) {
     // A per-call policy swaps only the SolvePolicy slice; the model half --
     // everything the cached prep and solves were built from -- is shared
     // with the session config by construction.
@@ -346,9 +347,19 @@ struct FillSession::Impl {
 
     // The flow budget covers this solve() call: the clock starts here, and
     // tiles solved after it expires are served by the degradation ladder.
+    // An external cancel token rides the same flow deadline: sooner()
+    // keeps the token's shared cancellation flag (token first), so a
+    // watchdog firing cancel() degrades mid-solve like an expired budget.
     std::optional<util::Deadline> flow_deadline;
-    if (cfg.flow_deadline_seconds > 0)
-      flow_deadline = util::Deadline::after(cfg.flow_deadline_seconds);
+    if (cfg.flow_deadline_seconds > 0) {
+      flow_deadline =
+          cancel != nullptr
+              ? util::Deadline::sooner(
+                    *cancel, util::Deadline::after(cfg.flow_deadline_seconds))
+              : util::Deadline::after(cfg.flow_deadline_seconds);
+    } else if (cancel != nullptr) {
+      flow_deadline = *cancel;
+    }
     const SolverContext ctx = flow_detail::make_context(
         cfg, *model, *lut, flow_deadline ? &*flow_deadline : nullptr);
 
@@ -739,13 +750,14 @@ FillSession::FillSession(FillSession&&) noexcept = default;
 FillSession& FillSession::operator=(FillSession&&) noexcept = default;
 
 FlowResult FillSession::solve(const std::vector<Method>& methods) {
-  return impl_->solve(methods, nullptr, 0);
+  return impl_->solve(methods, nullptr, 0, nullptr);
 }
 
 FlowResult FillSession::solve(const std::vector<Method>& methods,
                               const SolvePolicy& policy,
-                              std::uint32_t journal_flow_id) {
-  return impl_->solve(methods, &policy, journal_flow_id);
+                              std::uint32_t journal_flow_id,
+                              const util::Deadline* cancel) {
+  return impl_->solve(methods, &policy, journal_flow_id, cancel);
 }
 
 EditStats FillSession::apply_edit(const WireEdit& edit) {

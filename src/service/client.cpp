@@ -6,14 +6,18 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "pil/util/error.hpp"
 
 namespace pil::service {
 
-Client Client::connect_unix(const std::string& path) {
+namespace {
+
+int dial_unix(const std::string& path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   PIL_REQUIRE(fd >= 0, "socket(AF_UNIX) failed");
   sockaddr_un addr{};
@@ -24,12 +28,14 @@ Client Client::connect_unix(const std::string& path) {
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const std::string why = std::strerror(errno);
     ::close(fd);
-    throw Error("cannot connect to unix socket " + path + ": " + why);
+    throw TransportError(
+        TransportError::Kind::kConnect,
+        "cannot connect to unix socket " + path + ": " + why);
   }
-  return Client(fd);
+  return fd;
 }
 
-Client Client::connect_tcp(int port) {
+int dial_tcp(int port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   PIL_REQUIRE(fd >= 0, "socket(AF_INET) failed");
   sockaddr_in addr{};
@@ -39,21 +45,69 @@ Client Client::connect_tcp(int port) {
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const std::string why = std::strerror(errno);
     ::close(fd);
-    throw Error("cannot connect to 127.0.0.1:" + std::to_string(port) +
-                ": " + why);
+    throw TransportError(
+        TransportError::Kind::kConnect,
+        "cannot connect to 127.0.0.1:" + std::to_string(port) + ": " + why);
   }
-  return Client(fd);
+  return fd;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool retry_safe(const Request& request) {
+  switch (request.op) {
+    case Op::kOpenSession:  // reuse-idempotent by the pool key
+    case Op::kSolve:        // non-mutating
+    case Op::kStats:        // non-mutating
+      return true;
+    case Op::kApplyEdit:
+      // Safe once it carries an idempotency key for the dedup window.
+      return request.request_id != 0;
+    case Op::kShutdown:
+      // A lost ack may mean the shutdown began; re-sending races stop().
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  Client client(dial_unix(path));
+  client.endpoint_ = Endpoint::kUnix;
+  client.endpoint_path_ = path;
+  return client;
+}
+
+Client Client::connect_tcp(int port) {
+  Client client(dial_tcp(port));
+  client.endpoint_ = Endpoint::kTcp;
+  client.endpoint_port_ = port;
+  return client;
 }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      max_frame_bytes_(other.max_frame_bytes_) {}
+      max_frame_bytes_(other.max_frame_bytes_),
+      endpoint_(other.endpoint_),
+      endpoint_path_(std::move(other.endpoint_path_)),
+      endpoint_port_(other.endpoint_port_),
+      call_seq_(other.call_seq_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     max_frame_bytes_ = other.max_frame_bytes_;
+    endpoint_ = other.endpoint_;
+    endpoint_path_ = std::move(other.endpoint_path_);
+    endpoint_port_ = other.endpoint_port_;
+    call_seq_ = other.call_seq_;
   }
   return *this;
 }
@@ -67,19 +121,112 @@ void Client::close() {
   }
 }
 
+void Client::reconnect() {
+  close();
+  switch (endpoint_) {
+    case Endpoint::kUnix: fd_ = dial_unix(endpoint_path_); return;
+    case Endpoint::kTcp: fd_ = dial_tcp(endpoint_port_); return;
+    case Endpoint::kNone: break;
+  }
+  throw TransportError(TransportError::Kind::kConnect,
+                       "client has no endpoint to reconnect to");
+}
+
 Response Client::call(const Request& request) {
   return decode_response(call_raw(encode_request(request)));
 }
 
+Response Client::call_with_retry(Request& request, const RetryPolicy& policy,
+                                 std::string* raw_out) {
+  std::uint64_t rng =
+      policy.jitter_seed != 0
+          ? policy.jitter_seed
+          : static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count()) ^
+                (static_cast<std::uint64_t>(
+                     reinterpret_cast<std::uintptr_t>(this))
+                 << 16);
+  // Fold in a per-client call counter: two calls on the same client (or
+  // the same fixed jitter_seed) must never mint the same request_id, or
+  // distinct edits would dedup against each other.
+  rng = mix64(rng + mix64(++call_seq_));
+  if (request.op == Op::kApplyEdit && request.request_id == 0) {
+    do {
+      rng = mix64(rng);
+    } while (rng == 0);
+    request.request_id = rng;
+  }
+  const bool safe = retry_safe(request);
+  const std::string payload = encode_request(request);
+  const auto t0 = std::chrono::steady_clock::now();
+  const double budget_s =
+      request.deadline_ms > 0 ? request.deadline_ms / 1000.0 : 0.0;
+  std::string last_error;
+  const int attempts = policy.retries >= 0 ? policy.retries + 1 : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Bounded exponential backoff with multiplicative jitter in
+      // [0.5, 1): retrying fleets decorrelate instead of re-colliding.
+      double delay_ms = policy.backoff_ms;
+      for (int i = 1; i < attempt; ++i) delay_ms *= 2;
+      if (delay_ms > policy.backoff_max_ms) delay_ms = policy.backoff_max_ms;
+      rng = mix64(rng);
+      delay_ms *= 0.5 + 0.5 * (static_cast<double>(rng >> 11) *
+                               (1.0 / 9007199254740992.0));
+      if (budget_s > 0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const double left_ms = (budget_s - elapsed) * 1e3;
+        if (left_ms <= 0)
+          throw TransportError(
+              TransportError::Kind::kExhausted,
+              "retry budget exhausted by the request deadline (" +
+                  std::to_string(attempt) + " attempts): " + last_error);
+        if (delay_ms > left_ms) delay_ms = left_ms;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    try {
+      if (fd_ < 0) reconnect();
+      const std::string raw = call_raw(payload);
+      Response resp = decode_response(raw);
+      if (!resp.ok && resp.retryable && safe) {
+        // Pre-execution failure (queue-full shed, injected worker fault):
+        // retry; falling out of the loop reports exhaustion.
+        last_error = resp.error;
+        continue;
+      }
+      if (raw_out != nullptr) *raw_out = raw;
+      return resp;
+    } catch (const TransportError& e) {
+      close();  // the connection state is unknown; re-dial next attempt
+      if (!safe) throw;
+      last_error = e.what();
+    }
+  }
+  throw TransportError(TransportError::Kind::kExhausted,
+                       "request failed after " + std::to_string(attempts) +
+                           " attempts: " + last_error);
+}
+
 std::string Client::call_raw(std::string_view payload) {
   PIL_REQUIRE(fd_ >= 0, "client is closed");
-  write_frame(fd_, payload);
+  try {
+    write_frame(fd_, payload);
+  } catch (const Error& e) {
+    throw TransportError(TransportError::Kind::kDropped, e.what());
+  }
   std::string response;
   const FrameReadStatus status = read_frame(fd_, response, max_frame_bytes_);
-  PIL_REQUIRE(status == FrameReadStatus::kOk,
-              std::string("service connection dropped while awaiting a "
-                          "response (") +
-                  to_string(status) + ")");
+  if (status != FrameReadStatus::kOk)
+    throw TransportError(
+        TransportError::Kind::kDropped,
+        std::string("service connection dropped while awaiting a "
+                    "response (") +
+            to_string(status) + ")");
   return response;
 }
 

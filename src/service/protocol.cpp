@@ -1,9 +1,11 @@
 #include "pil/service/protocol.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -453,6 +455,8 @@ std::string encode_request(const Request& request) {
   w.kv("op", to_string(request.op));
   w.kv("id", static_cast<unsigned long long>(request.id));
   if (request.trace_id != 0) w.kv("trace_id", hex_u64(request.trace_id));
+  if (request.request_id != 0)
+    w.kv("request_id", hex_u64(request.request_id));
   if (!request.layout_pld.empty()) w.kv("layout_pld", request.layout_pld);
   if (!request.layout_path.empty()) w.kv("layout_path", request.layout_path);
   if (request.gen.has_value()) {
@@ -503,6 +507,8 @@ Request decode_request(std::string_view json) {
   r.op = op_from_name(get_str(doc, "op"));
   r.id = static_cast<std::uint64_t>(get_num(doc, "id", 0.0));
   r.trace_id = parse_hex_u64(get_str(doc, "trace_id", "0"), "trace_id");
+  r.request_id =
+      parse_hex_u64(get_str(doc, "request_id", "0"), "request_id");
   r.layout_pld = get_str(doc, "layout_pld");
   r.layout_path = get_str(doc, "layout_path");
   if (const JsonValue* gen = doc.find("gen"); gen != nullptr) {
@@ -549,6 +555,9 @@ std::string encode_response(const Response& response) {
   if (response.trace_id != 0) w.kv("trace_id", hex_u64(response.trace_id));
   if (response.shed) w.kv("shed", true);
   if (response.degraded) w.kv("degraded", true);
+  if (response.edit_seq > 0) w.kv("edit_seq", response.edit_seq);
+  if (response.deduped) w.kv("deduped", true);
+  if (response.retryable) w.kv("retryable", true);
   if (!response.error.empty()) w.kv("error", response.error);
   if (!response.error_field.empty())
     w.kv("error_field", response.error_field);
@@ -607,6 +616,9 @@ Response decode_response(std::string_view json) {
   r.trace_id = parse_hex_u64(get_str(doc, "trace_id", "0"), "trace_id");
   r.shed = get_bool(doc, "shed", false);
   r.degraded = get_bool(doc, "degraded", false);
+  r.edit_seq = get_int(doc, "edit_seq", 0);
+  r.deduped = get_bool(doc, "deduped", false);
+  r.retryable = get_bool(doc, "retryable", false);
   r.error = get_str(doc, "error");
   r.error_field = get_str(doc, "error_field");
   r.session = get_str(doc, "session");
@@ -735,6 +747,7 @@ const char* to_string(FrameReadStatus status) {
     case FrameReadStatus::kTruncated: return "truncated";
     case FrameReadStatus::kOversize: return "oversize";
     case FrameReadStatus::kError: return "error";
+    case FrameReadStatus::kTimeout: return "timeout";
   }
   return "error";
 }
@@ -767,6 +780,43 @@ bool write_all(int fd, const char* data, std::size_t n) {
 ssize_t read_all(int fd, char* data, std::size_t n) {
   std::size_t got = 0;
   while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+constexpr ssize_t kReadTimedOut = -2;
+
+/// read_all against an absolute deadline: poll(2) before every read so a
+/// peer trickling one byte at a time still exhausts the same budget as
+/// one that sends nothing. Same returns as read_all plus kReadTimedOut.
+ssize_t read_all_until(int fd, char* data, std::size_t n,
+                       std::chrono::steady_clock::time_point deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return kReadTimedOut;
+    const long long left_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count();
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = ::poll(
+        &pfd, 1,
+        static_cast<int>(left_ms >= 3600000 ? 3600000 : left_ms + 1));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (pr == 0) return kReadTimedOut;
     const ssize_t r = ::read(fd, data + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -820,6 +870,61 @@ FrameReadStatus read_frame(int fd, std::string& payload,
     return FrameReadStatus::kTruncated;
   }
   return FrameReadStatus::kOk;
+}
+
+FrameReadStatus read_frame(int fd, std::string& payload,
+                           std::size_t max_bytes, double timeout_seconds) {
+  if (timeout_seconds <= 0) return read_frame(fd, payload, max_bytes);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  payload.clear();
+  unsigned char header[4];
+  const ssize_t h =
+      read_all_until(fd, reinterpret_cast<char*>(header), 4, deadline);
+  if (h == kReadTimedOut) return FrameReadStatus::kTimeout;
+  if (h < 0) return FrameReadStatus::kError;
+  if (h == 0) return FrameReadStatus::kClosed;
+  if (h < 4) return FrameReadStatus::kTruncated;
+  const std::size_t n = (static_cast<std::size_t>(header[0]) << 24) |
+                        (static_cast<std::size_t>(header[1]) << 16) |
+                        (static_cast<std::size_t>(header[2]) << 8) |
+                        static_cast<std::size_t>(header[3]);
+  if (n > max_bytes) {
+    payload = std::to_string(n);
+    return FrameReadStatus::kOversize;
+  }
+  payload.resize(n);
+  if (n == 0) return FrameReadStatus::kOk;
+  const ssize_t got = read_all_until(fd, payload.data(), n, deadline);
+  if (got == kReadTimedOut) {
+    payload.clear();
+    return FrameReadStatus::kTimeout;
+  }
+  if (got < 0) {
+    payload.clear();
+    return FrameReadStatus::kError;
+  }
+  if (static_cast<std::size_t>(got) < n) {
+    payload.clear();
+    return FrameReadStatus::kTruncated;
+  }
+  return FrameReadStatus::kOk;
+}
+
+void write_frame_truncated(int fd, std::string_view payload,
+                           std::size_t bytes) {
+  PIL_REQUIRE(payload.size() <= 0x7fffffffu, "frame payload too large");
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  char header[4] = {static_cast<char>((n >> 24) & 0xff),
+                    static_cast<char>((n >> 16) & 0xff),
+                    static_cast<char>((n >> 8) & 0xff),
+                    static_cast<char>(n & 0xff)};
+  const std::size_t sent = bytes < payload.size() ? bytes : payload.size();
+  PIL_REQUIRE(write_all(fd, header, sizeof(header)) &&
+                  (sent == 0 || write_all(fd, payload.data(), sent)),
+              "frame write failed: " + std::string(std::strerror(errno)));
 }
 
 }  // namespace pil::service

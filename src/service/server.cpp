@@ -35,6 +35,7 @@
 #include "pil/service/stats_http.hpp"
 #include "pil/util/deadline.hpp"
 #include "pil/util/error.hpp"
+#include "pil/util/fault.hpp"
 
 namespace pil::service {
 
@@ -92,13 +93,28 @@ struct Server::Impl {
     std::string key;
     std::uint64_t layout_hash = 0;
     Clock::time_point last_used = Clock::now();
+    /// Edits applied so far; echoed as edit_seq so clients can audit
+    /// exactly-once ordering. Guarded by mu.
+    long long edit_seq = 0;
+    /// Idempotency window: recent request_id -> response, LRU-bounded at
+    /// config.dedup_window. A retried apply_edit whose first attempt
+    /// executed (response lost to a fault) is answered from here instead
+    /// of re-applied. Guarded by mu -- a retry racing its original
+    /// attempt serializes on the session lock and then hits the window.
+    std::map<std::uint64_t, Response> dedup;
+    std::deque<std::uint64_t> dedup_order;
   };
 
   // ---------------------------------------------------------------- jobs --
   struct Job {
     Request request;
-    util::Deadline deadline;  ///< anchored at admission
+    /// Anchored at admission. Also the watchdog's cancellation token:
+    /// default-constructed it is unlimited but cancellable, and the
+    /// session solve combines it with the flow budget, so cancel() from
+    /// the watchdog degrades the solve like an expired deadline.
+    util::Deadline deadline;
     bool has_deadline = false;
+    Clock::time_point deadline_expires_at{};  ///< when has_deadline
     bool downgraded = false;  ///< admission downgraded ILP methods
     Clock::time_point admitted = Clock::now();  ///< decoded (job created)
     Clock::time_point enqueued;  ///< pushed into the queue
@@ -145,9 +161,137 @@ struct Server::Impl {
     return t;
   }
 
+  // -------------------------------------------------------- chaos plumbing --
+  /// Process-wide ordinals keying the service-plane fault sites: the n-th
+  /// accept / received frame / written response / dispatched job. Which
+  /// ordinal lands on which connection depends on scheduling, but the
+  /// decision *sequence* for a (PIL_FAULT, seed) pair is fixed.
+  std::atomic<std::uint64_t> accept_fault_key{0};
+  std::atomic<std::uint64_t> frame_fault_key{0};
+  std::atomic<std::uint64_t> write_fault_key{0};
+  std::atomic<std::uint64_t> worker_fault_key{0};
+
+  void note_fault(util::FaultSite site, std::uint64_t key) {
+    obs::journal_record(obs::JournalEventKind::kFaultInjected, 0,
+                        static_cast<std::uint32_t>(site), key);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      counters.faults_injected += 1;
+    }
+    if (obs::metrics_enabled())
+      obs::metrics().counter("pil.service.faults_injected").add();
+  }
+
+  /// Evaluate a throw-action service fault site in line: true = the site
+  /// fired and the caller performs the site's disruption (the injected
+  /// exception never escapes). A delay-action rule sleeps in place and
+  /// returns false. Disarmed cost: one relaxed atomic load.
+  bool service_fault(util::FaultSite site, std::uint64_t key) {
+    if (!util::faults_armed()) return false;
+    try {
+      util::maybe_fault(site, key);
+    } catch (const util::InjectedFault&) {
+      note_fault(site, key);
+      return true;
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------------- watchdog --
+  /// Solves currently executing under a request deadline, visible to the
+  /// watchdog thread. Registered around the session solve call only --
+  /// the one stage that can stall unboundedly.
+  struct InFlight {
+    util::Deadline deadline;  ///< shares the job's cancellation flag
+    Clock::time_point deadline_at{};  ///< the flow deadline itself
+    Clock::time_point overrun_at{};   ///< deadline + watchdog grace
+    Op op = Op::kSolve;
+    std::uint64_t req_id = 0;
+    std::uint64_t trace_id = 0;
+    bool fired = false;
+  };
+  std::mutex inflight_mu;
+  std::map<std::uint64_t, InFlight> inflight;
+  std::uint64_t inflight_seq = 0;
+
+  std::uint64_t register_inflight(const Job& job) {
+    if (!job.has_deadline || config.watchdog_grace_seconds <= 0) return 0;
+    InFlight entry;
+    entry.deadline = job.deadline;
+    entry.deadline_at = job.deadline_expires_at;
+    entry.overrun_at =
+        job.deadline_expires_at +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(config.watchdog_grace_seconds));
+    entry.op = job.request.op;
+    entry.req_id = job.request.id;
+    entry.trace_id = job.request.trace_id;
+    std::lock_guard<std::mutex> lock(inflight_mu);
+    const std::uint64_t id = ++inflight_seq;
+    inflight.emplace(id, std::move(entry));
+    return id;
+  }
+
+  void unregister_inflight(std::uint64_t id) {
+    if (id == 0) return;
+    std::lock_guard<std::mutex> lock(inflight_mu);
+    inflight.erase(id);
+  }
+
+  /// Unregisters on scope exit, exception-safe (a faulted solve must not
+  /// leave a stale entry for the watchdog to cancel forever after).
+  struct InflightGuard {
+    Impl* impl;
+    std::uint64_t id;
+    ~InflightGuard() { impl->unregister_inflight(id); }
+  };
+
+  void watchdog_loop() {
+    obs::journal_set_thread_name("serve-watchdog");
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        stop_cv.wait_for(
+            lock,
+            std::chrono::duration<double>(config.watchdog_poll_seconds),
+            [&] { return stopping; });
+        if (stopping) return;
+      }
+      const Clock::time_point now = Clock::now();
+      int fired_now = 0;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu);
+        for (auto& [id, entry] : inflight) {
+          if (entry.fired || now < entry.overrun_at) continue;
+          entry.fired = true;
+          // Fire the cooperative cancellation token: the solve's combined
+          // deadline shares this flag, so the ladder serves the remaining
+          // tiles cheaply and the worker returns (degraded, not killed).
+          entry.deadline.cancel();
+          fired_now += 1;
+          obs::journal_record(
+              obs::JournalEventKind::kStuckWorker,
+              static_cast<std::uint16_t>(entry.op),
+              static_cast<std::uint32_t>(entry.req_id), entry.trace_id,
+              std::chrono::duration<double>(now - entry.deadline_at)
+                  .count());
+        }
+      }
+      if (fired_now > 0) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          counters.stuck_workers += fired_now;
+        }
+        if (obs::metrics_enabled())
+          obs::metrics().counter("pil.service.stuck_workers").add(fired_now);
+      }
+    }
+  }
+
   // ------------------------------------------------------------- threads --
   std::vector<std::thread> workers;
   std::thread acceptor;
+  std::thread watchdog;
   int unix_fd = -1;
   int tcp_fd = -1;
   int bound_tcp_port = -1;
@@ -290,6 +434,9 @@ struct Server::Impl {
     if (deadline_s > 0) {
       job->deadline = util::Deadline::after(deadline_s);
       job->has_deadline = true;
+      job->deadline_expires_at =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(deadline_s));
     }
 
     std::unique_lock<std::mutex> lock(mu);
@@ -300,6 +447,9 @@ struct Server::Impl {
         counters.shed += 1;
         counters.rejected += 1;
         immediate = make_rejection(job->request, "queue full", true);
+        // Nothing executed; the same request (same request_id) can be
+        // retried verbatim once the queue drains.
+        immediate.retryable = true;
         rejected = true;
         return {};
       }
@@ -409,12 +559,25 @@ struct Server::Impl {
     resp.op = req.op;
     resp.trace_id = req.trace_id;
     try {
+      // Chaos site: a worker that dies *before* dispatch. The op has not
+      // executed, so the error response is marked retryable -- the retry
+      // is safe with or without the dedup window.
+      util::maybe_fault(
+          util::FaultSite::kWorkerThrow,
+          worker_fault_key.fetch_add(1, std::memory_order_relaxed));
       switch (req.op) {
         case Op::kOpenSession: do_open_session(job, resp); break;
         case Op::kApplyEdit: do_apply_edit(job, resp); break;
         case Op::kSolve: do_solve(job, resp); break;
         case Op::kStats: do_stats(resp); break;
         case Op::kShutdown: do_shutdown(resp); break;
+      }
+    } catch (const util::InjectedFault& e) {
+      resp.ok = false;
+      resp.error = e.what();
+      if (e.site() == util::FaultSite::kWorkerThrow) {
+        resp.retryable = true;
+        note_fault(e.site(), e.key());
       }
     } catch (const Error& e) {
       resp.ok = false;
@@ -568,12 +731,34 @@ struct Server::Impl {
     auto entry = find_session(job.request.session);
     std::lock_guard<std::mutex> lock(entry->mu);
     job.stages.session_ms = ms_since(t0);
+    const std::uint64_t rid = job.request.request_id;
+    const bool dedup_on = rid != 0 && config.dedup_window > 0;
+    if (dedup_on) {
+      const auto hit = entry->dedup.find(rid);
+      if (hit != entry->dedup.end()) {
+        // The first attempt executed; its response was lost in flight.
+        // Acknowledge from the window -- nothing runs twice.
+        resp = hit->second;
+        resp.id = job.request.id;
+        resp.trace_id = job.request.trace_id;
+        resp.deduped = true;
+        {
+          std::lock_guard<std::mutex> slock(mu);
+          counters.deduped += 1;
+        }
+        if (obs::metrics_enabled())
+          obs::metrics().counter("pil.service.deduped").add();
+        return;
+      }
+    }
     const Clock::time_point t_edit = Clock::now();
     const pilfill::EditStats stats =
         entry->session->apply_edit(job.request.edit);
     job.stages.solve_ms = ms_since(t_edit);
+    entry->edit_seq += 1;
     resp.ok = true;
     resp.session = entry->id;
+    resp.edit_seq = entry->edit_seq;
     EditSummary s;
     s.segment = stats.segment;
     s.columns_rescanned = stats.columns_rescanned;
@@ -581,6 +766,17 @@ struct Server::Impl {
     s.tiles_dirty = stats.tiles_dirty;
     s.seconds = stats.seconds;
     resp.edit = s;
+    if (dedup_on) {
+      // A failed edit is never cached: apply_edit rolled the session
+      // back, so the retry should re-attempt, not replay the error.
+      entry->dedup.emplace(rid, resp);
+      entry->dedup_order.push_back(rid);
+      while (static_cast<int>(entry->dedup_order.size()) >
+             config.dedup_window) {
+        entry->dedup.erase(entry->dedup_order.front());
+        entry->dedup_order.pop_front();
+      }
+    }
   }
 
   void do_solve(Job& job, Response& resp) {
@@ -618,13 +814,16 @@ struct Server::Impl {
     if (req.no_degrade) policy.degrade_on_failure = false;
 
     const Clock::time_point t_solve = Clock::now();
+    const std::uint64_t watch_id = register_inflight(job);
+    InflightGuard watch_guard{this, watch_id};
     const pilfill::FlowResult result =
-        entry->session->solve(unique_serve, policy, job.flow);
+        entry->session->solve(unique_serve, policy, job.flow, &job.deadline);
     job.stages.solve_ms = ms_since(t_solve);
 
     const Clock::time_point t_write = Clock::now();
     resp.ok = true;
     resp.session = entry->id;
+    resp.edit_seq = entry->edit_seq;
     resp.shed = job.downgraded;
     for (std::size_t i = 0; i < req.methods.size(); ++i) {
       const auto it = std::find_if(
@@ -664,6 +863,11 @@ struct Server::Impl {
     w.kv("sessions_opened", snap.sessions_opened);
     w.kv("sessions_reused", snap.sessions_reused);
     w.kv("sessions_evicted", snap.sessions_evicted);
+    w.kv("accept_errors", snap.accept_errors);
+    w.kv("read_timeouts", snap.read_timeouts);
+    w.kv("deduped", snap.deduped);
+    w.kv("stuck_workers", snap.stuck_workers);
+    w.kv("faults_injected", snap.faults_injected);
     w.kv("queue_depth", snap.queue_depth);
     w.kv("queue_peak", snap.queue_peak);
     w.kv("workers", config.workers);
@@ -702,10 +906,36 @@ struct Server::Impl {
         fd = lfd >= 0 ? ::accept(lfd, nullptr, nullptr) : -1;
       }
       if (fd < 0) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (stopping) return;
-        if (errno == EINTR || errno == ECONNABORTED) continue;
+        const int err = errno;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (stopping) return;
+        }
+        if (err == EINTR || err == ECONNABORTED) continue;
+        if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+            err == ENOMEM) {
+          // Fd/buffer exhaustion is a load condition, not a listener
+          // failure: count it, back off briefly (connections finishing
+          // release fds), keep accepting.
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            counters.accept_errors += 1;
+          }
+          if (obs::metrics_enabled())
+            obs::metrics().counter("pil.service.accept_errors").add();
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
         return;  // listener closed
+      }
+      // Chaos site: the connection dies between accept and first frame
+      // (a client crash, a dropped NAT mapping). Nothing was read, so
+      // nothing needs answering.
+      if (service_fault(
+              util::FaultSite::kAcceptDrop,
+              accept_fault_key.fetch_add(1, std::memory_order_relaxed))) {
+        ::close(fd);
+        continue;
       }
       auto conn = std::make_unique<Conn>();
       conn->fd = fd;
@@ -737,9 +967,20 @@ struct Server::Impl {
     obs::journal_set_thread_name("serve-conn");
     std::string payload;
     for (;;) {
-      const FrameReadStatus status =
-          read_frame(fd, payload, config.max_frame_bytes);
+      const FrameReadStatus status = read_frame(
+          fd, payload, config.max_frame_bytes, config.read_timeout_seconds);
       if (status == FrameReadStatus::kClosed) break;
+      if (status == FrameReadStatus::kTimeout) {
+        // Slow-loris defense: a peer that cannot deliver one frame within
+        // the budget loses the connection, not a worker.
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          counters.read_timeouts += 1;
+        }
+        if (obs::metrics_enabled())
+          obs::metrics().counter("pil.service.read_timeouts").add();
+        break;
+      }
       if (status == FrameReadStatus::kOversize) {
         // One parting diagnostic, then hang up: the stream position after
         // an oversize announcement cannot be trusted.
@@ -754,6 +995,13 @@ struct Server::Impl {
         break;
       }
       if (status != FrameReadStatus::kOk) break;  // truncated / error
+
+      // Chaos site: stall (delay action) or drop (throw action) a
+      // received frame before any of it is handled.
+      if (service_fault(
+              util::FaultSite::kFrameDelay,
+              frame_fault_key.fetch_add(1, std::memory_order_relaxed)))
+        break;
 
       const Clock::time_point received = Clock::now();
       Response resp;
@@ -785,10 +1033,32 @@ struct Server::Impl {
       if (!have_resp) resp = future.get();
       const bool shutdown_after = resp.op == Op::kShutdown && resp.ok;
       bool peer_gone = false;
-      try {
-        write_frame(fd, encode_response(resp));
-      } catch (const Error&) {
-        peer_gone = true;  // peer went away mid-response
+      // Chaos sites on the response path. Both fire *after* the request
+      // executed -- the executed-but-unacknowledged case idempotent
+      // retries exist for. conn_reset tears the connection down without
+      // a byte (RST on TCP via zero-linger); frame_truncate announces
+      // the full frame but stops half way through the payload.
+      const std::uint64_t wkey =
+          write_fault_key.fetch_add(1, std::memory_order_relaxed);
+      if (service_fault(util::FaultSite::kConnReset, wkey)) {
+        struct linger lg;
+        lg.l_onoff = 1;
+        lg.l_linger = 0;
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+        peer_gone = true;
+      } else if (service_fault(util::FaultSite::kFrameTruncate, wkey)) {
+        try {
+          const std::string encoded = encode_response(resp);
+          write_frame_truncated(fd, encoded, encoded.size() / 2);
+        } catch (const Error&) {
+        }
+        peer_gone = true;
+      } else {
+        try {
+          write_frame(fd, encode_response(resp));
+        } catch (const Error&) {
+          peer_gone = true;  // peer went away mid-response
+        }
       }
       const double total_seconds = seconds_since(received);
       slo.record(total_seconds, !resp.ok, resp.shed, resp.degraded);
@@ -891,6 +1161,9 @@ void Server::start() {
   for (int i = 0; i < im.config.workers; ++i)
     im.workers.emplace_back([&im, i] { im.worker_loop(i); });
   im.acceptor = std::thread([&im] { im.accept_loop(); });
+  if (im.config.watchdog_grace_seconds > 0 &&
+      im.config.watchdog_poll_seconds > 0)
+    im.watchdog = std::thread([&im] { im.watchdog_loop(); });
 }
 
 void Server::request_shutdown() {
@@ -930,6 +1203,7 @@ void Server::stop() {
   close_fd(im.unix_fd);
   close_fd(im.tcp_fd);
   if (im.acceptor.joinable()) im.acceptor.join();
+  if (im.watchdog.joinable()) im.watchdog.join();
   {
     std::lock_guard<std::mutex> lock(im.conns_mu);
     for (auto& c : im.conns)

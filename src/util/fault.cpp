@@ -36,7 +36,9 @@ FaultSite parse_site(std::string_view token, std::string_view spec) {
   }
   throw Error("fault spec '" + std::string(spec) + "': unknown site '" +
               std::string(token) +
-              "' (expected tile_solve, lp_pivot, bb_node, or session_edit)");
+              "' (expected tile_solve, lp_pivot, bb_node, session_edit, "
+              "accept_drop, frame_truncate, frame_delay, conn_reset, or "
+              "worker_throw)");
 }
 
 FaultAction parse_action(std::string_view token, std::string_view spec) {
@@ -58,6 +60,16 @@ const char* to_string(FaultSite site) {
       return "bb_node";
     case FaultSite::kSessionEdit:
       return "session_edit";
+    case FaultSite::kAcceptDrop:
+      return "accept_drop";
+    case FaultSite::kFrameTruncate:
+      return "frame_truncate";
+    case FaultSite::kFrameDelay:
+      return "frame_delay";
+    case FaultSite::kConnReset:
+      return "conn_reset";
+    case FaultSite::kWorkerThrow:
+      return "worker_throw";
   }
   return "unknown";
 }

@@ -9,6 +9,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "pil/service/server.hpp"
 #include "pil/service/stats_http.hpp"
 #include "pil/util/error.hpp"
+#include "pil/util/fault.hpp"
 
 namespace pil::service {
 namespace {
@@ -913,6 +916,392 @@ TEST(ServiceFlight, RequestTraceCorrelatesWithSolverEventsInDump) {
   }
   EXPECT_GT(tile_events, 0);
   EXPECT_TRUE(response_event);
+}
+
+// -------------------------------------------------------- chaos hardening --
+
+/// Arms the process-wide fault plan for a test scope; the destructor
+/// always disarms so one failing chaos test cannot poison the rest.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec, std::uint64_t seed = 0) {
+    util::set_fault_plan(util::FaultPlan::parse(spec, seed));
+  }
+  ~FaultGuard() { util::clear_fault_plan(); }
+};
+
+/// Distinct valid stub edits: tap up to `max_count` long horizontal
+/// layer-0 segments at their midpoints (same recipe as the edit tests).
+/// Candidates are vetted against a scratch session -- a stub that happens
+/// to reconnect its own net (closing a loop in the routing graph) is
+/// rightly rejected by apply_edit and must not be offered to the tests.
+std::vector<pilfill::WireEdit> tap_edits(const layout::Layout& layout,
+                                         std::size_t max_count) {
+  std::vector<pilfill::WireEdit> edits;
+  std::set<int> tapped_nets;
+  pilfill::FillSession scratch(layout, small_config());
+  for (const auto& seg : layout.segments()) {
+    if (edits.size() >= max_count) break;
+    if (seg.layer != 0 || seg.removed()) continue;
+    if (seg.orientation() != layout::Orientation::kHorizontal) continue;
+    if (seg.length() < 10.0) continue;
+    if (!tapped_nets.insert(seg.net).second) continue;
+    const double tap = (seg.a.x + seg.b.x) / 2;
+    const pilfill::WireEdit candidate = pilfill::WireEdit::add_segment(
+        seg.net, {tap, seg.a.y}, {tap, seg.a.y + 2.0}, 0.4);
+    try {
+      scratch.apply_edit(candidate);
+    } catch (const Error&) {
+      continue;  // e.g. the stub would close a loop on this net
+    }
+    edits.push_back(candidate);
+  }
+  return edits;
+}
+
+TEST(ServiceFault, ParsesServicePlaneSiteNames) {
+  const util::FaultPlan plan = util::FaultPlan::parse(
+      "accept_drop:throw:1,frame_truncate:throw:0.5,frame_delay:delay:1:5,"
+      "conn_reset:throw:0.25,worker_throw:throw:1");
+  EXPECT_TRUE(plan.rule(util::FaultSite::kAcceptDrop).armed);
+  EXPECT_TRUE(plan.rule(util::FaultSite::kFrameTruncate).armed);
+  EXPECT_EQ(plan.rule(util::FaultSite::kFrameDelay).action,
+            util::FaultAction::kDelay);
+  EXPECT_EQ(plan.rule(util::FaultSite::kConnReset).probability, 0.25);
+  EXPECT_TRUE(plan.rule(util::FaultSite::kWorkerThrow).armed);
+  EXPECT_STREQ(util::to_string(util::FaultSite::kAcceptDrop), "accept_drop");
+  EXPECT_STREQ(util::to_string(util::FaultSite::kFrameTruncate),
+               "frame_truncate");
+  EXPECT_STREQ(util::to_string(util::FaultSite::kFrameDelay), "frame_delay");
+  EXPECT_STREQ(util::to_string(util::FaultSite::kConnReset), "conn_reset");
+  EXPECT_STREQ(util::to_string(util::FaultSite::kWorkerThrow),
+               "worker_throw");
+  EXPECT_THROW(util::FaultPlan::parse("accept_dorp:throw:1"), Error);
+}
+
+TEST(ServiceFraming, TruncatedWriterYieldsTruncatedReadStatus) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Announce the full payload, deliver less than half, hang up: exactly
+  // what the frame_truncate chaos site does to a response.
+  write_frame_truncated(fds[1], "0123456789", 4);
+  ::close(fds[1]);
+  std::string got;
+  EXPECT_EQ(read_frame(fds[0], got), FrameReadStatus::kTruncated);
+  ::close(fds[0]);
+}
+
+TEST(ServiceFraming, TimedReadReportsSilenceAndTrickleAsTimeout) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string got;
+  // Total silence: the budget expires before the header arrives.
+  EXPECT_EQ(read_frame(fds[0], got, kDefaultMaxFrameBytes, 0.05),
+            FrameReadStatus::kTimeout);
+  // Slow loris: trickling header bytes must not extend the budget -- it
+  // spans the whole frame, not each read.
+  const char partial[2] = {0, 0};
+  ASSERT_EQ(::write(fds[1], partial, 2), 2);
+  EXPECT_EQ(read_frame(fds[0], got, kDefaultMaxFrameBytes, 0.05),
+            FrameReadStatus::kTimeout);
+  // A whole frame inside the budget reads normally.
+  write_frame(fds[1], "prompt");
+  EXPECT_EQ(read_frame(fds[0], got, kDefaultMaxFrameBytes, 5.0),
+            FrameReadStatus::kOk);
+  EXPECT_EQ(got, "prompt");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServiceServer, ReadTimeoutDisconnectsSlowLorisClients) {
+  ServerConfig scfg;
+  scfg.read_timeout_seconds = 0.05;
+  ServerFixture fx(scfg);
+  Client client = fx.connect();
+  // Three of four header bytes, then silence: the server must hang up
+  // rather than hold the connection (and its thread) forever.
+  const char partial[3] = {0, 0, 0};
+  client.send_bytes(std::string_view(partial, 3));
+  std::string got;
+  EXPECT_EQ(read_frame(client.fd(), got), FrameReadStatus::kClosed);
+  EXPECT_GE(fx.server->stats().read_timeouts, 1);
+}
+
+TEST(ServiceChaos, AcceptDropRecoversWithRetries) {
+  ServerFixture fx;
+  FaultGuard guard("accept_drop:throw:1");
+  Client client = fx.connect();  // accepted, then dropped by the fault
+  Request stats;
+  stats.op = Op::kStats;
+  // While every accept is dropped, the un-retried call must fail as a
+  // transport drop, not hang or succeed.
+  try {
+    client.call(stats);
+    FAIL() << "expected a transport drop";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::Kind::kDropped);
+  }
+  // Heal the plane shortly; a retrying client rides it out.
+  std::thread healer([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    util::clear_fault_plan();
+  });
+  RetryPolicy retry;
+  retry.retries = 40;
+  retry.backoff_ms = 20.0;
+  retry.backoff_max_ms = 50.0;
+  retry.jitter_seed = 1;
+  const Response resp = client.call_with_retry(stats, retry);
+  healer.join();
+  EXPECT_TRUE(resp.ok) << resp.error;
+  EXPECT_GE(fx.server->stats().faults_injected, 1);
+}
+
+TEST(ServiceChaos, WorkerThrowIsFlaggedRetryableAndRecovered) {
+  ServerFixture fx;
+  Client client = fx.connect();
+  FaultGuard guard("worker_throw:throw:1");
+  Request stats;
+  stats.op = Op::kStats;
+  // The worker throws before the op runs: nothing executed, so the
+  // error response says "retry me".
+  const Response failed = client.call(stats);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_TRUE(failed.retryable);
+  std::thread healer([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    util::clear_fault_plan();
+  });
+  RetryPolicy retry;
+  retry.retries = 40;
+  retry.backoff_ms = 20.0;
+  retry.backoff_max_ms = 50.0;
+  retry.jitter_seed = 2;
+  const Response resp = client.call_with_retry(stats, retry);
+  healer.join();
+  EXPECT_TRUE(resp.ok) << resp.error;
+  EXPECT_GE(fx.server->stats().faults_injected, 1);
+}
+
+TEST(ServiceChaos, TruncatedResponsesAreDroppedThenRetried) {
+  ServerFixture fx;
+  Client client = fx.connect();
+  FaultGuard guard("frame_truncate:throw:1");
+  Request stats;
+  stats.op = Op::kStats;
+  try {
+    client.call(stats);
+    FAIL() << "expected a transport drop";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::Kind::kDropped);
+  }
+  std::thread healer([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    util::clear_fault_plan();
+  });
+  RetryPolicy retry;
+  retry.retries = 40;
+  retry.backoff_ms = 20.0;
+  retry.backoff_max_ms = 50.0;
+  retry.jitter_seed = 3;
+  const Response resp = client.call_with_retry(stats, retry);
+  healer.join();
+  EXPECT_TRUE(resp.ok) << resp.error;
+  EXPECT_GE(fx.server->stats().faults_injected, 1);
+}
+
+TEST(ServiceChaos, FrameDelayStallsWithoutFailing) {
+  ServerFixture fx;
+  Client client = fx.connect();
+  FaultGuard guard("frame_delay:delay:1:50");
+  Request stats;
+  stats.op = Op::kStats;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Response resp = client.call(stats);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(resp.ok) << resp.error;
+  EXPECT_GE(elapsed, 0.04);
+}
+
+TEST(ServiceServer, DedupWindowAcknowledgesRetriedEditsOnce) {
+  const layout::Layout layout = small_layout();
+  const pilfill::FlowConfig cfg = small_config();
+  const std::vector<pilfill::WireEdit> edits = tap_edits(layout, 1);
+  ASSERT_EQ(edits.size(), 1u);
+
+  pilfill::FillSession direct(layout, cfg);
+  direct.apply_edit(edits[0]);
+  const pilfill::FlowResult expect =
+      direct.solve({pilfill::Method::kGreedy});
+
+  ServerFixture fx;
+  Client client = fx.connect();
+  const Response opened = client.call(open_request(layout, cfg));
+  ASSERT_TRUE(opened.ok) << opened.error;
+
+  Request edit_req;
+  edit_req.op = Op::kApplyEdit;
+  edit_req.session = opened.session;
+  edit_req.edit = edits[0];
+  edit_req.request_id = 0x1234abcdull;
+  const Response first = client.call(edit_req);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.deduped);
+  EXPECT_EQ(first.edit_seq, 1);
+
+  // The "retry": same request_id is acknowledged from the dedup window,
+  // not applied a second time.
+  const Response again = client.call(edit_req);
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_TRUE(again.deduped);
+  EXPECT_EQ(again.edit_seq, 1);
+
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = opened.session;
+  solve.methods = {pilfill::Method::kGreedy};
+  const Response solved = client.call(solve);
+  ASSERT_TRUE(solved.ok) << solved.error;
+  EXPECT_EQ(solved.edit_seq, 1);  // exactly one application
+  EXPECT_EQ(solved.methods.at(0).placement_hash,
+            placement_fingerprint(expect.methods.at(0).placement.features));
+  EXPECT_GE(fx.server->stats().deduped, 1);
+}
+
+TEST(ServiceServer, DedupWindowEvictsOldestBeyondConfiguredSize) {
+  const layout::Layout layout = small_layout();
+  const std::vector<pilfill::WireEdit> edits = tap_edits(layout, 3);
+  ASSERT_GE(edits.size(), 3u);
+  ServerConfig scfg;
+  scfg.dedup_window = 1;
+  ServerFixture fx(scfg);
+  Client client = fx.connect();
+  const Response opened =
+      client.call(open_request(layout, small_config()));
+  ASSERT_TRUE(opened.ok) << opened.error;
+
+  Request req;
+  req.op = Op::kApplyEdit;
+  req.session = opened.session;
+  req.edit = edits[0];
+  req.request_id = 1;
+  const Response a = client.call(req);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.edit_seq, 1);
+
+  req.edit = edits[1];
+  req.request_id = 2;  // window of 1: this evicts request_id 1
+  const Response b = client.call(req);
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(b.edit_seq, 2);
+
+  // request_id 1 fell out of the window, so its reuse is new work, not
+  // an acknowledgement -- the documented bound of the dedup guarantee.
+  req.edit = edits[2];
+  req.request_id = 1;
+  const Response c = client.call(req);
+  ASSERT_TRUE(c.ok) << c.error;
+  EXPECT_FALSE(c.deduped);
+  EXPECT_EQ(c.edit_seq, 3);
+}
+
+// The headline chaos guarantee in miniature: a retrying client editing
+// through connection resets converges on exactly the state an undisturbed
+// in-process session reaches -- no lost edits, no double applications.
+TEST(ServiceChaos, ConnResetRetriedEditsStayIdempotent) {
+  const layout::Layout layout = small_layout();
+  const pilfill::FlowConfig cfg = small_config();
+  const std::vector<pilfill::WireEdit> edits = tap_edits(layout, 6);
+  ASSERT_GE(edits.size(), 2u);
+
+  pilfill::FillSession direct(layout, cfg);
+  for (const pilfill::WireEdit& e : edits) direct.apply_edit(e);
+  const pilfill::FlowResult expect =
+      direct.solve({pilfill::Method::kGreedy});
+
+  ServerFixture fx;
+  // Every other response (deterministically, by write ordinal) is torn
+  // down with an RST instead of being delivered.
+  FaultGuard guard("conn_reset:throw:0.5", /*seed=*/7);
+  RetryPolicy retry;
+  retry.retries = 15;
+  retry.backoff_ms = 5.0;
+  retry.backoff_max_ms = 40.0;
+  retry.jitter_seed = 99;
+
+  Client client = fx.connect();
+  Request open = open_request(layout, cfg);
+  const Response opened = client.call_with_retry(open, retry);
+  ASSERT_TRUE(opened.ok) << opened.error;
+
+  for (const pilfill::WireEdit& e : edits) {
+    Request edit_req;
+    edit_req.op = Op::kApplyEdit;
+    edit_req.session = opened.session;
+    edit_req.edit = e;  // request_id auto-assigned by call_with_retry
+    const Response resp = client.call_with_retry(edit_req, retry);
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_NE(edit_req.request_id, 0u);
+  }
+
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = opened.session;
+  solve.methods = {pilfill::Method::kGreedy};
+  const Response solved = client.call_with_retry(solve, retry);
+  ASSERT_TRUE(solved.ok) << solved.error;
+  // Exactly one application per edit, and the same bits as the
+  // undisturbed run.
+  EXPECT_EQ(solved.edit_seq,
+            static_cast<long long>(edits.size()));
+  EXPECT_EQ(solved.methods.at(0).placement_hash,
+            placement_fingerprint(expect.methods.at(0).placement.features));
+
+  // Drive stats traffic until at least one reset has provably fired (the
+  // write ordinals advance with the whole process's response history, so
+  // which particular response gets hit is not pinned down here).
+  Request stats;
+  stats.op = Op::kStats;
+  for (int i = 0; i < 200; ++i) {
+    if (fx.server->stats().faults_injected > 0) break;
+    const Response s = client.call_with_retry(stats, retry);
+    ASSERT_TRUE(s.ok) << s.error;
+  }
+  EXPECT_GE(fx.server->stats().faults_injected, 1);
+}
+
+TEST(ServiceChaos, WatchdogJournalsStuckWorkersAndCancelsOverruns) {
+  obs::set_journal_armed(true);
+  ServerConfig scfg;
+  scfg.watchdog_grace_seconds = 0.05;
+  scfg.watchdog_poll_seconds = 0.01;
+  ServerFixture fx(scfg);
+  Client client = fx.connect();
+
+  // The session's own fault plan stalls every tile solve by 100 ms, so a
+  // 20 ms flow deadline is overrun far past deadline + grace.
+  pilfill::FlowConfig cfg = small_config();
+  cfg.fault_spec = "tile_solve:delay:1:100";
+  const layout::Layout layout = small_layout();
+  const Response opened = client.call(open_request(layout, cfg));
+  ASSERT_TRUE(opened.ok) << opened.error;
+
+  Request solve;
+  solve.op = Op::kSolve;
+  solve.session = opened.session;
+  solve.methods = {pilfill::Method::kGreedy};
+  solve.deadline_ms = 20.0;
+  const Response solved = client.call(solve);
+  util::clear_fault_plan();  // the open_session armed the global plan
+  ASSERT_TRUE(solved.ok) << solved.error;
+
+  EXPECT_GE(fx.server->stats().stuck_workers, 1);
+  const obs::JournalSnapshot snap = obs::journal_snapshot();
+  bool journaled = false;
+  for (const obs::JournalEvent& ev : snap.events)
+    if (ev.kind == obs::JournalEventKind::kStuckWorker) journaled = true;
+  EXPECT_TRUE(journaled);
 }
 
 }  // namespace

@@ -21,9 +21,16 @@
 /// trace id and per-stage timing breakdown are echoed to stderr, so stdout
 /// stays raw response JSON for scripts.
 ///
+/// Retries: --retries N arms reconnect + bounded exponential backoff
+/// (--retry-backoff-ms, jittered) for retry-safe requests -- see
+/// service::Client::call_with_retry. An edit gets a generated request_id
+/// (pin one with --request-id HEX), so a retried edit is acknowledged
+/// from the server's dedup window, never applied twice.
+///
 /// Exit codes: 0 request ok, 1 request failed (response ok=false or
 /// transport error), 2 usage error, 3 response flagged degraded/shed under
-/// --strict (same taxonomy as pilfill/pilbench).
+/// --strict (same taxonomy as pilfill/pilbench), 4 could not connect,
+/// 5 connection dropped mid-request, 6 retries exhausted.
 
 #include <cstdio>
 #include <fstream>
@@ -43,6 +50,9 @@ constexpr int kExitOk = 0;
 constexpr int kExitError = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitDegraded = 3;
+constexpr int kExitConnect = 4;
+constexpr int kExitDropped = 5;
+constexpr int kExitExhausted = 6;
 
 int usage() {
   std::cerr
@@ -60,9 +70,30 @@ int usage() {
          "  stats | shutdown\n"
          "  any:   --trace-id HEX (pin the request trace; server assigns "
          "one otherwise)\n"
+         "         --retries N --retry-backoff-ms X (reconnect + jittered "
+         "backoff for retry-safe ops)\n"
+         "         --request-id HEX (pin the edit idempotency key; "
+         "generated otherwise when retrying)\n"
          "Response JSON goes to stdout (trace + stage breakdown to "
-         "stderr); exit 3 = degraded under --strict.\n";
+         "stderr); exit 3 = degraded under --strict,\n"
+         "4 = cannot connect, 5 = dropped mid-request, 6 = retries "
+         "exhausted.\n";
   return kExitUsage;
+}
+
+std::uint64_t parse_hex_arg(const std::string& hex, const char* what) {
+  std::uint64_t v = 0;
+  PIL_REQUIRE(!hex.empty() && hex.size() <= 16,
+              std::string(what) + ": expected up to 16 hex chars");
+  for (char c : hex) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else throw Error(std::string(what) + ": expected up to 16 hex chars");
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
 }
 
 std::vector<double> parse_csv_doubles(const std::string& s,
@@ -111,22 +142,11 @@ int main(int argc, char** argv) {
                                  : service::op_from_name(op_name);
     if (opts.count("id"))
       req.id = static_cast<std::uint64_t>(parse_int(opts.at("id"), "--id"));
-    if (opts.count("trace-id")) {
-      // Accept exactly what the wire accepts: up to 16 hex chars.
-      const std::string& hex = opts.at("trace-id");
-      std::uint64_t v = 0;
-      PIL_REQUIRE(!hex.empty() && hex.size() <= 16,
-                  "--trace-id: expected up to 16 hex chars");
-      for (char c : hex) {
-        int d;
-        if (c >= '0' && c <= '9') d = c - '0';
-        else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
-        else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
-        else throw Error("--trace-id: expected up to 16 hex chars");
-        v = (v << 4) | static_cast<std::uint64_t>(d);
-      }
-      req.trace_id = v;
-    }
+    // Accept exactly what the wire accepts: up to 16 hex chars.
+    if (opts.count("trace-id"))
+      req.trace_id = parse_hex_arg(opts.at("trace-id"), "--trace-id");
+    if (opts.count("request-id"))
+      req.request_id = parse_hex_arg(opts.at("request-id"), "--request-id");
 
     switch (req.op) {
       case service::Op::kOpenSession: {
@@ -225,9 +245,23 @@ int main(int argc, char** argv) {
                          parse_int(opts.at("port"), "--port")))
                    : throw Error("pilreq: need --socket PATH or --port N"));
 
-    const std::string raw = client.call_raw(service::encode_request(req));
+    service::RetryPolicy retry;
+    if (opts.count("retries"))
+      retry.retries =
+          static_cast<int>(parse_int(opts.at("retries"), "--retries"));
+    if (opts.count("retry-backoff-ms"))
+      retry.backoff_ms =
+          parse_double(opts.at("retry-backoff-ms"), "--retry-backoff-ms");
+
+    std::string raw;
+    service::Response resp;
+    if (retry.retries > 0) {
+      resp = client.call_with_retry(req, retry, &raw);
+    } else {
+      raw = client.call_raw(service::encode_request(req));
+      resp = service::decode_response(raw);
+    }
     std::cout << raw << "\n";
-    const service::Response resp = service::decode_response(raw);
     if (resp.trace_id != 0) {
       char hex[17];
       std::snprintf(hex, sizeof(hex), "%016llx",
@@ -248,6 +282,19 @@ int main(int argc, char** argv) {
     if (opts.count("strict") && (resp.degraded || resp.shed))
       return kExitDegraded;
     return kExitOk;
+  } catch (const service::TransportError& e) {
+    switch (e.kind()) {
+      case service::TransportError::Kind::kConnect:
+        std::cerr << "pilreq: cannot connect: " << e.what() << "\n";
+        return kExitConnect;
+      case service::TransportError::Kind::kDropped:
+        std::cerr << "pilreq: connection dropped: " << e.what() << "\n";
+        return kExitDropped;
+      case service::TransportError::Kind::kExhausted:
+        std::cerr << "pilreq: retries exhausted: " << e.what() << "\n";
+        return kExitExhausted;
+    }
+    return kExitError;
   } catch (const Error& e) {
     std::cerr << "pilreq: " << e.what() << "\n";
     return kExitError;

@@ -11,6 +11,12 @@
 ///            [--no-layout-path] [--metrics] [--log-level LEVEL]
 ///            [--http PORT] [--http-socket PATH] [--access-log PATH]
 ///            [--access-log-max-mb N] [--flight-dump PATH]
+///            [--read-timeout-ms X] [--dedup-window N]
+///            [--watchdog-grace-ms X]
+///
+/// PIL_FAULT / PIL_FAULT_SEED arm deterministic fault injection,
+/// including the service-plane sites (accept_drop, frame_truncate,
+/// frame_delay, conn_reset, worker_throw) used by scripts/chaos_soak.sh.
 ///
 /// Prints one "listening ..." line per bound endpoint (with the resolved
 /// port for --tcp 0 / --http 0), then serves until a client sends a
@@ -46,7 +52,8 @@ int usage() {
          "                [--log-level debug|info|warn|error|off]\n"
          "                [--http PORT] [--http-socket PATH]\n"
          "                [--access-log PATH] [--access-log-max-mb N]\n"
-         "                [--flight-dump PATH]\n"
+         "                [--flight-dump PATH] [--read-timeout-ms X]\n"
+         "                [--dedup-window N] [--watchdog-grace-ms X]\n"
          "At least one of --socket / --tcp is required; --tcp 0 picks an\n"
          "ephemeral port (printed on the 'listening' line). --http serves\n"
          "/healthz, /metrics, and /slo on loopback; --access-log writes\n"
@@ -79,6 +86,7 @@ int main(int argc, char** argv) {
   if (opts.count("help")) return usage();
 
   try {
+    util::arm_faults_from_env();  // PIL_FAULT / PIL_FAULT_SEED
     if (opts.count("log-level"))
       set_log_level(parse_log_level(opts.at("log-level")));
     if (opts.count("metrics")) obs::set_metrics_enabled(true);
@@ -126,6 +134,17 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(parse_int(opts.at("access-log-max-mb"),
                                              "--access-log-max-mb"))
           << 20;
+    if (opts.count("read-timeout-ms"))
+      config.read_timeout_seconds =
+          parse_double(opts.at("read-timeout-ms"), "--read-timeout-ms") /
+          1000.0;
+    if (opts.count("dedup-window"))
+      config.dedup_window = static_cast<int>(
+          parse_int(opts.at("dedup-window"), "--dedup-window"));
+    if (opts.count("watchdog-grace-ms"))
+      config.watchdog_grace_seconds =
+          parse_double(opts.at("watchdog-grace-ms"), "--watchdog-grace-ms") /
+          1000.0;
     const std::string flight_dump =
         opts.count("flight-dump") ? opts.at("flight-dump") : "";
 
