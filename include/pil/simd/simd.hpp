@@ -1,0 +1,146 @@
+#pragma once
+/// \file simd.hpp
+/// Runtime-dispatched data-parallel kernels for the prep and solver hot
+/// paths. Two backends implement one kernel table: `scalar` (the semantic
+/// reference -- plain loops whose floating-point expression trees match the
+/// pre-kernel inline code operation for operation) and `avx2` (256-bit
+/// blockwise loops). Backend selection happens once per process via CPUID,
+/// overridable with the PIL_SIMD environment variable or `--simd` on the
+/// CLIs; see docs/SIMD.md.
+///
+/// Determinism contract: every kernel is *bit-identical* across backends
+/// (a 0-ulp bound, enforced by tests/test_simd.cpp). The vector loops only
+/// parallelize across independent output elements and keep each element's
+/// operation order equal to the scalar reference; no FMA contraction, no
+/// reassociated reductions, divisions stay divisions. The only carve-outs,
+/// documented per kernel below, are inputs the flow never produces
+/// (NaN and -0.0 for min_max).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pil::simd {
+
+enum class Backend {
+  kScalar = 0,  ///< reference implementation, always available
+  kAvx2 = 1,    ///< 256-bit blocks; needs compile-time + CPUID support
+};
+
+const char* to_string(Backend b);
+
+/// Parse "scalar" / "avx2" (the PIL_SIMD / --simd vocabulary). Throws
+/// pil::Error on anything else.
+Backend backend_from_string(const std::string& name);
+
+/// One entry per kernel; both backends fill the whole table. All pointer
+/// arguments may be unaligned; `n == 0` calls are no-ops. Output ranges
+/// must not alias inputs unless a kernel says otherwise.
+struct Kernels {
+  /// Sliding r x r window sums over a row-major tiles_x x tiles_y grid:
+  /// out[wy * (tiles_x - r + 1) + wx] = sum of tile[iy][ix] for
+  /// iy in [wy, wy+r), ix in [wx, wx+r), accumulated in exactly that
+  /// (iy outer, ix inner) order -- the DensityMap::window_area order.
+  void (*window_sums)(const double* tile, int tiles_x, int tiles_y, int r,
+                      double* out);
+
+  /// out[i] = num[i] / den[i].
+  void (*div2)(const double* num, const double* den, std::size_t n,
+               double* out);
+
+  /// *mn / *mx = min / max over a[0..n); requires n >= 1. Exact across
+  /// backends for NaN-free inputs without -0.0 (min/max of such doubles is
+  /// order-independent); the flow only feeds it densities >= 0.
+  void (*min_max)(const double* a, std::size_t n, double* mn, double* mx);
+
+  /// out[i] = a[i] + b[i].
+  void (*add2)(const double* a, const double* b, std::size_t n, double* out);
+
+  /// Elmore entry resistance at a column crossing, matching
+  /// WirePiece::res_at(q) = upstream_res + res_per_um * manhattan(up, q):
+  /// out[i] = base[i] + slope[i] * (|ux[i] - qx[i]| + |uy[i] - qy[i]|).
+  void (*entry_res)(const double* base, const double* slope, const double* ux,
+                    const double* uy, const double* qx, const double* qy,
+                    std::size_t n, double* out);
+
+  /// out[i] = (wb[i] * rb[i]) + (wa[i] * ra[i])  (criticality-weighted
+  /// two-sided resistance factor).
+  void (*weighted_pair)(const double* wb, const double* rb, const double* wa,
+                        const double* ra, std::size_t n, double* out);
+
+  /// out[i] = (((sb[i] * rb[i]) + (sa[i] * ra[i])) + ob[i]) + oa[i]
+  /// (exact-delay resistance factor with off-path sums).
+  void (*exact_pair)(const double* sb, const double* rb, const double* sa,
+                     const double* ra, const double* ob, const double* oa,
+                     std::size_t n, double* out);
+
+  /// Greedy column keys: out[i] = (cap_ff[i] * s) * rf[i].
+  void (*scaled_scores)(const double* cap_ff, const double* rf, double s,
+                        std::size_t n, double* out);
+
+  /// Convex first-feature marginals: out[i] = ((hi[i] - lo[i]) * s) * rf[i].
+  void (*delta_scores)(const double* hi, const double* lo, const double* rf,
+                       double s, std::size_t n, double* out);
+
+  /// Any grid[y * stride + x] + add > threshold over the inclusive block
+  /// x in [x0, x1], y in [y0, y1]? (The MC targeter's covering-window
+  /// feasibility test.) Empty blocks (x0 > x1 or y0 > y1) return false.
+  bool (*block_any_above)(const double* grid, int stride, int x0, int x1,
+                          int y0, int y1, double add, double threshold);
+
+  /// grid[y * stride + x] += v over the same inclusive block.
+  void (*block_add_scalar)(double* grid, int stride, int x0, int x1, int y0,
+                           int y1, double v);
+
+  /// Exact widened sum of int32 values.
+  long long (*sum_i32)(const std::int32_t* a, std::size_t n);
+
+  /// Per-site dissection rows for a slack column's site stack:
+  /// out[i] = clamp((int)floor((((y0 + i*pitch) + half) - die_ylo) /
+  /// tile_um), 0, max_row), matching Dissection::tile_at on the site
+  /// centerline. Every intermediate must fit the int range (true for any
+  /// site inside the die).
+  void (*site_rows)(int n, double y0, double pitch, double half,
+                    double die_ylo, double tile_um, int max_row,
+                    std::int32_t* out);
+};
+
+/// True when the avx2 backend is usable: compiled in (PIL_ENABLE_AVX2) and
+/// the CPU reports AVX2.
+bool avx2_supported();
+
+/// The backend in effect. First use resolves it: PIL_SIMD if set (throws
+/// pil::Error on an unknown value or an unsupported backend), else avx2
+/// when supported, else scalar.
+Backend active_backend();
+
+/// Short name of active_backend(): "scalar" or "avx2". What run reports,
+/// bench env capture, and the pil.simd.backend metric record.
+const char* backend_name();
+
+/// Force a backend (the --simd flag and tests). Throws pil::Error when the
+/// backend is not usable on this build/host.
+void set_backend(Backend b);
+
+/// Kernel table of the active backend.
+const Kernels& kernels();
+
+/// Kernel table of a specific backend (differential tests). Throws
+/// pil::Error for an unusable backend.
+const Kernels& kernels(Backend b);
+
+/// RAII backend override; restores the previous backend on destruction.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : prev_(active_backend()) {
+    set_backend(b);
+  }
+  ~ScopedBackend() { set_backend(prev_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  Backend prev_;
+};
+
+}  // namespace pil::simd

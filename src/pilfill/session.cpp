@@ -13,6 +13,7 @@
 #include "pil/obs/journal.hpp"
 #include "pil/obs/metrics.hpp"
 #include "pil/obs/trace.hpp"
+#include "pil/simd/simd.hpp"
 #include "pil/util/log.hpp"
 #include "pil/util/stopwatch.hpp"
 
@@ -149,6 +150,7 @@ struct FillSession::Impl {
   std::optional<SlackColumns> alt;     ///< solver columns when mode != kIII
   density::FillTargetResult target;
   std::map<int, TileInstance> instances;  ///< tile_flat -> instance (req > 0)
+  PrepColumns prep_scratch;  ///< SoA workspace for incremental rebuilds
   std::optional<cap::CouplingModel> model;
   std::optional<cap::ColumnCapLut> lut;  ///< shared single-thread LUT cache
   std::unique_ptr<DelayImpactEvaluator> evaluator;
@@ -278,12 +280,13 @@ struct FillSession::Impl {
     {
       obs::TraceSpan span("prep.instances");
       ScopedTimer timer(stages.instances);
+      PrepColumns scratch;
       for (int t = 0; t < dissection->num_tiles(); ++t) {
         const int required = target.features_per_tile[t];
         if (required == 0) continue;
-        instances.emplace(t,
-                          build_tile_instance(t, required, solver_slack(),
-                                              pieces, config.net_criticality));
+        instances.emplace(
+            t, build_tile_instance(t, required, solver_slack(), pieces,
+                                   config.net_criticality, &scratch));
       }
     }
     prep_seconds = stages.total();
@@ -309,6 +312,9 @@ struct FillSession::Impl {
       reg.counter("pilfill.prep.tiles").add(dissection->num_tiles());
       reg.counter("pilfill.prep.instances")
           .add(static_cast<long long>(instances.size()));
+      reg.counter(obs::labeled("pil.simd.backend",
+                               {{"backend", simd::backend_name()}}))
+          .add(1);
     }
   }
 
@@ -694,7 +700,8 @@ struct FillSession::Impl {
         continue;
       }
       TileInstance fresh = build_tile_instance(
-          t, required, solver_slack(), pieces, config.net_criticality);
+          t, required, solver_slack(), pieces, config.net_criticality,
+          &prep_scratch);
       const bool reusable =
           it != instances.end() && solver_equivalent(it->second, fresh);
       if (it == instances.end())

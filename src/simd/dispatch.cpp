@@ -1,0 +1,84 @@
+/// \file dispatch.cpp
+/// Backend resolution: compiled-in tables + CPUID at first use, with the
+/// PIL_SIMD environment override and set_backend() (the --simd flag).
+
+#include <atomic>
+#include <cstdlib>
+
+#include "pil/util/error.hpp"
+#include "src/simd/kernels.hpp"
+
+namespace pil::simd {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+/// -1 = unresolved; otherwise a Backend value. Resolution is idempotent,
+/// so a benign race at first use settles on the same value.
+std::atomic<int> g_backend{-1};
+
+Backend resolve_initial() {
+  if (const char* env = std::getenv("PIL_SIMD")) {
+    const Backend b = backend_from_string(env);
+    PIL_REQUIRE(b != Backend::kAvx2 || avx2_supported(),
+                "PIL_SIMD=avx2 but the avx2 backend is unavailable "
+                "(compiled out or CPU lacks AVX2)");
+    return b;
+  }
+  return avx2_supported() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+}  // namespace
+
+const char* to_string(Backend b) {
+  return b == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+Backend backend_from_string(const std::string& name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "avx2") return Backend::kAvx2;
+  throw Error("unknown simd backend '" + name + "' (want scalar|avx2)");
+}
+
+bool avx2_supported() {
+  static const bool ok = detail::avx2_kernels() != nullptr && cpu_has_avx2();
+  return ok;
+}
+
+Backend active_backend() {
+  int b = g_backend.load(std::memory_order_relaxed);
+  if (b < 0) {
+    b = static_cast<int>(resolve_initial());
+    g_backend.store(b, std::memory_order_relaxed);
+  }
+  return static_cast<Backend>(b);
+}
+
+const char* backend_name() { return to_string(active_backend()); }
+
+void set_backend(Backend b) {
+  PIL_REQUIRE(b != Backend::kAvx2 || avx2_supported(),
+              "avx2 backend unavailable (compiled out or CPU lacks AVX2)");
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+const Kernels& kernels(Backend b) {
+  if (b == Backend::kAvx2) {
+    PIL_REQUIRE(avx2_supported(),
+                "avx2 backend unavailable (compiled out or CPU lacks AVX2)");
+    return *detail::avx2_kernels();
+  }
+  return detail::scalar_kernels();
+}
+
+const Kernels& kernels() { return kernels(active_backend()); }
+
+}  // namespace pil::simd

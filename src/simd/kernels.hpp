@@ -1,0 +1,14 @@
+#pragma once
+/// Internal backend tables (dispatch.cpp wires them to the public API).
+
+#include "pil/simd/simd.hpp"
+
+namespace pil::simd::detail {
+
+const Kernels& scalar_kernels();
+
+/// Null when the avx2 backend is compiled out (PIL_ENABLE_AVX2=OFF or a
+/// non-x86 target); CPUID support is checked separately by dispatch.
+const Kernels* avx2_kernels();
+
+}  // namespace pil::simd::detail

@@ -1,0 +1,272 @@
+/// \file kernels_avx2.cpp
+/// 256-bit blockwise backend. Compiled with -mavx2 (and only -mavx2: no
+/// -mfma, so the compiler cannot contract mul+add and break the 0-ulp
+/// contract). Each kernel parallelizes across independent output elements
+/// while keeping every element's operation order identical to
+/// kernels_scalar.cpp; tails shorter than one 4-lane block run the scalar
+/// expression unchanged. When the backend is compiled out
+/// (PIL_ENABLE_AVX2=OFF or a non-x86 target) this TU shrinks to a null
+/// table and dispatch never offers avx2.
+
+#include "src/simd/kernels.hpp"
+
+#if defined(PIL_HAVE_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace pil::simd::detail {
+
+namespace {
+
+inline __m256d abs_pd(__m256d v) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+void window_sums_avx2(const double* tile, int tiles_x, int tiles_y, int r,
+                      double* out) {
+  const int nwx = tiles_x - r + 1;
+  const int nwy = tiles_y - r + 1;
+  for (int wy = 0; wy < nwy; ++wy) {
+    double* orow = out + static_cast<std::size_t>(wy) * nwx;
+    int wx = 0;
+    for (; wx + 4 <= nwx; wx += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (int iy = wy; iy < wy + r; ++iy) {
+        const double* row = tile + static_cast<std::size_t>(iy) * tiles_x;
+        for (int ix = 0; ix < r; ++ix)
+          acc = _mm256_add_pd(acc, _mm256_loadu_pd(row + wx + ix));
+      }
+      _mm256_storeu_pd(orow + wx, acc);
+    }
+    for (; wx < nwx; ++wx) {
+      double sum = 0.0;
+      for (int iy = wy; iy < wy + r; ++iy)
+        for (int ix = wx; ix < wx + r; ++ix)
+          sum += tile[static_cast<std::size_t>(iy) * tiles_x + ix];
+      orow[wx] = sum;
+    }
+  }
+}
+
+void div2_avx2(const double* num, const double* den, std::size_t n,
+               double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, _mm256_div_pd(_mm256_loadu_pd(num + i),
+                                            _mm256_loadu_pd(den + i)));
+  for (; i < n; ++i) out[i] = num[i] / den[i];
+}
+
+void min_max_avx2(const double* a, std::size_t n, double* mn, double* mx) {
+  std::size_t i = 0;
+  double lo = a[0];
+  double hi = a[0];
+  if (n >= 4) {
+    __m256d vlo = _mm256_loadu_pd(a);
+    __m256d vhi = vlo;
+    for (i = 4; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(a + i);
+      vlo = _mm256_min_pd(vlo, v);
+      vhi = _mm256_max_pd(vhi, v);
+    }
+    alignas(32) double l[4], h[4];
+    _mm256_store_pd(l, vlo);
+    _mm256_store_pd(h, vhi);
+    lo = std::min(std::min(l[0], l[1]), std::min(l[2], l[3]));
+    hi = std::max(std::max(h[0], h[1]), std::max(h[2], h[3]));
+  }
+  for (; i < n; ++i) {
+    lo = std::min(lo, a[i]);
+    hi = std::max(hi, a[i]);
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
+void add2_avx2(const double* a, const double* b, std::size_t n, double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                            _mm256_loadu_pd(b + i)));
+  for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void entry_res_avx2(const double* base, const double* slope, const double* ux,
+                    const double* uy, const double* qx, const double* qy,
+                    std::size_t n, double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d dx =
+        abs_pd(_mm256_sub_pd(_mm256_loadu_pd(ux + i), _mm256_loadu_pd(qx + i)));
+    const __m256d dy =
+        abs_pd(_mm256_sub_pd(_mm256_loadu_pd(uy + i), _mm256_loadu_pd(qy + i)));
+    const __m256d r = _mm256_add_pd(
+        _mm256_loadu_pd(base + i),
+        _mm256_mul_pd(_mm256_loadu_pd(slope + i), _mm256_add_pd(dx, dy)));
+    _mm256_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i)
+    out[i] = base[i] +
+             slope[i] * (std::fabs(ux[i] - qx[i]) + std::fabs(uy[i] - qy[i]));
+}
+
+void weighted_pair_avx2(const double* wb, const double* rb, const double* wa,
+                        const double* ra, std::size_t n, double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d r = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_loadu_pd(wb + i), _mm256_loadu_pd(rb + i)),
+        _mm256_mul_pd(_mm256_loadu_pd(wa + i), _mm256_loadu_pd(ra + i)));
+    _mm256_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) out[i] = wb[i] * rb[i] + wa[i] * ra[i];
+}
+
+void exact_pair_avx2(const double* sb, const double* rb, const double* sa,
+                     const double* ra, const double* ob, const double* oa,
+                     std::size_t n, double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d r = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_loadu_pd(sb + i), _mm256_loadu_pd(rb + i)),
+        _mm256_mul_pd(_mm256_loadu_pd(sa + i), _mm256_loadu_pd(ra + i)));
+    r = _mm256_add_pd(r, _mm256_loadu_pd(ob + i));
+    r = _mm256_add_pd(r, _mm256_loadu_pd(oa + i));
+    _mm256_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i)
+    out[i] = sb[i] * rb[i] + sa[i] * ra[i] + ob[i] + oa[i];
+}
+
+void scaled_scores_avx2(const double* cap_ff, const double* rf, double s,
+                        std::size_t n, double* out) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d r =
+        _mm256_mul_pd(_mm256_mul_pd(_mm256_loadu_pd(cap_ff + i), sv),
+                      _mm256_loadu_pd(rf + i));
+    _mm256_storeu_pd(out + i, r);
+  }
+  for (; i < n; ++i) out[i] = cap_ff[i] * s * rf[i];
+}
+
+void delta_scores_avx2(const double* hi, const double* lo, const double* rf,
+                       double s, std::size_t n, double* out) {
+  const __m256d sv = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(hi + i), _mm256_loadu_pd(lo + i));
+    _mm256_storeu_pd(
+        out + i, _mm256_mul_pd(_mm256_mul_pd(d, sv), _mm256_loadu_pd(rf + i)));
+  }
+  for (; i < n; ++i) out[i] = (hi[i] - lo[i]) * s * rf[i];
+}
+
+bool block_any_above_avx2(const double* grid, int stride, int x0, int x1,
+                          int y0, int y1, double add, double threshold) {
+  const __m256d av = _mm256_set1_pd(add);
+  const __m256d tv = _mm256_set1_pd(threshold);
+  for (int y = y0; y <= y1; ++y) {
+    const double* row = grid + static_cast<std::size_t>(y) * stride;
+    int x = x0;
+    for (; x + 4 <= x1 + 1; x += 4) {
+      const __m256d v = _mm256_add_pd(_mm256_loadu_pd(row + x), av);
+      const __m256d gt = _mm256_cmp_pd(v, tv, _CMP_GT_OQ);
+      if (_mm256_movemask_pd(gt) != 0) return true;
+    }
+    for (; x <= x1; ++x)
+      if (row[x] + add > threshold) return true;
+  }
+  return false;
+}
+
+void block_add_scalar_avx2(double* grid, int stride, int x0, int x1, int y0,
+                           int y1, double v) {
+  const __m256d vv = _mm256_set1_pd(v);
+  for (int y = y0; y <= y1; ++y) {
+    double* row = grid + static_cast<std::size_t>(y) * stride;
+    int x = x0;
+    for (; x + 4 <= x1 + 1; x += 4)
+      _mm256_storeu_pd(row + x, _mm256_add_pd(_mm256_loadu_pd(row + x), vv));
+    for (; x <= x1; ++x) row[x] += v;
+  }
+}
+
+long long sum_i32_avx2(const std::int32_t* a, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc = _mm256_add_epi64(acc,
+                           _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)));
+    acc = _mm256_add_epi64(acc,
+                           _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1)));
+  }
+  alignas(32) long long lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  long long sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) sum += a[i];
+  return sum;
+}
+
+void site_rows_avx2(int n, double y0, double pitch, double half,
+                    double die_ylo, double tile_um, int max_row,
+                    std::int32_t* out) {
+  const __m256d y0v = _mm256_set1_pd(y0);
+  const __m256d pv = _mm256_set1_pd(pitch);
+  const __m256d hv = _mm256_set1_pd(half);
+  const __m256d lov = _mm256_set1_pd(die_ylo);
+  const __m256d tv = _mm256_set1_pd(tile_um);
+  const __m256d ramp = _mm256_set_pd(3.0, 2.0, 1.0, 0.0);
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i maxv = _mm_set1_epi32(max_row);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d iv =
+        _mm256_add_pd(_mm256_set1_pd(static_cast<double>(i)), ramp);
+    const __m256d cy =
+        _mm256_add_pd(_mm256_add_pd(y0v, _mm256_mul_pd(iv, pv)), hv);
+    const __m256d val = _mm256_div_pd(_mm256_sub_pd(cy, lov), tv);
+    const __m128i row = _mm256_cvttpd_epi32(_mm256_floor_pd(val));
+    const __m128i clamped = _mm_min_epi32(_mm_max_epi32(row, zero), maxv);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), clamped);
+  }
+  for (; i < n; ++i) {
+    const double cy = (y0 + i * pitch) + half;
+    const int row = static_cast<int>(std::floor((cy - die_ylo) / tile_um));
+    out[i] = std::clamp(row, 0, max_row);
+  }
+}
+
+}  // namespace
+
+const Kernels* avx2_kernels() {
+  static const Kernels k = {
+      &window_sums_avx2,    &div2_avx2,
+      &min_max_avx2,        &add2_avx2,
+      &entry_res_avx2,      &weighted_pair_avx2,
+      &exact_pair_avx2,     &scaled_scores_avx2,
+      &delta_scores_avx2,   &block_any_above_avx2,
+      &block_add_scalar_avx2, &sum_i32_avx2,
+      &site_rows_avx2,
+  };
+  return &k;
+}
+
+}  // namespace pil::simd::detail
+
+#else  // !(PIL_HAVE_AVX2 && __AVX2__)
+
+namespace pil::simd::detail {
+
+const Kernels* avx2_kernels() { return nullptr; }
+
+}  // namespace pil::simd::detail
+
+#endif

@@ -1,0 +1,132 @@
+/// \file kernels_scalar.cpp
+/// The reference backend. These loops ARE the kernel semantics: each
+/// output element's floating-point expression tree matches the pre-kernel
+/// inline code operation for operation, and the avx2 backend must
+/// reproduce every result bit for bit (tests/test_simd.cpp).
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/simd/kernels.hpp"
+
+namespace pil::simd::detail {
+
+namespace {
+
+void window_sums_scalar(const double* tile, int tiles_x, int tiles_y, int r,
+                        double* out) {
+  const int nwx = tiles_x - r + 1;
+  const int nwy = tiles_y - r + 1;
+  for (int wy = 0; wy < nwy; ++wy) {
+    for (int wx = 0; wx < nwx; ++wx) {
+      double sum = 0.0;
+      for (int iy = wy; iy < wy + r; ++iy)
+        for (int ix = wx; ix < wx + r; ++ix)
+          sum += tile[static_cast<std::size_t>(iy) * tiles_x + ix];
+      out[static_cast<std::size_t>(wy) * nwx + wx] = sum;
+    }
+  }
+}
+
+void div2_scalar(const double* num, const double* den, std::size_t n,
+                 double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = num[i] / den[i];
+}
+
+void min_max_scalar(const double* a, std::size_t n, double* mn, double* mx) {
+  double lo = a[0];
+  double hi = a[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, a[i]);
+    hi = std::max(hi, a[i]);
+  }
+  *mn = lo;
+  *mx = hi;
+}
+
+void add2_scalar(const double* a, const double* b, std::size_t n,
+                 double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void entry_res_scalar(const double* base, const double* slope,
+                      const double* ux, const double* uy, const double* qx,
+                      const double* qy, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = base[i] +
+             slope[i] * (std::fabs(ux[i] - qx[i]) + std::fabs(uy[i] - qy[i]));
+}
+
+void weighted_pair_scalar(const double* wb, const double* rb,
+                          const double* wa, const double* ra, std::size_t n,
+                          double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = wb[i] * rb[i] + wa[i] * ra[i];
+}
+
+void exact_pair_scalar(const double* sb, const double* rb, const double* sa,
+                       const double* ra, const double* ob, const double* oa,
+                       std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = sb[i] * rb[i] + sa[i] * ra[i] + ob[i] + oa[i];
+}
+
+void scaled_scores_scalar(const double* cap_ff, const double* rf, double s,
+                          std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = cap_ff[i] * s * rf[i];
+}
+
+void delta_scores_scalar(const double* hi, const double* lo, const double* rf,
+                         double s, std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = (hi[i] - lo[i]) * s * rf[i];
+}
+
+bool block_any_above_scalar(const double* grid, int stride, int x0, int x1,
+                            int y0, int y1, double add, double threshold) {
+  for (int y = y0; y <= y1; ++y) {
+    const double* row = grid + static_cast<std::size_t>(y) * stride;
+    for (int x = x0; x <= x1; ++x)
+      if (row[x] + add > threshold) return true;
+  }
+  return false;
+}
+
+void block_add_scalar_scalar(double* grid, int stride, int x0, int x1, int y0,
+                             int y1, double v) {
+  for (int y = y0; y <= y1; ++y) {
+    double* row = grid + static_cast<std::size_t>(y) * stride;
+    for (int x = x0; x <= x1; ++x) row[x] += v;
+  }
+}
+
+long long sum_i32_scalar(const std::int32_t* a, std::size_t n) {
+  long long sum = 0;
+  for (std::size_t i = 0; i < n; ++i) sum += a[i];
+  return sum;
+}
+
+void site_rows_scalar(int n, double y0, double pitch, double half,
+                      double die_ylo, double tile_um, int max_row,
+                      std::int32_t* out) {
+  for (int i = 0; i < n; ++i) {
+    const double cy = (y0 + i * pitch) + half;
+    const int row = static_cast<int>(std::floor((cy - die_ylo) / tile_um));
+    out[i] = std::clamp(row, 0, max_row);
+  }
+}
+
+}  // namespace
+
+const Kernels& scalar_kernels() {
+  static const Kernels k = {
+      &window_sums_scalar,    &div2_scalar,
+      &min_max_scalar,        &add2_scalar,
+      &entry_res_scalar,      &weighted_pair_scalar,
+      &exact_pair_scalar,     &scaled_scores_scalar,
+      &delta_scores_scalar,   &block_any_above_scalar,
+      &block_add_scalar_scalar, &sum_i32_scalar,
+      &site_rows_scalar,
+  };
+  return k;
+}
+
+}  // namespace pil::simd::detail

@@ -1,0 +1,751 @@
+// Differential lockdown of the pil::simd kernel table. Every shipped
+// kernel is checked scalar-vs-avx2 on randomized SoA inputs -- ragged
+// tails, empty ranges, all 32 element-alignment offsets -- with bitwise
+// equality (memcmp) as the bar: the determinism contract is a 0-ulp bound,
+// not a tolerance. On hosts without AVX2 the differential legs skip and
+// the scalar reference is still validated against brute-force models.
+//
+// The flow-level legs pin the whole pipeline: PIL_SIMD=scalar and =avx2
+// must produce identical placement fingerprints on T1 across thread
+// counts, and the fingerprints themselves are locked to the pre-kernel
+// seed values, so any accidental reordering of a floating-point expression
+// shows up as a one-line diff here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "pil/grid/density_map.hpp"
+#include "pil/grid/dissection.hpp"
+#include "pil/layout/synthetic.hpp"
+#include "pil/obs/metrics.hpp"
+#include "pil/obs/prof.hpp"
+#include "pil/pilfill/driver.hpp"
+#include "pil/pilfill/report.hpp"
+#include "pil/pilfill/session.hpp"
+#include "pil/service/protocol.hpp"
+#include "pil/simd/simd.hpp"
+#include "pil/util/error.hpp"
+#include "pil/util/rng.hpp"
+
+namespace pil::simd {
+namespace {
+
+// Pre-kernel seed fingerprints for T1 W=32 r=2 (threads-invariant). These
+// are the flow's outputs from before pil::simd existed; the kernels must
+// never move them.
+constexpr std::uint64_t kGoldenNormal = 0x9344724b16462801ULL;
+constexpr std::uint64_t kGoldenGreedy = 0x724e17cfdb16bf6dULL;
+constexpr std::uint64_t kGoldenConvex = 0x673f09fd8675e23bULL;
+
+bool have_avx2() { return avx2_supported(); }
+
+#define SKIP_WITHOUT_AVX2()                                             \
+  do {                                                                  \
+    if (!have_avx2()) GTEST_SKIP() << "avx2 backend unavailable here";  \
+  } while (0)
+
+std::vector<double> random_doubles(Rng& rng, std::size_t n, double lo,
+                                   double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform_real(lo, hi);
+  return v;
+}
+
+/// Copy `v` into a fresh buffer so that v[0] lands `offset` elements into
+/// the allocation -- exercises every load alignment mod 32 bytes.
+std::vector<double> offset_copy(const std::vector<double>& v,
+                                std::size_t offset) {
+  std::vector<double> buf(v.size() + offset, 0.0);
+  std::copy(v.begin(), v.end(), buf.begin() + static_cast<long>(offset));
+  return buf;
+}
+
+bool bits_equal(const double* a, const double* b, std::size_t n) {
+  return std::memcmp(a, b, n * sizeof(double)) == 0;
+}
+
+// The size sweep every elementwise differential runs: empty, single, all
+// tail residues around the 4-lane block width, and a couple of large
+// ragged lengths.
+const std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 100,
+                              1023};
+
+// ----------------------------------------------------------- dispatch ----
+
+TEST(SimdDispatch, ToStringNamesBothBackends) {
+  EXPECT_STREQ(to_string(Backend::kScalar), "scalar");
+  EXPECT_STREQ(to_string(Backend::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, BackendFromStringRoundTrips) {
+  EXPECT_EQ(backend_from_string("scalar"), Backend::kScalar);
+  EXPECT_EQ(backend_from_string("avx2"), Backend::kAvx2);
+}
+
+TEST(SimdDispatch, BackendFromStringRejectsUnknown) {
+  EXPECT_THROW(backend_from_string(""), Error);
+  EXPECT_THROW(backend_from_string("sse2"), Error);
+  EXPECT_THROW(backend_from_string("AVX2"), Error);
+}
+
+TEST(SimdDispatch, ActiveBackendNameMatches) {
+  EXPECT_STREQ(backend_name(), to_string(active_backend()));
+}
+
+TEST(SimdDispatch, ScalarBackendAlwaysSelectable) {
+  ScopedBackend guard(Backend::kScalar);
+  EXPECT_EQ(active_backend(), Backend::kScalar);
+  EXPECT_STREQ(backend_name(), "scalar");
+}
+
+TEST(SimdDispatch, ScopedBackendRestoresPrevious) {
+  const Backend before = active_backend();
+  {
+    ScopedBackend guard(Backend::kScalar);
+    EXPECT_EQ(active_backend(), Backend::kScalar);
+  }
+  EXPECT_EQ(active_backend(), before);
+}
+
+TEST(SimdDispatch, ScalarTableIsFullyPopulated) {
+  const Kernels& k = kernels(Backend::kScalar);
+  EXPECT_NE(k.window_sums, nullptr);
+  EXPECT_NE(k.div2, nullptr);
+  EXPECT_NE(k.min_max, nullptr);
+  EXPECT_NE(k.add2, nullptr);
+  EXPECT_NE(k.entry_res, nullptr);
+  EXPECT_NE(k.weighted_pair, nullptr);
+  EXPECT_NE(k.exact_pair, nullptr);
+  EXPECT_NE(k.scaled_scores, nullptr);
+  EXPECT_NE(k.delta_scores, nullptr);
+  EXPECT_NE(k.block_any_above, nullptr);
+  EXPECT_NE(k.block_add_scalar, nullptr);
+  EXPECT_NE(k.sum_i32, nullptr);
+  EXPECT_NE(k.site_rows, nullptr);
+}
+
+TEST(SimdDispatch, Avx2TableMatchesSupportFlag) {
+  if (have_avx2()) {
+    const Kernels& k = kernels(Backend::kAvx2);
+    EXPECT_NE(k.window_sums, nullptr);
+    EXPECT_NE(k.site_rows, nullptr);
+  } else {
+    EXPECT_THROW(kernels(Backend::kAvx2), Error);
+    EXPECT_THROW(set_backend(Backend::kAvx2), Error);
+  }
+}
+
+// -------------------------------------------------------- window sums ----
+
+/// Brute-force reference: the literal DensityMap::window_area double loop.
+std::vector<double> brute_window_sums(const std::vector<double>& tile,
+                                      int tiles_x, int tiles_y, int r) {
+  const int wx_count = tiles_x - r + 1;
+  const int wy_count = tiles_y - r + 1;
+  std::vector<double> out(static_cast<std::size_t>(wx_count) * wy_count);
+  for (int wy = 0; wy < wy_count; ++wy)
+    for (int wx = 0; wx < wx_count; ++wx) {
+      double sum = 0.0;
+      for (int iy = wy; iy < wy + r; ++iy)
+        for (int ix = wx; ix < wx + r; ++ix)
+          sum += tile[static_cast<std::size_t>(iy) * tiles_x + ix];
+      out[static_cast<std::size_t>(wy) * wx_count + wx] = sum;
+    }
+  return out;
+}
+
+TEST(SimdWindowSums, ScalarMatchesBruteForce) {
+  Rng rng(11);
+  for (const auto [tx, ty, r] : {std::tuple{8, 8, 2}, {9, 7, 3}, {5, 5, 5},
+                                 {13, 4, 2}, {4, 13, 4}, {1, 1, 1}}) {
+    const auto tile =
+        random_doubles(rng, static_cast<std::size_t>(tx) * ty, 0.0, 50.0);
+    const auto want = brute_window_sums(tile, tx, ty, r);
+    std::vector<double> got(want.size(), -1.0);
+    kernels(Backend::kScalar)
+        .window_sums(tile.data(), tx, ty, r, got.data());
+    ASSERT_TRUE(bits_equal(want.data(), got.data(), want.size()))
+        << tx << "x" << ty << " r=" << r;
+  }
+}
+
+TEST(SimdWindowSums, DifferentialBitIdentical) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(12);
+  // Ragged widths around the 4-window block: every wx tail residue.
+  for (int tx = 2; tx <= 14; ++tx)
+    for (const int r : {1, 2}) {
+      const int ty = 6;
+      const auto tile =
+          random_doubles(rng, static_cast<std::size_t>(tx) * ty, 0.0, 9.0);
+      const std::size_t nw =
+          static_cast<std::size_t>(tx - r + 1) * (ty - r + 1);
+      std::vector<double> a(nw, -1.0), b(nw, -2.0);
+      kernels(Backend::kScalar).window_sums(tile.data(), tx, ty, r, a.data());
+      kernels(Backend::kAvx2).window_sums(tile.data(), tx, ty, r, b.data());
+      ASSERT_TRUE(bits_equal(a.data(), b.data(), nw))
+          << "tiles_x=" << tx << " r=" << r;
+    }
+}
+
+TEST(SimdWindowSums, ClippedEdgeWindowsMatchBruteForce) {
+  // Satellite regression: windows whose rects are clipped by the
+  // dissection boundary (right/top edge of the die) still sum exactly the
+  // same r x r tile block -- clipping affects window *area*, never which
+  // tiles contribute. Checked against brute force on both backends.
+  Rng rng(13);
+  const int tx = 11, ty = 9, r = 3;  // not multiples of the block width
+  const auto tile =
+      random_doubles(rng, static_cast<std::size_t>(tx) * ty, 0.0, 100.0);
+  const auto want = brute_window_sums(tile, tx, ty, r);
+  const int wx_count = tx - r + 1;
+  const int wy_count = ty - r + 1;
+  for (const Backend b : {Backend::kScalar, Backend::kAvx2}) {
+    if (b == Backend::kAvx2 && !have_avx2()) continue;
+    std::vector<double> got(want.size(), -1.0);
+    kernels(b).window_sums(tile.data(), tx, ty, r, got.data());
+    // Spot the full edge rows/columns explicitly (bitwise).
+    for (int wy = 0; wy < wy_count; ++wy) {
+      const std::size_t i =
+          static_cast<std::size_t>(wy) * wx_count + (wx_count - 1);
+      EXPECT_EQ(want[i], got[i]) << to_string(b) << " right edge wy=" << wy;
+    }
+    for (int wx = 0; wx < wx_count; ++wx) {
+      const std::size_t i =
+          static_cast<std::size_t>(wy_count - 1) * wx_count + wx;
+      EXPECT_EQ(want[i], got[i]) << to_string(b) << " top edge wx=" << wx;
+    }
+    ASSERT_TRUE(bits_equal(want.data(), got.data(), want.size()));
+  }
+}
+
+TEST(SimdWindowSums, DensityStatsClippedEdgeRegression) {
+  // Whole-DensityMap leg of the same regression: a die whose width is not
+  // a multiple of the window size leaves the rightmost/topmost windows
+  // clipped (smaller area, higher density for the same feature area).
+  // stats() must equal the brute-force window_area()/window_rect().area()
+  // fold on both backends, bitwise.
+  const geom::Rect die{0.0, 0.0, 50.0, 38.0};  // 50/16, 38/16 both ragged
+  const grid::Dissection dis(die, 16.0, 2);
+  grid::DensityMap map(dis);
+  Rng rng(14);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform_real(die.xlo, die.xhi - 1.0);
+    const double y = rng.uniform_real(die.ylo, die.yhi - 1.0);
+    map.add_rect(geom::Rect{x, y, x + rng.uniform_real(0.1, 1.0),
+                            y + rng.uniform_real(0.1, 1.0)});
+  }
+  // Brute force in the exact stats() order: min/max over window
+  // densities, mean as the index-ordered sum over all windows.
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  bool clipped_seen = false;
+  for (int wy = 0; wy < dis.windows_y(); ++wy)
+    for (int wx = 0; wx < dis.windows_x(); ++wx) {
+      const double d = map.window_density(wx, wy);
+      mn = std::min(mn, d);
+      mx = std::max(mx, d);
+      sum += d;
+      if (dis.window_rect(wx, wy).area() <
+          dis.window_rect(0, 0).area() - 1e-9)
+        clipped_seen = true;
+    }
+  ASSERT_TRUE(clipped_seen) << "die size must clip some edge windows";
+  const double mean = sum / (static_cast<double>(dis.windows_x()) *
+                             dis.windows_y());
+  for (const Backend b : {Backend::kScalar, Backend::kAvx2}) {
+    if (b == Backend::kAvx2 && !have_avx2()) continue;
+    ScopedBackend guard(b);
+    const grid::DensityStats s = map.stats();
+    EXPECT_EQ(s.min_density, mn) << to_string(b);
+    EXPECT_EQ(s.max_density, mx) << to_string(b);
+    EXPECT_EQ(s.mean_density, mean) << to_string(b);
+  }
+}
+
+// -------------------------------------------------- elementwise kernels ----
+
+TEST(SimdElementwise, Div2Differential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(21);
+  for (const std::size_t n : kSizes) {
+    const auto num = random_doubles(rng, n, -1e3, 1e3);
+    const auto den = random_doubles(rng, n, 0.5, 1e3);
+    std::vector<double> a(n + 1, -7.0), b(n + 1, -7.0);
+    kernels(Backend::kScalar).div2(num.data(), den.data(), n, a.data());
+    kernels(Backend::kAvx2).div2(num.data(), den.data(), n, b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "n=" << n;
+    EXPECT_EQ(a[n], -7.0);  // no overrun
+    EXPECT_EQ(b[n], -7.0);
+  }
+}
+
+TEST(SimdElementwise, Add2Differential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(22);
+  for (const std::size_t n : kSizes) {
+    const auto x = random_doubles(rng, n, -1e6, 1e6);
+    const auto y = random_doubles(rng, n, -1e-6, 1e-6);
+    std::vector<double> a(n + 1, 3.0), b(n + 1, 3.0);
+    kernels(Backend::kScalar).add2(x.data(), y.data(), n, a.data());
+    kernels(Backend::kAvx2).add2(x.data(), y.data(), n, b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "n=" << n;
+    EXPECT_EQ(a[n], 3.0);
+    EXPECT_EQ(b[n], 3.0);
+  }
+}
+
+TEST(SimdElementwise, MinMaxDifferentialAndReference) {
+  Rng rng(23);
+  for (const std::size_t n : kSizes) {
+    if (n == 0) continue;  // min_max requires n >= 1
+    const auto v = random_doubles(rng, n, 0.0, 1.0);  // density-like: >= 0
+    const auto [it_mn, it_mx] = std::minmax_element(v.begin(), v.end());
+    double mn = -1, mx = -1;
+    kernels(Backend::kScalar).min_max(v.data(), n, &mn, &mx);
+    EXPECT_EQ(mn, *it_mn) << "n=" << n;
+    EXPECT_EQ(mx, *it_mx) << "n=" << n;
+    if (have_avx2()) {
+      double mn2 = -1, mx2 = -1;
+      kernels(Backend::kAvx2).min_max(v.data(), n, &mn2, &mx2);
+      EXPECT_EQ(mn, mn2) << "n=" << n;
+      EXPECT_EQ(mx, mx2) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdElementwise, MinMaxSingleElement) {
+  const double v = 0.25;
+  for (const Backend b : {Backend::kScalar, Backend::kAvx2}) {
+    if (b == Backend::kAvx2 && !have_avx2()) continue;
+    double mn = 0, mx = 0;
+    kernels(b).min_max(&v, 1, &mn, &mx);
+    EXPECT_EQ(mn, 0.25) << to_string(b);
+    EXPECT_EQ(mx, 0.25) << to_string(b);
+  }
+}
+
+TEST(SimdElementwise, EntryResDifferential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(24);
+  for (const std::size_t n : kSizes) {
+    const auto base = random_doubles(rng, n, 0.0, 100.0);
+    const auto slope = random_doubles(rng, n, 0.0, 5.0);
+    const auto ux = random_doubles(rng, n, -50.0, 50.0);
+    const auto uy = random_doubles(rng, n, -50.0, 50.0);
+    const auto qx = random_doubles(rng, n, -50.0, 50.0);
+    const auto qy = random_doubles(rng, n, -50.0, 50.0);
+    std::vector<double> a(n, -1.0), b(n, -2.0);
+    kernels(Backend::kScalar)
+        .entry_res(base.data(), slope.data(), ux.data(), uy.data(), qx.data(),
+                   qy.data(), n, a.data());
+    kernels(Backend::kAvx2)
+        .entry_res(base.data(), slope.data(), ux.data(), uy.data(), qx.data(),
+                   qy.data(), n, b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "n=" << n;
+  }
+}
+
+TEST(SimdElementwise, EntryResMatchesManhattanFormula) {
+  // One element, by hand: base + slope * (|ux-qx| + |uy-qy|), the
+  // WirePiece::res_at expression tree.
+  const double base = 3.5, slope = 0.25, ux = 1.0, uy = -2.0, qx = 4.0,
+               qy = 2.5;
+  const double want =
+      base + slope * (std::fabs(ux - qx) + std::fabs(uy - qy));
+  for (const Backend bk : {Backend::kScalar, Backend::kAvx2}) {
+    if (bk == Backend::kAvx2 && !have_avx2()) continue;
+    double got = 0;
+    kernels(bk).entry_res(&base, &slope, &ux, &uy, &qx, &qy, 1, &got);
+    EXPECT_EQ(got, want) << to_string(bk);
+  }
+}
+
+TEST(SimdElementwise, WeightedPairDifferential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(25);
+  for (const std::size_t n : kSizes) {
+    const auto wb = random_doubles(rng, n, 0.0, 10.0);
+    const auto rb = random_doubles(rng, n, 0.0, 200.0);
+    const auto wa = random_doubles(rng, n, 0.0, 10.0);
+    const auto ra = random_doubles(rng, n, 0.0, 200.0);
+    std::vector<double> a(n, -1.0), b(n, -2.0);
+    kernels(Backend::kScalar)
+        .weighted_pair(wb.data(), rb.data(), wa.data(), ra.data(), n,
+                       a.data());
+    kernels(Backend::kAvx2)
+        .weighted_pair(wb.data(), rb.data(), wa.data(), ra.data(), n,
+                       b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "n=" << n;
+  }
+}
+
+TEST(SimdElementwise, ExactPairDifferential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(26);
+  for (const std::size_t n : kSizes) {
+    const auto sb = random_doubles(rng, n, 0.0, 20.0);
+    const auto rb = random_doubles(rng, n, 0.0, 200.0);
+    const auto sa = random_doubles(rng, n, 0.0, 20.0);
+    const auto ra = random_doubles(rng, n, 0.0, 200.0);
+    const auto ob = random_doubles(rng, n, 0.0, 1e3);
+    const auto oa = random_doubles(rng, n, 0.0, 1e3);
+    std::vector<double> a(n, -1.0), b(n, -2.0);
+    kernels(Backend::kScalar)
+        .exact_pair(sb.data(), rb.data(), sa.data(), ra.data(), ob.data(),
+                    oa.data(), n, a.data());
+    kernels(Backend::kAvx2)
+        .exact_pair(sb.data(), rb.data(), sa.data(), ra.data(), ob.data(),
+                    oa.data(), n, b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "n=" << n;
+  }
+}
+
+TEST(SimdElementwise, ScaledScoresDifferential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(27);
+  for (const std::size_t n : kSizes) {
+    const auto cap = random_doubles(rng, n, 0.0, 50.0);
+    const auto rf = random_doubles(rng, n, 0.0, 500.0);
+    std::vector<double> a(n, -1.0), b(n, -2.0);
+    kernels(Backend::kScalar)
+        .scaled_scores(cap.data(), rf.data(), 0.3, n, a.data());
+    kernels(Backend::kAvx2)
+        .scaled_scores(cap.data(), rf.data(), 0.3, n, b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "n=" << n;
+  }
+}
+
+TEST(SimdElementwise, DeltaScoresDifferential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(28);
+  for (const std::size_t n : kSizes) {
+    const auto hi = random_doubles(rng, n, 0.0, 50.0);
+    const auto lo = random_doubles(rng, n, 0.0, 50.0);
+    const auto rf = random_doubles(rng, n, 0.0, 500.0);
+    std::vector<double> a(n, -1.0), b(n, -2.0);
+    kernels(Backend::kScalar)
+        .delta_scores(hi.data(), lo.data(), rf.data(), 0.3, n, a.data());
+    kernels(Backend::kAvx2)
+        .delta_scores(hi.data(), lo.data(), rf.data(), 0.3, n, b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "n=" << n;
+  }
+}
+
+TEST(SimdElementwise, AlignmentOffsetsBitIdentical) {
+  // Every load alignment mod 32 bytes, for the elementwise kernels the
+  // flow feeds from arbitrary vector interiors.
+  SKIP_WITHOUT_AVX2();
+  Rng rng(29);
+  const std::size_t n = 37;  // odd, > one block, ragged tail
+  const auto x = random_doubles(rng, n, -1e3, 1e3);
+  const auto y = random_doubles(rng, n, 0.5, 1e3);
+  for (std::size_t off = 0; off < 32; ++off) {
+    const auto xs = offset_copy(x, off);
+    const auto ys = offset_copy(y, off);
+    const double* xp = xs.data() + off;
+    const double* yp = ys.data() + off;
+    std::vector<double> a(n), b(n);
+    kernels(Backend::kScalar).div2(xp, yp, n, a.data());
+    kernels(Backend::kAvx2).div2(xp, yp, n, b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "div2 off=" << off;
+    kernels(Backend::kScalar).add2(xp, yp, n, a.data());
+    kernels(Backend::kAvx2).add2(xp, yp, n, b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "add2 off=" << off;
+    kernels(Backend::kScalar).scaled_scores(xp, yp, 0.3, n, a.data());
+    kernels(Backend::kAvx2).scaled_scores(xp, yp, 0.3, n, b.data());
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), n)) << "scores off=" << off;
+    double mn1, mx1, mn2, mx2;
+    kernels(Backend::kScalar).min_max(yp, n, &mn1, &mx1);
+    kernels(Backend::kAvx2).min_max(yp, n, &mn2, &mx2);
+    EXPECT_EQ(mn1, mn2) << "min off=" << off;
+    EXPECT_EQ(mx1, mx2) << "max off=" << off;
+  }
+}
+
+TEST(SimdElementwise, EmptyAndZeroInputs) {
+  // n == 0 is a no-op for every elementwise kernel (canary survives), and
+  // all-zero columns flow through to all-zero outputs on both backends.
+  for (const Backend bk : {Backend::kScalar, Backend::kAvx2}) {
+    if (bk == Backend::kAvx2 && !have_avx2()) continue;
+    const Kernels& k = kernels(bk);
+    double canary = 42.0;
+    k.div2(nullptr, nullptr, 0, &canary);
+    k.add2(nullptr, nullptr, 0, &canary);
+    k.scaled_scores(nullptr, nullptr, 1.0, 0, &canary);
+    k.delta_scores(nullptr, nullptr, nullptr, 1.0, 0, &canary);
+    k.entry_res(nullptr, nullptr, nullptr, nullptr, nullptr, nullptr, 0,
+                &canary);
+    k.weighted_pair(nullptr, nullptr, nullptr, nullptr, 0, &canary);
+    k.exact_pair(nullptr, nullptr, nullptr, nullptr, nullptr, nullptr, 0,
+                 &canary);
+    k.site_rows(0, 0, 0, 0, 0, 1.0, 0, nullptr);
+    EXPECT_EQ(canary, 42.0) << to_string(bk);
+    EXPECT_EQ(k.sum_i32(nullptr, 0), 0) << to_string(bk);
+
+    const std::vector<double> zeros(13, 0.0);
+    std::vector<double> out(13, -1.0);
+    k.scaled_scores(zeros.data(), zeros.data(), 0.3, zeros.size(),
+                    out.data());
+    for (const double v : out) EXPECT_EQ(v, 0.0) << to_string(bk);
+  }
+}
+
+// ------------------------------------------------------- block kernels ----
+
+TEST(SimdBlocks, BlockAnyAboveDifferential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(31);
+  const int stride = 13, rows = 9;
+  const auto grid =
+      random_doubles(rng, static_cast<std::size_t>(stride) * rows, 0.0, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int x0 = static_cast<int>(rng.uniform_int(0, stride - 1));
+    const int x1 = static_cast<int>(rng.uniform_int(0, stride - 1));
+    const int y0 = static_cast<int>(rng.uniform_int(0, rows - 1));
+    const int y1 = static_cast<int>(rng.uniform_int(0, rows - 1));
+    const double add = rng.uniform_real(0.0, 0.5);
+    const double thr = rng.uniform_real(0.0, 1.5);
+    const bool a = kernels(Backend::kScalar)
+                       .block_any_above(grid.data(), stride, x0, x1, y0, y1,
+                                        add, thr);
+    const bool b = kernels(Backend::kAvx2)
+                       .block_any_above(grid.data(), stride, x0, x1, y0, y1,
+                                        add, thr);
+    ASSERT_EQ(a, b) << "block [" << x0 << "," << x1 << "]x[" << y0 << ","
+                    << y1 << "] thr=" << thr;
+  }
+}
+
+TEST(SimdBlocks, BlockAnyAboveEdgeCases) {
+  const std::vector<double> grid = {0.1, 0.2, 0.3, 0.4};
+  for (const Backend bk : {Backend::kScalar, Backend::kAvx2}) {
+    if (bk == Backend::kAvx2 && !have_avx2()) continue;
+    const Kernels& k = kernels(bk);
+    // Empty blocks are false.
+    EXPECT_FALSE(k.block_any_above(grid.data(), 2, 1, 0, 0, 1, 1.0, 0.0));
+    EXPECT_FALSE(k.block_any_above(grid.data(), 2, 0, 1, 1, 0, 1.0, 0.0));
+    // Strictly-above semantics: equality is not "above" (the MC targeter's
+    // epsilon lives in the threshold, not the comparison).
+    EXPECT_FALSE(k.block_any_above(grid.data(), 2, 0, 0, 0, 0, 0.0, 0.1));
+    EXPECT_TRUE(k.block_any_above(grid.data(), 2, 0, 0, 0, 0, 0.01, 0.1));
+  }
+}
+
+TEST(SimdBlocks, BlockAddScalarDifferential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(32);
+  const int stride = 11, rows = 7;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = random_doubles(rng, static_cast<std::size_t>(stride) * rows,
+                            0.0, 1.0);
+    auto b = a;
+    const int x0 = static_cast<int>(rng.uniform_int(0, stride - 1));
+    const int x1 = static_cast<int>(rng.uniform_int(x0, stride - 1));
+    const int y0 = static_cast<int>(rng.uniform_int(0, rows - 1));
+    const int y1 = static_cast<int>(rng.uniform_int(y0, rows - 1));
+    const double v = rng.uniform_real(-2.0, 2.0);
+    kernels(Backend::kScalar)
+        .block_add_scalar(a.data(), stride, x0, x1, y0, y1, v);
+    kernels(Backend::kAvx2)
+        .block_add_scalar(b.data(), stride, x0, x1, y0, y1, v);
+    ASSERT_TRUE(bits_equal(a.data(), b.data(), a.size())) << "trial=" << trial;
+  }
+}
+
+TEST(SimdBlocks, BlockAddScalarTouchesOnlyTheBlock) {
+  for (const Backend bk : {Backend::kScalar, Backend::kAvx2}) {
+    if (bk == Backend::kAvx2 && !have_avx2()) continue;
+    std::vector<double> grid(5 * 4, 1.0);
+    kernels(bk).block_add_scalar(grid.data(), 5, 1, 3, 1, 2, 0.5);
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 5; ++x) {
+        const bool inside = x >= 1 && x <= 3 && y >= 1 && y <= 2;
+        EXPECT_EQ(grid[static_cast<std::size_t>(y) * 5 + x],
+                  inside ? 1.5 : 1.0)
+            << to_string(bk) << " (" << x << "," << y << ")";
+      }
+  }
+}
+
+// ----------------------------------------------------- integer kernels ----
+
+TEST(SimdInt, SumI32Differential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(41);
+  for (const std::size_t n : kSizes) {
+    std::vector<std::int32_t> v(n);
+    for (auto& x : v)
+      x = static_cast<std::int32_t>(rng.uniform_int(-1000000, 1000000));
+    EXPECT_EQ(kernels(Backend::kScalar).sum_i32(v.data(), n),
+              kernels(Backend::kAvx2).sum_i32(v.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdInt, SumI32SaturatingValuesWiden) {
+  // 1000 INT32_MAX values overflow 32-bit accumulation by far; the kernel
+  // contract is an exact widened (64-bit) sum on both backends.
+  constexpr std::size_t n = 1000;
+  std::vector<std::int32_t> v(n, std::numeric_limits<std::int32_t>::max());
+  const long long want =
+      static_cast<long long>(n) * std::numeric_limits<std::int32_t>::max();
+  EXPECT_EQ(kernels(Backend::kScalar).sum_i32(v.data(), n), want);
+  if (have_avx2())
+    EXPECT_EQ(kernels(Backend::kAvx2).sum_i32(v.data(), n), want);
+  std::fill(v.begin(), v.end(), std::numeric_limits<std::int32_t>::min());
+  const long long want_min =
+      static_cast<long long>(n) * std::numeric_limits<std::int32_t>::min();
+  EXPECT_EQ(kernels(Backend::kScalar).sum_i32(v.data(), n), want_min);
+  if (have_avx2())
+    EXPECT_EQ(kernels(Backend::kAvx2).sum_i32(v.data(), n), want_min);
+}
+
+TEST(SimdInt, SiteRowsDifferential) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(0, 33));
+    const double y0 = rng.uniform_real(-10.0, 100.0);
+    const double pitch = rng.uniform_real(0.2, 3.0);
+    const double half = rng.uniform_real(0.05, 0.5);
+    const double die_ylo = rng.uniform_real(-5.0, 5.0);
+    const double tile_um = rng.uniform_real(4.0, 32.0);
+    const int max_row = static_cast<int>(rng.uniform_int(0, 20));
+    std::vector<std::int32_t> a(n + 1, -9), b(n + 1, -9);
+    kernels(Backend::kScalar)
+        .site_rows(n, y0, pitch, half, die_ylo, tile_um, max_row, a.data());
+    kernels(Backend::kAvx2)
+        .site_rows(n, y0, pitch, half, die_ylo, tile_um, max_row, b.data());
+    ASSERT_EQ(a, b) << "trial=" << trial << " n=" << n;
+  }
+}
+
+TEST(SimdInt, SiteRowsClampsToGrid) {
+  // Sites below the die clamp to row 0; sites beyond the top clamp to
+  // max_row; interior sites match the scalar tile_at formula.
+  for (const Backend bk : {Backend::kScalar, Backend::kAvx2}) {
+    if (bk == Backend::kAvx2 && !have_avx2()) continue;
+    const double pitch = 2.0, half = 0.5, die_ylo = 0.0, tile_um = 8.0;
+    const int max_row = 3;  // rows end at 32 um; sites run past 48 um
+    std::vector<std::int32_t> rows(40);
+    kernels(bk).site_rows(40, -30.0, pitch, half, die_ylo, tile_um, max_row,
+                          rows.data());
+    for (int i = 0; i < 40; ++i) {
+      const double cy = (-30.0 + i * pitch) + half;
+      const int want = std::clamp(
+          static_cast<int>(std::floor((cy - die_ylo) / tile_um)), 0, max_row);
+      EXPECT_EQ(rows[i], want) << to_string(bk) << " i=" << i;
+    }
+    EXPECT_EQ(rows.front(), 0) << to_string(bk);   // far below the die
+    EXPECT_EQ(rows.back(), max_row) << to_string(bk);  // beyond the top
+  }
+}
+
+// ----------------------------------------------------------- flow level ----
+
+using pilfill::FlowConfig;
+using pilfill::Method;
+
+FlowConfig t1_config(int threads) {
+  FlowConfig config;
+  config.window_um = 32;
+  config.r = 2;
+  config.threads = threads;
+  return config;
+}
+
+std::vector<std::uint64_t> flow_fingerprints(const layout::Layout& chip,
+                                             int threads) {
+  const auto result = pilfill::run_pil_fill_flow(
+      chip, t1_config(threads),
+      {Method::kNormal, Method::kGreedy, Method::kConvex});
+  std::vector<std::uint64_t> fps;
+  for (const auto& m : result.methods)
+    fps.push_back(service::placement_fingerprint(m.placement.features));
+  return fps;
+}
+
+TEST(SimdFlow, ScalarAndAvx2PlacementsBitIdentical) {
+  SKIP_WITHOUT_AVX2();
+  const layout::Layout t1 = layout::make_testcase_t1();
+  for (const int threads : {1, 4}) {
+    std::vector<std::uint64_t> scalar_fps, avx2_fps;
+    {
+      ScopedBackend guard(Backend::kScalar);
+      scalar_fps = flow_fingerprints(t1, threads);
+    }
+    {
+      ScopedBackend guard(Backend::kAvx2);
+      avx2_fps = flow_fingerprints(t1, threads);
+    }
+    EXPECT_EQ(scalar_fps, avx2_fps) << "threads=" << threads;
+  }
+}
+
+TEST(SimdFlow, GoldenSeedFingerprintsLocked) {
+  // The flow on default settings must still produce the exact pre-kernel
+  // placements -- the whole-PR bit-identity acceptance gate. If a kernel
+  // change legitimately moves these, that is a semantics change and needs
+  // its own review; update the constants only then.
+  const layout::Layout t1 = layout::make_testcase_t1();
+  const auto fps = flow_fingerprints(t1, 1);
+  ASSERT_EQ(fps.size(), 3u);
+  EXPECT_EQ(fps[0], kGoldenNormal);
+  EXPECT_EQ(fps[1], kGoldenGreedy);
+  EXPECT_EQ(fps[2], kGoldenConvex);
+}
+
+TEST(SimdFlow, GoldenFingerprintsThreadInvariant) {
+  const layout::Layout t1 = layout::make_testcase_t1();
+  const auto fps = flow_fingerprints(t1, 4);
+  ASSERT_EQ(fps.size(), 3u);
+  EXPECT_EQ(fps[0], kGoldenNormal);
+  EXPECT_EQ(fps[1], kGoldenGreedy);
+  EXPECT_EQ(fps[2], kGoldenConvex);
+}
+
+// ------------------------------------------------------------ recording ----
+
+TEST(SimdRecording, EnvCaptureRecordsBackend) {
+  const obs::EnvCapture env = obs::capture_env();
+  EXPECT_EQ(env.simd_backend, backend_name());
+  ScopedBackend guard(Backend::kScalar);
+  EXPECT_EQ(obs::capture_env().simd_backend, "scalar");
+}
+
+TEST(SimdRecording, RunReportRecordsBackend) {
+  const layout::Layout t1 = layout::make_testcase_t1();
+  const FlowConfig config = t1_config(1);
+  const auto result =
+      pilfill::run_pil_fill_flow(t1, config, {Method::kGreedy});
+  std::ostringstream os;
+  pilfill::write_run_report(os, config, result);
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("\"simd_backend\""), std::string::npos);
+  EXPECT_NE(doc.find(backend_name()), std::string::npos);
+}
+
+TEST(SimdRecording, SessionEmitsBackendMetric) {
+  const layout::Layout t1 = layout::make_testcase_t1();
+  const std::string name =
+      obs::labeled("pil.simd.backend", {{"backend", backend_name()}});
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  const long long before = obs::metrics().counter(name).value();
+  pilfill::FillSession session(t1, t1_config(1));
+  const long long after = obs::metrics().counter(name).value();
+  obs::set_metrics_enabled(was_enabled);
+  EXPECT_EQ(after, before + 1);
+}
+
+}  // namespace
+}  // namespace pil::simd
